@@ -1,0 +1,46 @@
+package bench
+
+import "testing"
+
+// The benchmark harness helpers are exercised here with small inputs so
+// `go test .` validates them without running the full benchmark suite.
+
+func TestMeasureRMTServiceRateMatchesModel(t *testing.T) {
+	// One pipeline at 500 MHz serves one packet per cycle: 500 Mpps.
+	got := measureRMTServiceRate(1, 20_000)
+	if got < 490e6 || got > 500e6 {
+		t.Errorf("1 pipeline = %.0f pps, want ~500e6", got)
+	}
+	if got2 := measureRMTServiceRate(2, 20_000); got2 < 1.9*got {
+		t.Errorf("2 pipelines = %.0f pps, want ~2x one pipeline", got2)
+	}
+}
+
+func TestMeasureHopLatencyIsOneCycle(t *testing.T) {
+	for _, hops := range []int{1, 3} {
+		if got := measureHopLatency(hops); got != 1 {
+			t.Errorf("%d hops: %v cycles/hop, want 1", hops, got)
+		}
+	}
+}
+
+func TestMeasurePassesPerPacket(t *testing.T) {
+	if got := measurePassesPerPacket(false); got != 1 {
+		t.Errorf("lightweight tables: %v passes/pkt, want 1", got)
+	}
+	if got := measurePassesPerPacket(true); got != 4 {
+		t.Errorf("rmt-every-hop: %v passes/pkt, want 4", got)
+	}
+}
+
+func TestMeasureChainThroughputOrdering(t *testing.T) {
+	full := measureChainThroughput(1024, 0, false)
+	desc := measureChainThroughput(32, 0, true)
+	touched := measureChainThroughput(32, 2, true)
+	if desc <= full {
+		t.Errorf("descriptors (%v) not above full packets (%v)", desc, full)
+	}
+	if touched >= desc {
+		t.Errorf("payload-touching (%v) not below pure descriptors (%v)", touched, desc)
+	}
+}

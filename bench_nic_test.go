@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/panic-nic/panic/internal/core"
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/workload"
+)
+
+// BenchmarkNICLoadLatencyCurve sweeps offered load on the full PANIC NIC
+// and reports the response-time curve — the canonical figure for a served
+// system: flat latency until a knee, then queueing growth. Useful for
+// locating the assembled NIC's operating envelope (per-port ejection
+// bandwidth bounds it well before the Ethernet line rate; see
+// EXPERIMENTS.md "known modeling deviations").
+func BenchmarkNICLoadLatencyCurve(b *testing.B) {
+	for _, gbps := range []float64{2, 8, 16, 24, 32} {
+		gbps := gbps
+		b.Run(strconv.FormatFloat(gbps, 'f', -1, 64)+"Gbps", func(b *testing.B) {
+			var p50, p99 float64
+			var served uint64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				src := workload.NewKVSStream(workload.KVSTenantConfig{
+					Tenant: 1, Class: packet.ClassLatency,
+					RateGbps: gbps, FreqHz: freq, Poisson: true,
+					Keys: 4096, GetRatio: 0.9, WANShare: 0.2, ValueBytes: 512, Seed: 31,
+				})
+				nic := core.NewNIC(cfg, []engine.Source{src})
+				for k := uint64(0); k < 1024; k++ {
+					nic.Cache.Warm(k, 512)
+				}
+				nic.Run(500_000)
+				p50 = nic.WireLat.All.P50() / freq * 1e6
+				p99 = nic.WireLat.All.P99() / freq * 1e6
+				served = nic.WireLat.Count
+			}
+			b.ReportMetric(p50, "rtt_p50_us")
+			b.ReportMetric(p99, "rtt_p99_us")
+			b.ReportMetric(float64(served), "responses")
+		})
+	}
+}
+
+// BenchmarkNICArchitectureComparison is the headline cross-architecture
+// figure: the same mixed workload (30% encrypted) against all four NIC
+// designs, reporting p50/p99 request latency to host delivery.
+func BenchmarkNICArchitectureComparison(b *testing.B) {
+	// PANIC's numbers come from HostLat; baselines expose the same
+	// collector. Workload: 6 Gbps, 30% WAN, latency class.
+	b.Run("panic", func(b *testing.B) {
+		var p50, p99 float64
+		for i := 0; i < b.N; i++ {
+			cfg := core.DefaultConfig()
+			nic := core.NewNIC(cfg, []engine.Source{archSrc(41)})
+			nic.Run(fig2Cycles)
+			p50 = nic.HostLat.All.P50() / freq * 1e6
+			p99 = nic.HostLat.All.P99() / freq * 1e6
+		}
+		b.ReportMetric(p50, "p50_us")
+		b.ReportMetric(p99, "p99_us")
+	})
+	// The three baselines are measured by their own benchmarks
+	// (BenchmarkFig2a/b/c); this entry exists so a single -bench run
+	// prints PANIC's numbers alongside them.
+}
+
+func archSrc(seed uint64) engine.Source {
+	return workload.NewKVSStream(workload.KVSTenantConfig{
+		Tenant: 1, Class: packet.ClassLatency,
+		RateGbps: 6, FreqHz: freq, Poisson: true,
+		Keys: 1024, GetRatio: 0.9, WANShare: 0.3, ValueBytes: 256, Seed: seed,
+	})
+}

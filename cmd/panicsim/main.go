@@ -1,0 +1,163 @@
+// Command panicsim runs a NIC-architecture simulation: PANIC itself or one
+// of the paper's Figure 2 baselines, against the multi-tenant KVS workload
+// of §2.2, and prints a latency/throughput report.
+//
+// Usage:
+//
+//	panicsim -arch panic|pipeline|manycore|rmt [flags]
+//
+// Examples:
+//
+//	panicsim -arch panic -cycles 2000000 -rate 20 -wan 0.3
+//	panicsim -arch manycore -cores 16
+//	panicsim -arch panic -mesh 8 -width 128 -pipelines 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/panic-nic/panic/internal/baseline"
+	"github.com/panic-nic/panic/internal/core"
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/stats"
+	"github.com/panic-nic/panic/internal/workload"
+)
+
+var tiles *bool
+
+func main() {
+	arch := flag.String("arch", "panic", "architecture: panic, pipeline, manycore, rmt")
+	cycles := flag.Uint64("cycles", 2_000_000, "cycles to simulate")
+	freq := flag.Float64("freq", 500e6, "clock frequency (Hz)")
+	line := flag.Float64("line", 100, "line rate per port (Gbps)")
+	rate := flag.Float64("rate", 10, "offered load per port (Gbps)")
+	wan := flag.Float64("wan", 0.3, "fraction of requests arriving encrypted (WAN)")
+	getRatio := flag.Float64("get", 0.9, "GET fraction")
+	valueBytes := flag.Uint("value", 512, "value size (bytes)")
+	keys := flag.Uint64("keys", 4096, "key-space size per tenant")
+	warmKeys := flag.Uint64("warm", 1024, "keys pre-loaded into the on-NIC cache (panic only)")
+	meshK := flag.Int("mesh", 6, "mesh dimension K (KxK, panic only)")
+	width := flag.Int("width", 128, "mesh channel width in bits (panic only)")
+	pipelines := flag.Int("pipelines", 2, "parallel RMT pipelines (panic only)")
+	cores := flag.Int("cores", 8, "embedded cores (manycore only)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	tiles = flag.Bool("tiles", false, "print per-tile statistics (panic only)")
+	flag.Parse()
+
+	src := workload.NewKVSStream(workload.KVSTenantConfig{
+		Tenant: 1, Class: packet.ClassLatency,
+		RateGbps: *rate, FreqHz: *freq, Poisson: true,
+		Keys: *keys, GetRatio: *getRatio, WANShare: *wan,
+		ValueBytes: uint32(*valueBytes), Seed: *seed,
+	})
+
+	switch *arch {
+	case "panic":
+		runPanic(*cycles, *freq, *line, *meshK, *width, *pipelines, *warmKeys, *seed, src)
+	case "pipeline":
+		runPipeline(*cycles, *freq, *line, *seed, src)
+	case "manycore":
+		runManycore(*cycles, *freq, *line, *cores, *seed, src)
+	case "rmt":
+		runRMTOnly(*cycles, *freq, *line, *seed, src)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown architecture %q\n", *arch)
+		os.Exit(2)
+	}
+}
+
+func runPanic(cycles uint64, freq, line float64, meshK, width, pipelines int, warmKeys, seed uint64, src engine.Source) {
+	cfg := core.DefaultConfig()
+	cfg.FreqHz = freq
+	cfg.LineRateGbps = line
+	cfg.Mesh.Width, cfg.Mesh.Height = meshK, meshK
+	cfg.Mesh.FlitWidthBits = width
+	cfg.RMTPipelines = pipelines
+	cfg.Seed = seed
+	nic := core.NewNIC(cfg, []engine.Source{src})
+	for k := uint64(0); k < warmKeys; k++ {
+		nic.Cache.Warm(k, cfg.HostValueBytes)
+	}
+	nic.Run(cycles)
+	fmt.Printf("PANIC: %dx%d mesh, %d-bit channels, %d RMT pipelines, %d ports @ %.0fG\n\n",
+		meshK, meshK, width, pipelines, cfg.Ports, line)
+	fmt.Print(nic.Summary(cycles))
+	if *tiles {
+		fmt.Println()
+		fmt.Print(nic.TileReport())
+	}
+}
+
+func report(name string, cycles uint64, freq float64, lat *core.LatencyCollector, extra func(t *stats.Table)) {
+	fmt.Printf("%s\n\n", name)
+	t := stats.NewTable("metric", "value")
+	ns := func(c float64) float64 { return c / freq * 1e9 }
+	t.AddRow("cycles", cycles)
+	t.AddRow("host deliveries", lat.Count)
+	if lat.Count > 0 {
+		t.AddRow("latency p50 (ns)", ns(lat.All.P50()))
+		t.AddRow("latency p99 (ns)", ns(lat.All.P99()))
+		t.AddRow("latency max (ns)", ns(lat.All.Max()))
+	}
+	seconds := float64(cycles) / freq
+	t.AddRow("goodput (Gbps)", float64(lat.Bytes)*8/seconds/1e9)
+	if extra != nil {
+		extra(t)
+	}
+	fmt.Print(t.String())
+}
+
+func runPipeline(cycles uint64, freq, line float64, seed uint64, src engine.Source) {
+	cfg := baseline.PipelineConfig{
+		FreqHz: freq, LineRateGbps: line,
+		Stages: []baseline.PipeStageSpec{
+			{Eng: engine.NewChecksumEngine(64), Needs: baseline.NeedAll},
+			{Eng: engine.NewIPSecEngine(engine.IPSecConfig{BytesPerCycle: 16, SetupCycles: 20}), Needs: baseline.NeedIPSec},
+		},
+		Recirculate: true,
+		Seed:        seed,
+	}
+	p := baseline.NewPipelineNIC(cfg, src)
+	p.Run(cycles)
+	report("Pipeline NIC (Fig 2a): checksum -> ipsec, no bypass", cycles, freq, p.HostLat, func(t *stats.Table) {
+		t.AddRow("recirculations", p.Recirculations)
+		t.AddRow("entry drops", p.EntryDrops)
+	})
+}
+
+func runManycore(cycles uint64, freq, line float64, cores int, seed uint64, src engine.Source) {
+	cfg := baseline.ManycoreConfig{
+		FreqHz: freq, LineRateGbps: line,
+		Cores: cores, OrchestrationCycles: 5000, HopCycles: 2,
+		Offloads: []baseline.PipeStageSpec{
+			{Eng: engine.NewIPSecEngine(engine.IPSecConfig{BytesPerCycle: 16, SetupCycles: 20}), Needs: baseline.NeedIPSec},
+		},
+		Seed: seed,
+	}
+	m := baseline.NewManycoreNIC(cfg, src)
+	m.Run(cycles)
+	report(fmt.Sprintf("Manycore NIC (Fig 2b): %d cores, 10us orchestration", cores), cycles, freq, m.HostLat, func(t *stats.Table) {
+		t.AddRow("dispatch drops", m.DispatchDrops)
+	})
+}
+
+func runRMTOnly(cycles uint64, freq, line float64, seed uint64, src engine.Source) {
+	cfg := baseline.RMTOnlyConfig{
+		FreqHz: freq, LineRateGbps: line,
+		NeedsComplex:       baseline.NeedIPSec,
+		PCIeCycles:         300,
+		HostCycles:         1000,
+		HostComplexPerByte: 10,
+		HostCores:          4,
+		Seed:               seed,
+	}
+	r := baseline.NewRMTOnlyNIC(cfg, src)
+	r.Run(cycles)
+	report("RMT-only NIC (Fig 2c): complex offloads punted to host software", cycles, freq, r.HostLat, func(t *stats.Table) {
+		t.AddRow("punted to host sw", r.Punted)
+		t.AddRow("queue drops", r.QueueDrops)
+	})
+}

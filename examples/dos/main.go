@@ -1,0 +1,79 @@
+// Dos: the paper's §6 open question made concrete — "What is the best way
+// to ... ensure that other messages (e.g., packets from a DOS attack) are
+// dropped as needed?" A victim tenant shares the NIC with an attacker
+// flooding small GETs. The demo applies PANIC's three lines of defense in
+// sequence:
+//
+//  1. nothing — the attacker's flood competes for every engine queue;
+//  2. a SENIC-style per-tenant rate limit on the attacker;
+//  3. an ACL drop rule in the RMT pipeline (cheapest: one pipeline pass).
+//
+// Run with:
+//
+//	go run ./examples/dos
+package main
+
+import (
+	"fmt"
+
+	"github.com/panic-nic/panic/internal/core"
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/stats"
+	"github.com/panic-nic/panic/internal/workload"
+)
+
+const cycles = 1_000_000
+
+func build(defense string) *core.NIC {
+	cfg := core.DefaultConfig()
+	// A modest host link so the flood actually hurts.
+	cfg.PCIeGbps = 24
+
+	victim := workload.NewKVSStream(workload.KVSTenantConfig{
+		Tenant: 1, Class: packet.ClassLatency,
+		RateGbps: 2, FreqHz: cfg.FreqHz, Poisson: true,
+		Keys: 512, GetRatio: 0.9, ValueBytes: 256, Seed: 5,
+	})
+	// The attacker: tenant 66 from 203.99.0.0/16, flooding GETs.
+	attacker := workload.NewKVSStream(workload.KVSTenantConfig{
+		Tenant: 66, Class: packet.ClassBulk,
+		RateGbps: 40, FreqHz: cfg.FreqHz, Poisson: true,
+		Keys: 1 << 20, GetRatio: 1.0, ValueBytes: 64,
+		ClientNet: 99, Seed: 6,
+	})
+
+	if defense == "ratelimit" {
+		cfg.RateLimits = map[uint16]float64{66: 1}
+	}
+	nic := core.NewNIC(cfg, []engine.Source{workload.NewMerge(victim, attacker)})
+	if defense == "acl" {
+		// Drop the attacker's source prefix 10.99.0.0/16 in the pipeline.
+		core.InstallDropRule(nic.Program, 10<<24|99<<16, 16, 100)
+	}
+	return nic
+}
+
+func main() {
+	fmt.Println("DoS shedding on a PANIC NIC (§6)")
+	fmt.Println("victim: 2 Gbps latency-sensitive; attacker: 40 Gbps GET flood;")
+	fmt.Println("host link: 24 Gbps. Victim's host-delivery latency and goodput:")
+	fmt.Println()
+	t := stats.NewTable("defense", "victim p50 (us)", "victim p99 (us)", "victim served", "attacker served", "drops")
+	for _, defense := range []string{"none", "ratelimit", "acl"} {
+		nic := build(defense)
+		nic.Run(cycles)
+		us := func(c float64) string { return fmt.Sprintf("%.2f", c/nic.Cfg.FreqHz*1e6) }
+		v := nic.HostLat.Tenant(1)
+		a := nic.HostLat.Tenant(66)
+		drops := nic.Drops.Value() + nic.RMTStats().Dropped
+		t.AddRow(defense, us(v.P50()), us(v.P99()), v.Count(), a.Count(), drops)
+	}
+	fmt.Print(t.String())
+	fmt.Println()
+	fmt.Println("Without defenses the flood fills the DMA engine's queue and the")
+	fmt.Println("victim's tail explodes. The rate limiter confines the attacker to its")
+	fmt.Println("contract and sheds the excess at one engine. The ACL rule is cheapest:")
+	fmt.Println("the RMT pipeline drops flood packets after a single pass, before they")
+	fmt.Println("consume any engine or network bandwidth.")
+}

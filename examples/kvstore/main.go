@@ -1,0 +1,93 @@
+// Kvstore: the paper's §2.2/§3.2 running example at full scale — a
+// geodistributed, multi-tenant, DynamoDB-style key-value store served by a
+// PANIC NIC. Three tenants share the NIC: a local latency-sensitive
+// service, a bulk analytics tenant, and a remote (WAN) tenant whose
+// traffic arrives encrypted. Hot keys are cached on the NIC and served
+// with full CPU bypass.
+//
+// Run with:
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+
+	"github.com/panic-nic/panic/internal/core"
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/stats"
+	"github.com/panic-nic/panic/internal/workload"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	const cycles = 2_000_000 // 4 ms at 500 MHz
+
+	tenants := []workload.KVSTenantConfig{
+		{ // tenant 1: latency-sensitive local service
+			Tenant: 1, Class: packet.ClassLatency,
+			RateGbps: 4, FreqHz: cfg.FreqHz, Poisson: true,
+			Keys: 2048, ZipfS: 1.2, GetRatio: 0.95, WANShare: 0,
+			ValueBytes: 256, Seed: 11,
+		},
+		{ // tenant 2: bulk analytics scans
+			Tenant: 2, Class: packet.ClassBulk,
+			RateGbps: 8, FreqHz: cfg.FreqHz, Poisson: true,
+			Keys: 65536, ZipfS: 1.01, GetRatio: 0.7, WANShare: 0,
+			ValueBytes: 1024, ClientNet: 1, Seed: 12,
+		},
+		{ // tenant 3: geodistributed replica over the WAN (encrypted)
+			Tenant: 3, Class: packet.ClassLatency,
+			RateGbps: 4, FreqHz: cfg.FreqHz, Poisson: true,
+			Keys: 2048, ZipfS: 1.2, GetRatio: 0.8, WANShare: 1.0,
+			ValueBytes: 256, Seed: 13,
+		},
+	}
+	// Tenants 1 and 3 share port 0; the bulk tenant gets port 1 (its
+	// responses return through port 1, keeping port 0's egress free for
+	// latency-sensitive replies).
+	port0 := workload.NewMerge(
+		workload.NewKVSStream(tenants[0]),
+		workload.NewKVSStream(tenants[2]),
+	)
+	port1 := workload.NewKVSStream(tenants[1])
+	nic := core.NewNIC(cfg, []engine.Source{port0, port1})
+
+	// The cache warms itself from SET traffic; give the hot keys a head
+	// start so the run reaches steady state quickly.
+	for k := uint64(0); k < 512; k++ {
+		nic.Cache.Warm(k, 256)
+	}
+
+	nic.Run(cycles)
+
+	fmt.Println("Geodistributed multi-tenant KVS on a PANIC NIC")
+	fmt.Printf("(2x100G ports, %d-key NIC cache, IPSec for WAN tenant, %.1f ms simulated)\n\n",
+		cfg.CacheCapacity, float64(cycles)/cfg.FreqHz*1e3)
+
+	hits, misses, sets := nic.Cache.Counts()
+	dec, enc := nic.IPSec.Counts()
+	rdmaIssued, rdmaReplies := nic.RDMA.Counts()
+	hostGets, hostSets := nic.Host.Counts()
+	fmt.Printf("cache: %d hits / %d misses (%.0f%% hit rate), %d SET updates\n",
+		hits, misses, 100*float64(hits)/float64(hits+misses), sets)
+	fmt.Printf("cpu bypass: %d replies built by the RDMA engine (%d DMA reads)\n", rdmaReplies, rdmaIssued)
+	fmt.Printf("host: served %d GET misses, absorbed %d SETs\n", hostGets, hostSets)
+	fmt.Printf("ipsec: %d decrypted in, %d encrypted out\n", dec, enc)
+	notif, irqs := nic.PCIe.Counts()
+	fmt.Printf("pcie: %d completions coalesced into %d interrupts\n\n", notif, irqs)
+
+	t := stats.NewTable("tenant", "class", "responses", "p50 RTT (us)", "p99 RTT (us)")
+	us := func(c float64) string { return fmt.Sprintf("%.2f", c/cfg.FreqHz*1e6) }
+	for _, tc := range tenants {
+		h := nic.WireLat.Tenant(tc.Tenant)
+		t.AddRow(tc.Tenant, tc.Class.String(), h.Count(), us(h.P50()), us(h.P99()))
+	}
+	fmt.Print(t.String())
+
+	fmt.Println("\nWhat to look for: tenant 1 (cached, plaintext) has the lowest RTT;")
+	fmt.Println("tenant 3 pays the IPSec engine twice (decrypt + re-encrypt); tenant 2's")
+	fmt.Println("bulk scans carry large slack values, so they never delay tenants 1/3 in")
+	fmt.Println("any engine queue (the logical scheduler at work, §3.1.3).")
+}

@@ -1,0 +1,3 @@
+module github.com/panic-nic/panic
+
+go 1.22

@@ -1,0 +1,184 @@
+// Package analytic implements the closed-form performance models behind the
+// paper's evaluation: Table 2 (packet rates needed for line-rate forwarding
+// of minimum-size packets) and Table 3 (on-chip 2D-mesh bandwidth and
+// sustainable offload-chain length), plus the RMT pipeline throughput model
+// of §4.2 (F·P packets per second for P parallel pipelines at F Hz).
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// MinWireBytes is the wire occupancy of a minimum-size Ethernet frame:
+// 64-byte frame + 8-byte preamble/SFD + 12-byte inter-frame gap.
+const MinWireBytes = 84
+
+// MinPPS returns the aggregate packets per second needed to forward
+// minimum-size packets at line rate in both RX and TX directions across the
+// given number of ports (the paper's Table 2).
+func MinPPS(lineRateGbps float64, ports int) float64 {
+	perDirection := lineRateGbps * 1e9 / (MinWireBytes * 8)
+	return perDirection * 2 * float64(ports)
+}
+
+// RoundSigFigs rounds v to n significant figures, matching the paper's
+// presentation (238.1 Mpps -> 240 Mpps).
+func RoundSigFigs(v float64, n int) float64 {
+	if v == 0 {
+		return 0
+	}
+	mag := math.Pow(10, float64(n)-math.Ceil(math.Log10(math.Abs(v))))
+	return math.Round(v*mag) / mag
+}
+
+// Table2Row is one row of the paper's Table 2.
+type Table2Row struct {
+	LineRateGbps float64
+	Ports        int
+	// MppsExact is the computed requirement; MppsPaper is the same value
+	// rounded to two significant figures, as printed in the paper.
+	MppsExact, MppsPaper float64
+}
+
+// Table2 returns the paper's Table 2 rows.
+func Table2() []Table2Row {
+	configs := []struct {
+		rate  float64
+		ports int
+	}{{40, 2}, {40, 4}, {100, 1}, {100, 2}}
+	rows := make([]Table2Row, len(configs))
+	for i, c := range configs {
+		mpps := MinPPS(c.rate, c.ports) / 1e6
+		rows[i] = Table2Row{
+			LineRateGbps: c.rate,
+			Ports:        c.ports,
+			MppsExact:    mpps,
+			MppsPaper:    RoundSigFigs(mpps, 2),
+		}
+	}
+	return rows
+}
+
+// RMTPipelinePPS returns the packet rate a heavyweight RMT pipeline can
+// sustain: each pipeline accepts one packet per cycle, so P parallel
+// pipelines at frequency freqHz process freqHz·P packets per second (§4.2).
+func RMTPipelinePPS(freqHz float64, pipelines int) float64 {
+	return freqHz * float64(pipelines)
+}
+
+// RMTPassBudget returns the average number of RMT-pipeline passes per
+// packet that the pipeline configuration can afford while the NIC sustains
+// line rate with minimum-size packets (§4.2: "the heavyweight RMT
+// pipeline's throughput must be equal to or greater [than] the NIC's
+// line-rate multiplied by the average number of times each packet is
+// processed by the pipeline").
+func RMTPassBudget(freqHz float64, pipelines int, lineRateGbps float64, ports int) float64 {
+	return RMTPipelinePPS(freqHz, pipelines) / MinPPS(lineRateGbps, ports)
+}
+
+// MeshParams describes an on-chip 2D mesh configuration (the paper's
+// Table 3 rows are k∈{6,8}, width∈{64,128} bits, 500 MHz).
+type MeshParams struct {
+	K            int     // mesh is K×K
+	WidthBits    int     // channel width
+	FreqHz       float64 // clock frequency
+	LineRateGbps float64 // per-port Ethernet line rate
+	Ports        int     // Ethernet port count
+}
+
+// ChannelGbps returns the bandwidth of one mesh channel.
+func (m MeshParams) ChannelGbps() float64 {
+	return float64(m.WidthBits) * m.FreqHz / 1e9
+}
+
+// BisectionGbps returns the mesh bisection bandwidth as the paper counts
+// it: cutting a K×K mesh in half crosses K channels in each direction, so
+// 2K channels total (Table 3: 6×6 at 64 bit, 500 MHz -> 384 Gbps).
+func (m MeshParams) BisectionGbps() float64 {
+	return 2 * float64(m.K) * m.ChannelGbps()
+}
+
+// CapacityGbps returns the all-to-all network throughput the paper's
+// Table 3 chain lengths imply: 8K channel-bandwidth units, i.e. twice the
+// one-axis bisection bound, which counts the bisections of both mesh axes
+// (uniform traffic loads the vertical and horizontal cuts equally under
+// dimension-order routing, and each provides 4K·w·f of one-axis capacity).
+// All four Table 3 rows are reproduced exactly by this definition.
+func (m MeshParams) CapacityGbps() float64 {
+	return 8 * float64(m.K) * m.ChannelGbps()
+}
+
+// UniformBisectionBoundGbps returns the conservative single-axis
+// uniform-random saturation bound: with half of all traffic crossing one
+// bisection, aggregate injection cannot exceed twice the one-axis bisection
+// bandwidth (4K·w·f). The flit-level simulator in internal/noc lands
+// between this bound and CapacityGbps, depending on traffic locality.
+func (m MeshParams) UniformBisectionBoundGbps() float64 {
+	return 4 * float64(m.K) * m.ChannelGbps()
+}
+
+// OverheadTraversals is the number of non-offload network traversals every
+// packet makes regardless of its chain (Ethernet MAC -> RMT pipeline,
+// RMT -> first engine on RX, and the mirrored pair on TX). The paper's
+// Table 3 chain lengths correspond to exactly 4 such traversals.
+const OverheadTraversals = 4
+
+// AggregateLineGbps returns the total line-rate traffic the NIC must carry:
+// both directions across all ports.
+func (m MeshParams) AggregateLineGbps() float64 {
+	return 2 * m.LineRateGbps * float64(m.Ports)
+}
+
+// ChainLen returns the average offload-chain length a packet can be
+// forwarded through while the mesh still sustains line rate in both
+// directions (Table 3, "Chain Len"):
+//
+//	chainLen = capacity/aggregateLineRate − OverheadTraversals
+func (m MeshParams) ChainLen() float64 {
+	return m.CapacityGbps()/m.AggregateLineGbps() - OverheadTraversals
+}
+
+// Table3Row is one row of the paper's Table 3.
+type Table3Row struct {
+	Params        MeshParams
+	BisectionGbps float64
+	CapacityGbps  float64
+	ChainLen      float64
+}
+
+// Table3 returns the paper's Table 3 rows (two 40 Gbps ports and two
+// 100 Gbps ports over 6×6 and 8×8 meshes at 500 MHz).
+func Table3() []Table3Row {
+	configs := []MeshParams{
+		{K: 6, WidthBits: 64, FreqHz: 500e6, LineRateGbps: 40, Ports: 2},
+		{K: 8, WidthBits: 64, FreqHz: 500e6, LineRateGbps: 40, Ports: 2},
+		{K: 6, WidthBits: 128, FreqHz: 500e6, LineRateGbps: 100, Ports: 2},
+		{K: 8, WidthBits: 128, FreqHz: 500e6, LineRateGbps: 100, Ports: 2},
+	}
+	rows := make([]Table3Row, len(configs))
+	for i, p := range configs {
+		rows[i] = Table3Row{
+			Params:        p,
+			BisectionGbps: p.BisectionGbps(),
+			CapacityGbps:  p.CapacityGbps(),
+			ChainLen:      p.ChainLen(),
+		}
+	}
+	return rows
+}
+
+// Topology label, e.g. "6x6 Mesh".
+func (m MeshParams) Topology() string { return fmt.Sprintf("%dx%d Mesh", m.K, m.K) }
+
+// AvgHops returns the mean hop distance between two uniformly random
+// distinct nodes of the K×K mesh under dimension-order routing: per
+// dimension the mean distance over ordered pairs is (K²−1)/(3K).
+func (m MeshParams) AvgHops() float64 {
+	k := float64(m.K)
+	return 2 * (k*k - 1) / (3 * k)
+}
+
+// LinkCount returns the number of unidirectional mesh channels:
+// 2 directions × 2 axes × K rows × (K−1) links.
+func (m MeshParams) LinkCount() int { return 4 * m.K * (m.K - 1) }

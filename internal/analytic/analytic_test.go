@@ -1,0 +1,185 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestTable2MatchesPaper verifies every row of the paper's Table 2.
+func TestTable2MatchesPaper(t *testing.T) {
+	want := []struct {
+		rate  float64
+		ports int
+		mpps  float64
+	}{
+		{40, 2, 240},
+		{40, 4, 480},
+		{100, 1, 300},
+		{100, 2, 600},
+	}
+	rows := Table2()
+	if len(rows) != len(want) {
+		t.Fatalf("Table2 has %d rows, want %d", len(rows), len(want))
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.LineRateGbps != w.rate || r.Ports != w.ports {
+			t.Errorf("row %d config = %v/%d, want %v/%d", i, r.LineRateGbps, r.Ports, w.rate, w.ports)
+		}
+		if r.MppsPaper != w.mpps {
+			t.Errorf("row %d: paper-rounded %v Mpps, want %v", i, r.MppsPaper, w.mpps)
+		}
+	}
+	// Exact values: 40G one direction one port = 40e9/672 = 59.52 Mpps.
+	if !almostEqual(rows[0].MppsExact, 238.095, 0.01) {
+		t.Errorf("40Gx2 exact = %v, want ~238.095", rows[0].MppsExact)
+	}
+	if !almostEqual(rows[3].MppsExact, 595.238, 0.01) {
+		t.Errorf("100Gx2 exact = %v, want ~595.238", rows[3].MppsExact)
+	}
+}
+
+// TestTable3MatchesPaper verifies every row of the paper's Table 3.
+func TestTable3MatchesPaper(t *testing.T) {
+	want := []struct {
+		k, width  int
+		bisection float64
+		chainLen  float64
+	}{
+		{6, 64, 384, 5.60},
+		{8, 64, 512, 8.80},
+		{6, 128, 768, 3.68},
+		{8, 128, 1024, 6.24},
+	}
+	rows := Table3()
+	if len(rows) != len(want) {
+		t.Fatalf("Table3 has %d rows, want %d", len(rows), len(want))
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.Params.K != w.k || r.Params.WidthBits != w.width {
+			t.Errorf("row %d config = %dx%d/%db", i, r.Params.K, r.Params.K, r.Params.WidthBits)
+		}
+		if !almostEqual(r.BisectionGbps, w.bisection, 1e-9) {
+			t.Errorf("row %d bisection = %v, want %v", i, r.BisectionGbps, w.bisection)
+		}
+		if !almostEqual(r.ChainLen, w.chainLen, 1e-9) {
+			t.Errorf("row %d chain length = %v, want %v", i, r.ChainLen, w.chainLen)
+		}
+	}
+}
+
+// TestRMTThroughputClaims verifies the two §4.2 worked examples.
+func TestRMTThroughputClaims(t *testing.T) {
+	// "Two 500MHz pipelines can process packets at a rate of 1000Mpps."
+	if got := RMTPipelinePPS(500e6, 2); got != 1000e6 {
+		t.Errorf("2x500MHz = %v pps, want 1e9", got)
+	}
+	// "With two RMT pipelines and a 500 MHz clock frequency, PANIC can
+	// forward every packet through the RMT pipeline at least once and
+	// still sustain line-rate even for a two port 100 Gbps NIC."
+	if budget := RMTPassBudget(500e6, 2, 100, 2); budget < 1 {
+		t.Errorf("pass budget for 2x100G w/ 2 pipelines = %v, want >= 1", budget)
+	}
+	// "it would not be possible to send each packet to even a single
+	// offload and sustain line-rate" if every chain hop needed an RMT
+	// pass: one offload means >= 2 passes, and the budget is below 2.
+	if budget := RMTPassBudget(500e6, 2, 100, 2); budget >= 2 {
+		t.Errorf("pass budget = %v; paper claims < 2", budget)
+	}
+}
+
+func TestMinPPSScaling(t *testing.T) {
+	// Linear in both rate and ports.
+	base := MinPPS(10, 1)
+	if !almostEqual(MinPPS(20, 1), 2*base, 1) {
+		t.Error("MinPPS not linear in rate")
+	}
+	if !almostEqual(MinPPS(10, 3), 3*base, 1) {
+		t.Error("MinPPS not linear in ports")
+	}
+}
+
+func TestRoundSigFigs(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{238.095, 240}, {476.19, 480}, {297.62, 300}, {595.24, 600},
+		{0, 0}, {1.04, 1}, {-238.095, -240},
+	}
+	for _, c := range cases {
+		if got := RoundSigFigs(c.in, 2); got != c.want {
+			t.Errorf("RoundSigFigs(%v, 2) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMeshGeometry(t *testing.T) {
+	m := MeshParams{K: 6, WidthBits: 64, FreqHz: 500e6}
+	if got := m.ChannelGbps(); got != 32 {
+		t.Errorf("ChannelGbps = %v, want 32", got)
+	}
+	if got := m.LinkCount(); got != 120 {
+		t.Errorf("LinkCount = %v, want 120", got)
+	}
+	// Per-dimension mean distance (k²−1)/3k = 35/18; two dimensions.
+	if got := m.AvgHops(); !almostEqual(got, 2*35.0/18.0, 1e-12) {
+		t.Errorf("AvgHops = %v, want %v", got, 2*35.0/18.0)
+	}
+	if m.Topology() != "6x6 Mesh" {
+		t.Errorf("Topology = %q", m.Topology())
+	}
+}
+
+func TestCapacityOrdering(t *testing.T) {
+	// Conservative bound < paper capacity, both positive, for all rows.
+	for _, r := range Table3() {
+		lo, hi := r.Params.UniformBisectionBoundGbps(), r.Params.CapacityGbps()
+		if lo <= 0 || hi <= 0 || lo >= hi {
+			t.Errorf("%s: bound %v !< capacity %v", r.Params.Topology(), lo, hi)
+		}
+		if hi != 2*lo {
+			t.Errorf("%s: capacity %v != 2x bound %v", r.Params.Topology(), hi, lo)
+		}
+	}
+}
+
+// TestPropertyChainLenMonotonicity: chain length grows with mesh size and
+// channel width, shrinks with line rate, for arbitrary valid parameters.
+func TestPropertyChainLenMonotonicity(t *testing.T) {
+	prop := func(kSeed, widthSeed uint8, rateSeed uint8) bool {
+		k := 2 + int(kSeed%14)
+		width := 32 * (1 + int(widthSeed%8))
+		rate := 10 * (1 + float64(rateSeed%39))
+		m := MeshParams{K: k, WidthBits: width, FreqHz: 500e6, LineRateGbps: rate, Ports: 2}
+		bigger := m
+		bigger.K = k + 1
+		wider := m
+		wider.WidthBits = width + 32
+		faster := m
+		faster.LineRateGbps = rate + 10
+		return bigger.ChainLen() > m.ChainLen() &&
+			wider.ChainLen() > m.ChainLen() &&
+			faster.ChainLen() < m.ChainLen()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPassBudgetConsistency: the pass budget equals pipeline pps
+// over required pps for arbitrary parameters.
+func TestPropertyPassBudgetConsistency(t *testing.T) {
+	prop := func(freqSeed, pipeSeed, rateSeed, portSeed uint8) bool {
+		freq := 100e6 * (1 + float64(freqSeed%20))
+		pipes := 1 + int(pipeSeed%8)
+		rate := 10 * (1 + float64(rateSeed%39))
+		ports := 1 + int(portSeed%4)
+		b := RMTPassBudget(freq, pipes, rate, ports)
+		return almostEqual(b*MinPPS(rate, ports), RMTPipelinePPS(freq, pipes), 1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+// Package baseline implements the three existing programmable-NIC
+// architectures of the paper's Figure 2, for quantifying the limitations
+// PANIC overcomes (§2.3):
+//
+//   - PipelineNIC (Fig 2a): offloads in a fixed linear sequence — a
+//     "bump-in-the-wire" chain. Every packet traverses every offload;
+//     slow offloads head-of-line block unrelated traffic (unless bypass
+//     wires are added), and chains whose order disagrees with the
+//     physical layout must recirculate through the whole pipeline.
+//
+//   - ManycoreNIC (Fig 2b): packets are sprayed across embedded CPU
+//     cores; a core orchestrates every offload interaction, adding ~10 µs
+//     of per-packet latency (Firestone et al., cited in §2.3.2).
+//
+//   - RMTOnlyNIC (Fig 2c, FlexNIC-style): a line-rate match+action
+//     pipeline that can parse and steer but cannot host offloads needing
+//     buffering or DMA waits; such work is punted to host software.
+//
+// The baselines reuse the same engine service models, workload sources,
+// and latency collectors as the PANIC assembly in internal/core, so
+// comparisons isolate the architectural difference.
+package baseline
+
+import (
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/packet"
+)
+
+// Need reports whether a message needs a given offload on this pass.
+type Need func(msg *packet.Message) bool
+
+// NeedIPSec matches encrypted traffic.
+func NeedIPSec(msg *packet.Message) bool {
+	return msg.Pkt.Has(packet.LayerTypeESP)
+}
+
+// NeedNone matches nothing.
+func NeedNone(*packet.Message) bool { return false }
+
+// NeedAll matches everything.
+func NeedAll(*packet.Message) bool { return true }
+
+// pace wraps an engine.EthernetMAC's generator to pull line-rate-paced
+// arrivals inside a baseline model.
+type pacer struct {
+	mac *engine.EthernetMAC
+	ctx engine.Ctx
+}
+
+func newPacer(port int, lineRateGbps, freqHz float64, src engine.Source) *pacer {
+	return &pacer{mac: engine.NewEthernetMAC(engine.MACConfig{
+		Port: port, LineRateGbps: lineRateGbps, FreqHz: freqHz,
+	}, src, nil)}
+}
+
+// poll returns the packets arriving this cycle, line-rate paced.
+func (p *pacer) poll(now uint64) []*packet.Message {
+	p.ctx.Now = now
+	outs := p.mac.Generate(&p.ctx)
+	if len(outs) == 0 {
+		return nil
+	}
+	msgs := make([]*packet.Message, len(outs))
+	for i, o := range outs {
+		msgs[i] = o.Msg
+	}
+	return msgs
+}
+
+// rx returns the count of packets the pacer has admitted.
+func (p *pacer) rx() uint64 { return p.mac.RxCount() }

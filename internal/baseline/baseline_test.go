@@ -1,0 +1,244 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/workload"
+)
+
+const testFreq = 500e6
+
+// mixSource yields a blend of plain and ESP-encrypted small packets.
+func mixSource(count uint64, wanShare float64, seed uint64) engine.Source {
+	return workload.NewKVSStream(workload.KVSTenantConfig{
+		Tenant: 1, Class: packet.ClassLatency,
+		RateGbps: 5, FreqHz: testFreq,
+		Keys: 64, GetRatio: 1.0, WANShare: wanShare,
+		ValueBytes: 128, Count: count, Seed: seed,
+	})
+}
+
+// slowIPSec is an IPSec-like engine slow enough to congest a pipeline.
+func slowIPSec() PipeStageSpec {
+	return PipeStageSpec{
+		Eng:   engine.NewByteRateEngine("ipsec", 0.5, 50, nil), // 2 cycles/byte
+		Needs: NeedIPSec,
+	}
+}
+
+func fastChecksum() PipeStageSpec {
+	return PipeStageSpec{Eng: engine.NewChecksumEngine(64), Needs: NeedAll}
+}
+
+func TestPipelineDeliversAll(t *testing.T) {
+	cfg := PipelineConfig{
+		FreqHz: testFreq, LineRateGbps: 40,
+		Stages: []PipeStageSpec{fastChecksum(), slowIPSec()},
+	}
+	p := NewPipelineNIC(cfg, mixSource(30, 0.5, 1))
+	p.Run(2_000_000)
+	if p.HostLat.Count != 30 {
+		t.Fatalf("delivered %d/30", p.HostLat.Count)
+	}
+	if p.Unservable != 0 {
+		t.Errorf("unservable = %d", p.Unservable)
+	}
+}
+
+func TestPipelineHOLBlocking(t *testing.T) {
+	// Plain packets (tenant 1) share the pipeline with encrypted ones
+	// (tenant 2): without bypass, the slow IPSec stage head-of-line
+	// blocks traffic that does not need it; bypass wires remove the
+	// penalty (§2.3.1).
+	run := func(bypass bool) (plainP90 float64, delivered uint64) {
+		mk := func(tenant uint16, wan float64, seed uint64) engine.Source {
+			return workload.NewKVSStream(workload.KVSTenantConfig{
+				Tenant: tenant, Class: packet.ClassLatency,
+				RateGbps: 1, FreqHz: testFreq, Poisson: true,
+				Keys: 64, GetRatio: 1.0, WANShare: wan,
+				ValueBytes: 128, Seed: seed,
+			})
+		}
+		cfg := PipelineConfig{
+			FreqHz: testFreq, LineRateGbps: 40,
+			Stages: []PipeStageSpec{slowIPSec()},
+			Bypass: bypass,
+		}
+		p := NewPipelineNIC(cfg, workload.NewMerge(mk(1, 0, 9), mk(2, 1.0, 10)))
+		p.Run(500_000)
+		return p.HostLat.Tenant(1).Quantile(0.9), p.HostLat.Count
+	}
+	blocked, n1 := run(false)
+	bypassed, n2 := run(true)
+	if n1 < 100 || n2 < 100 {
+		t.Fatalf("too few deliveries: %d, %d", n1, n2)
+	}
+	if bypassed*2 >= blocked {
+		t.Errorf("bypass did not relieve HOL blocking: plain p90 %v (bypass) vs %v (blocked)", bypassed, blocked)
+	}
+}
+
+func TestPipelineOrderMismatchRecirculates(t *testing.T) {
+	// Pipeline order is A then B; packets requiring B before A must
+	// recirculate through the whole pipeline.
+	a := PipeStageSpec{Eng: engine.NewByteRateEngine("A", 64, 1, nil), Needs: NeedAll}
+	bEng := engine.NewByteRateEngine("B", 64, 1, nil)
+	b := PipeStageSpec{Eng: bEng, Needs: NeedAll}
+	cfg := PipelineConfig{
+		FreqHz: testFreq, LineRateGbps: 40,
+		Stages:      []PipeStageSpec{a, b},
+		Recirculate: true,
+	}
+	src := &taggedSource{inner: mixSource(20, 0, 3), chain: []string{"B", "A"}}
+	p := NewPipelineNIC(cfg, src)
+	p.Run(2_000_000)
+	if p.HostLat.Count != 20 {
+		t.Fatalf("delivered %d/20", p.HostLat.Count)
+	}
+	if p.Recirculations != 20 {
+		t.Errorf("recirculations = %d, want 20 (one loop each)", p.Recirculations)
+	}
+}
+
+func TestPipelineOrderMismatchWithoutRecirculationFails(t *testing.T) {
+	a := PipeStageSpec{Eng: engine.NewByteRateEngine("A", 64, 1, nil), Needs: NeedAll}
+	b := PipeStageSpec{Eng: engine.NewByteRateEngine("B", 64, 1, nil), Needs: NeedAll}
+	cfg := PipelineConfig{
+		FreqHz: testFreq, LineRateGbps: 40,
+		Stages: []PipeStageSpec{a, b},
+	}
+	src := &taggedSource{inner: mixSource(10, 0, 3), chain: []string{"B", "A"}}
+	p := NewPipelineNIC(cfg, src)
+	p.Run(1_000_000)
+	if p.Unservable != 10 {
+		t.Errorf("unservable = %d, want 10", p.Unservable)
+	}
+}
+
+// taggedSource pre-tags messages with an explicit required chain.
+type taggedSource struct {
+	inner engine.Source
+	chain []string
+}
+
+func (s *taggedSource) Poll(now uint64) *packet.Message {
+	m := s.inner.Poll(now)
+	if m != nil {
+		needs := make([]string, len(s.chain))
+		copy(needs, s.chain)
+		m.Needs = needs
+	}
+	return m
+}
+
+func TestManycoreOrchestrationLatencyFloor(t *testing.T) {
+	// Even with idle cores and no offloads, every packet pays the
+	// orchestration cost — the §2.3.2 limitation (10 µs = 5000 cycles at
+	// 500 MHz).
+	cfg := ManycoreConfig{
+		FreqHz: testFreq, LineRateGbps: 40,
+		Cores: 8, OrchestrationCycles: 5000, HopCycles: 2,
+	}
+	m := NewManycoreNIC(cfg, mixSource(20, 0, 5))
+	m.Run(2_000_000)
+	if m.HostLat.Count != 20 {
+		t.Fatalf("delivered %d/20", m.HostLat.Count)
+	}
+	if p50 := m.HostLat.All.P50(); p50 < 5000 {
+		t.Errorf("p50 = %v cycles, want >= orchestration floor 5000", p50)
+	}
+	if m.DispatchDrops != 0 {
+		t.Errorf("dispatch drops = %d", m.DispatchDrops)
+	}
+}
+
+func TestManycoreInvokesOffloads(t *testing.T) {
+	ipsec := slowIPSec()
+	cfg := ManycoreConfig{
+		FreqHz: testFreq, LineRateGbps: 40,
+		Cores: 4, OrchestrationCycles: 1000, HopCycles: 3,
+		Offloads: []PipeStageSpec{ipsec},
+	}
+	m := NewManycoreNIC(cfg, mixSource(30, 1.0, 7)) // all encrypted
+	m.Run(4_000_000)
+	if m.HostLat.Count != 30 {
+		t.Fatalf("delivered %d/30", m.HostLat.Count)
+	}
+	// Encrypted packets pay orchestration + request/response hops +
+	// crypto service.
+	if p50 := m.HostLat.All.P50(); p50 < 1000+6 {
+		t.Errorf("p50 = %v, below orchestration+hops", p50)
+	}
+}
+
+func TestManycoreThroughputScalesWithCores(t *testing.T) {
+	run := func(cores int) uint64 {
+		cfg := ManycoreConfig{
+			FreqHz: testFreq, LineRateGbps: 40,
+			Cores: cores, OrchestrationCycles: 5000, HopCycles: 2,
+			QueueCap: 4,
+		}
+		m := NewManycoreNIC(cfg, mixSource(0, 0, 11)) // unlimited
+		m.Run(200_000)
+		return m.HostLat.Count
+	}
+	one, eight := run(1), run(8)
+	if eight < 6*one {
+		t.Errorf("8 cores served %d, 1 core %d; want ~8x scaling", eight, one)
+	}
+}
+
+func TestRMTOnlyPuntsComplexWork(t *testing.T) {
+	cfg := RMTOnlyConfig{
+		FreqHz: testFreq, LineRateGbps: 40,
+		NeedsComplex:       NeedIPSec,
+		PCIeCycles:         300,
+		HostCycles:         500,
+		HostComplexPerByte: 10, // software crypto is slow
+		HostCores:          2,
+	}
+	r := NewRMTOnlyNIC(cfg, mixSource(40, 0.5, 13))
+	r.Run(4_000_000)
+	if r.HostLat.Count != 40 {
+		t.Fatalf("delivered %d/40", r.HostLat.Count)
+	}
+	if r.Punted < 10 || r.Punted > 30 {
+		t.Errorf("punted = %d of 40 at 50%% WAN", r.Punted)
+	}
+	// Complex traffic pays the software-offload tax: overall p99 far
+	// above the plain-path floor.
+	floor := float64(cfg.PCIeCycles + cfg.HostCycles)
+	if p99 := r.HostLat.All.P99(); p99 < floor+1000 {
+		t.Errorf("p99 = %v, want software-crypto tax above %v", p99, floor)
+	}
+}
+
+func TestRMTOnlyLineRateForSimpleTraffic(t *testing.T) {
+	cfg := RMTOnlyConfig{
+		FreqHz: testFreq, LineRateGbps: 40,
+		HostCycles: 10, HostCores: 8,
+	}
+	r := NewRMTOnlyNIC(cfg, mixSource(100, 0, 17))
+	r.Run(2_000_000)
+	if r.HostLat.Count != 100 || r.QueueDrops != 0 {
+		t.Errorf("delivered %d drops %d", r.HostLat.Count, r.QueueDrops)
+	}
+}
+
+func TestBaselineValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"pipeline no stages": func() { NewPipelineNIC(PipelineConfig{FreqHz: 1e9, LineRateGbps: 1}, nil) },
+		"manycore no cores":  func() { NewManycoreNIC(ManycoreConfig{FreqHz: 1e9, LineRateGbps: 1}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,231 @@
+package baseline
+
+import (
+	"github.com/panic-nic/panic/internal/core"
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/sim"
+)
+
+// ManycoreConfig parameterizes the Fig 2b baseline.
+type ManycoreConfig struct {
+	FreqHz       float64
+	LineRateGbps float64
+	// Cores is the number of embedded processors.
+	Cores int
+	// OrchestrationCycles is the per-packet software cost of the
+	// orchestrating core: parsing the packet and deciding which offloads
+	// to invoke (§2.3.2 cites 10 µs or more; at 500 MHz that is 5000
+	// cycles).
+	OrchestrationCycles uint64
+	// HopCycles is the on-chip network cost of one core↔offload
+	// request or response hop.
+	HopCycles uint64
+	// Offloads are the shared hardware engines cores can invoke.
+	Offloads []PipeStageSpec
+	// QueueCap bounds per-core and per-offload queues.
+	QueueCap int
+	Seed     uint64
+}
+
+// ManycoreNIC is the Fig 2b architecture: a dispatcher sprays packets
+// over embedded cores; each core runs the orchestration software, invokes
+// shared offload engines over the on-chip network (blocking per request,
+// as run-to-completion firmware does), then hands the packet to the host.
+type ManycoreNIC struct {
+	cfg    ManycoreConfig
+	kernel *sim.Kernel
+	pacer  *pacer
+	cores  []*mcCore
+	offs   []*mcOffload
+	rr     int
+
+	// HostLat collects wire-to-host-delivery latency.
+	HostLat *core.LatencyCollector
+	// DispatchDrops counts packets lost when every core queue was full.
+	DispatchDrops uint64
+	ctx           engine.Ctx
+}
+
+type mcCore struct {
+	q    *sim.FIFO[*packet.Message]
+	cur  *packet.Message
+	busy uint64
+	// waiting is set while a request is outstanding at an offload;
+	// pendingResp carries the returning response across its hop delay.
+	waiting     bool
+	pendingResp *mcRequest
+}
+
+type mcOffload struct {
+	spec PipeStageSpec
+	q    *sim.FIFO[*mcRequest]
+	cur  *mcRequest
+	busy uint64
+}
+
+type mcRequest struct {
+	msg   *packet.Message
+	core  *mcCore
+	delay uint64 // remaining response-hop delay after service
+}
+
+// NewManycoreNIC builds the baseline.
+func NewManycoreNIC(cfg ManycoreConfig, src engine.Source) *ManycoreNIC {
+	if cfg.Cores < 1 {
+		panic("baseline: manycore with no cores")
+	}
+	if cfg.QueueCap < 2 {
+		cfg.QueueCap = 16
+	}
+	k := sim.NewKernel(sim.Frequency(cfg.FreqHz))
+	m := &ManycoreNIC{
+		cfg:     cfg,
+		kernel:  k,
+		pacer:   newPacer(0, cfg.LineRateGbps, cfg.FreqHz, src),
+		HostLat: core.NewLatencyCollector(),
+		ctx:     engine.Ctx{RNG: sim.NewRNG(cfg.Seed)},
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		c := &mcCore{q: sim.NewFIFO[*packet.Message](cfg.QueueCap)}
+		k.Register(c.q)
+		m.cores = append(m.cores, c)
+	}
+	for _, spec := range cfg.Offloads {
+		o := &mcOffload{spec: spec, q: sim.NewFIFO[*mcRequest](cfg.QueueCap)}
+		k.Register(o.q)
+		m.offs = append(m.offs, o)
+	}
+	k.Register(sim.TickFunc(m.tick))
+	return m
+}
+
+func (m *ManycoreNIC) offloadByName(name string) *mcOffload {
+	for _, o := range m.offs {
+		if o.spec.Eng.Name() == name {
+			return o
+		}
+	}
+	return nil
+}
+
+// unmet mirrors the pipeline baseline's needs derivation, but in offload
+// declaration order (the manycore core can invoke offloads in any order,
+// so layout mismatches cost nothing here — the cost is orchestration).
+func (m *ManycoreNIC) unmet(msg *packet.Message) string {
+	if msg.Needs == nil {
+		needs := []string{}
+		for _, o := range m.offs {
+			if o.spec.Needs(msg) {
+				needs = append(needs, o.spec.Eng.Name())
+			}
+		}
+		msg.Needs = needs
+	}
+	if len(msg.Needs) == 0 {
+		return ""
+	}
+	return msg.Needs[0]
+}
+
+func (m *ManycoreNIC) tick(cycle uint64) {
+	m.ctx.Now = cycle
+
+	// Offload engines serve queued requests.
+	for _, o := range m.offs {
+		if o.cur != nil {
+			if o.busy > 0 {
+				o.busy--
+			}
+			if o.busy == 0 {
+				req := o.cur
+				markDone(req.msg, o.spec.Eng.Name())
+				if outs := o.spec.Eng.Process(&m.ctx, req.msg); len(outs) > 0 {
+					req.msg = outs[0].Msg
+				}
+				// Response travels back to the core.
+				req.delay = m.cfg.HopCycles
+				req.core.pendingResp = req
+				o.cur = nil
+			}
+		}
+		if o.cur == nil && o.q.CanPop() {
+			o.cur = o.q.Pop()
+			// Request hop delay plus engine service time.
+			o.busy = m.cfg.HopCycles + o.spec.Eng.ServiceCycles(o.cur.msg)
+			if o.busy == 0 {
+				o.busy = 1
+			}
+		}
+	}
+
+	// Cores run orchestration and blocking offload calls.
+	for _, c := range m.cores {
+		if c.pendingResp != nil {
+			if c.pendingResp.delay > 0 {
+				c.pendingResp.delay--
+			}
+			if c.pendingResp.delay == 0 {
+				c.cur = c.pendingResp.msg
+				c.pendingResp = nil
+				c.waiting = false
+				c.busy = 0 // continue orchestration: next need or finish
+			}
+		}
+		if c.waiting {
+			continue
+		}
+		if c.cur != nil {
+			if c.busy > 0 {
+				c.busy--
+				continue
+			}
+			need := m.unmet(c.cur)
+			if need == "" {
+				c.cur.Done = cycle
+				m.HostLat.Deliver(c.cur, cycle)
+				c.cur = nil
+			} else if o := m.offloadByName(need); o != nil && o.q.CanPush() {
+				o.q.Push(&mcRequest{msg: c.cur, core: c, delay: m.cfg.HopCycles})
+				c.waiting = true
+				c.cur = nil
+			}
+			// Offload queue full: retry next cycle.
+			continue
+		}
+		if c.q.CanPop() {
+			c.cur = c.q.Pop()
+			c.busy = m.cfg.OrchestrationCycles
+			if c.busy == 0 {
+				c.busy = 1
+			}
+		}
+	}
+
+	// Dispatcher: spray arrivals round-robin (the hardware classifier
+	// cannot parse deeply enough to do more, §2.3.2).
+	for _, msg := range m.pacer.poll(cycle) {
+		placed := false
+		for i := 0; i < len(m.cores); i++ {
+			c := m.cores[(m.rr+i)%len(m.cores)]
+			if c.q.CanPush() {
+				c.q.Push(msg)
+				m.rr = (m.rr + i + 1) % len(m.cores)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			m.DispatchDrops++
+		}
+	}
+}
+
+// Run advances the simulation.
+func (m *ManycoreNIC) Run(cycles uint64) { m.kernel.Run(cycles) }
+
+// Now returns the current cycle.
+func (m *ManycoreNIC) Now() uint64 { return m.kernel.Now() }
+
+// RxCount returns the number of packets admitted from the wire.
+func (m *ManycoreNIC) RxCount() uint64 { return m.pacer.rx() }

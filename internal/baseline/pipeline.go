@@ -1,0 +1,278 @@
+package baseline
+
+import (
+	"github.com/panic-nic/panic/internal/core"
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/sim"
+)
+
+// PipeStageSpec declares one offload of the fixed pipeline.
+type PipeStageSpec struct {
+	// Eng supplies the service-time model and transform.
+	Eng engine.Engine
+	// Needs decides whether a packet requires this offload.
+	Needs Need
+}
+
+// PipelineConfig parameterizes the Fig 2a baseline.
+type PipelineConfig struct {
+	FreqHz       float64
+	LineRateGbps float64
+	// Stages is the fixed offload order between the wire and the host.
+	Stages []PipeStageSpec
+	// Bypass adds the bypass wires of §2.3.1: packets that do not need a
+	// stage take a parallel path around it instead of queueing behind
+	// packets in service.
+	Bypass bool
+	// Recirculate lets packets whose required offload order disagrees
+	// with the pipeline layout loop back to the entrance, consuming
+	// ingress bandwidth; without it such packets are delivered with
+	// unmet needs and counted.
+	Recirculate bool
+	// QueueCap is the per-stage FIFO depth.
+	QueueCap int
+	Seed     uint64
+}
+
+// PipelineNIC is the Fig 2a pipelined architecture: a static chain of
+// offloads between the wire and the host.
+type PipelineNIC struct {
+	cfg     PipelineConfig
+	kernel  *sim.Kernel
+	pacer   *pacer
+	stages  []*pipeStage
+	recircQ *sim.FIFO[*packet.Message]
+	entryQ  *sim.FIFO[*packet.Message]
+	exitQ   *sim.FIFO[*packet.Message]
+
+	// HostLat collects wire-to-host-delivery latency.
+	HostLat *core.LatencyCollector
+	// Recirculations counts full-pipeline loops.
+	Recirculations uint64
+	// Unservable counts packets delivered with unmet offload needs.
+	Unservable uint64
+	// EntryDrops counts fresh arrivals lost because the entrance queue
+	// was full (the wire outpacing the pipeline).
+	EntryDrops uint64
+
+	preferRecirc bool
+	ctx          engine.Ctx
+}
+
+type pipeStage struct {
+	spec      PipeStageSpec
+	in        *sim.FIFO[*packet.Message]
+	bypass    *sim.FIFO[*packet.Message] // nil without bypass wires
+	cur       *packet.Message
+	busy      uint64
+	inService bool       // cur is being processed, not just forwarded
+	next      *pipeStage // nil for the last stage
+}
+
+// NewPipelineNIC builds the baseline. src feeds the single modeled port.
+func NewPipelineNIC(cfg PipelineConfig, src engine.Source) *PipelineNIC {
+	if len(cfg.Stages) == 0 {
+		panic("baseline: pipeline with no stages")
+	}
+	if cfg.QueueCap < 2 {
+		cfg.QueueCap = 16
+	}
+	k := sim.NewKernel(sim.Frequency(cfg.FreqHz))
+	p := &PipelineNIC{
+		cfg:     cfg,
+		kernel:  k,
+		pacer:   newPacer(0, cfg.LineRateGbps, cfg.FreqHz, src),
+		HostLat: core.NewLatencyCollector(),
+		recircQ: sim.NewFIFO[*packet.Message](cfg.QueueCap),
+		entryQ:  sim.NewFIFO[*packet.Message](cfg.QueueCap),
+		exitQ:   sim.NewFIFO[*packet.Message](cfg.QueueCap),
+		ctx:     engine.Ctx{RNG: sim.NewRNG(cfg.Seed)},
+	}
+	k.Register(p.recircQ, p.entryQ, p.exitQ)
+	p.stages = make([]*pipeStage, len(cfg.Stages))
+	for i := range cfg.Stages {
+		s := &pipeStage{
+			spec: cfg.Stages[i],
+			in:   sim.NewFIFO[*packet.Message](cfg.QueueCap),
+		}
+		k.Register(s.in)
+		if cfg.Bypass {
+			s.bypass = sim.NewFIFO[*packet.Message](cfg.QueueCap)
+			k.Register(s.bypass)
+		}
+		p.stages[i] = s
+	}
+	for i := 0; i+1 < len(p.stages); i++ {
+		p.stages[i].next = p.stages[i+1]
+	}
+	k.Register(sim.TickFunc(p.tick))
+	return p
+}
+
+// unmet returns the message's next required offload name, or "". Needs
+// are derived lazily from the stage predicates, in pipeline order, unless
+// the workload pre-tagged the message (out-of-order experiments).
+func (p *PipelineNIC) unmet(m *packet.Message) string {
+	if m.Needs == nil {
+		needs := []string{}
+		for _, s := range p.stages {
+			if s.spec.Needs(m) {
+				needs = append(needs, s.spec.Eng.Name())
+			}
+		}
+		m.Needs = needs // non-nil even when empty: derived once
+	}
+	if len(m.Needs) == 0 {
+		return ""
+	}
+	return m.Needs[0]
+}
+
+func markDone(m *packet.Message, name string) {
+	if len(m.Needs) > 0 && m.Needs[0] == name {
+		m.Needs = m.Needs[1:]
+	}
+}
+
+func (p *PipelineNIC) tick(cycle uint64) {
+	p.ctx.Now = cycle
+
+	// Exit: finish, or recirculate when needs remain.
+	for p.exitQ.CanPop() {
+		m, _ := p.exitQ.Peek()
+		if p.unmet(m) != "" && p.cfg.Recirculate {
+			if !p.recircQ.CanPush() {
+				break // recirculation path blocked: exit stalls
+			}
+			p.exitQ.Pop()
+			p.Recirculations++
+			p.recircQ.Push(m)
+			continue
+		}
+		p.exitQ.Pop()
+		if p.unmet(m) != "" {
+			p.Unservable++
+		}
+		m.Done = cycle
+		p.HostLat.Deliver(m, cycle)
+	}
+
+	// Stages, last to first.
+	for i := len(p.stages) - 1; i >= 0; i-- {
+		p.stageTick(p.stages[i])
+	}
+
+	// Fresh arrivals at line rate.
+	for _, m := range p.pacer.poll(cycle) {
+		if p.entryQ.CanPush() {
+			p.entryQ.Push(m)
+		} else {
+			p.EntryDrops++
+		}
+	}
+
+	// Entrance: one admission per cycle, alternating between fresh and
+	// recirculated traffic when both wait (recirculation steals ingress
+	// bandwidth, §2.3.1).
+	var q *sim.FIFO[*packet.Message]
+	switch {
+	case p.preferRecirc && p.recircQ.CanPop():
+		q = p.recircQ
+	case p.entryQ.CanPop():
+		q = p.entryQ
+	case p.recircQ.CanPop():
+		q = p.recircQ
+	}
+	if q != nil {
+		m, _ := q.Peek()
+		if p.admit(p.stages[0], m) {
+			q.Pop()
+			p.preferRecirc = !p.preferRecirc
+		}
+	}
+}
+
+// admit places a message into a stage's service or bypass queue.
+func (p *PipelineNIC) admit(s *pipeStage, m *packet.Message) bool {
+	if s.bypass != nil && p.unmet(m) != s.spec.Eng.Name() {
+		if !s.bypass.CanPush() {
+			return false
+		}
+		s.bypass.Push(m)
+		return true
+	}
+	if !s.in.CanPush() {
+		return false
+	}
+	s.in.Push(m)
+	return true
+}
+
+// emit forwards a message beyond stage s.
+func (p *PipelineNIC) emit(s *pipeStage, m *packet.Message) bool {
+	if s.next == nil {
+		if !p.exitQ.CanPush() {
+			return false
+		}
+		p.exitQ.Push(m)
+		return true
+	}
+	return p.admit(s.next, m)
+}
+
+func (p *PipelineNIC) stageTick(s *pipeStage) {
+	// Bypass path forwards one message per cycle.
+	if s.bypass != nil && s.bypass.CanPop() {
+		m, _ := s.bypass.Peek()
+		if p.emit(s, m) {
+			s.bypass.Pop()
+		}
+	}
+	// Service path.
+	if s.cur != nil {
+		if s.busy > 0 {
+			s.busy--
+		}
+		if s.busy > 0 {
+			return
+		}
+		m := s.cur
+		if s.inService {
+			markDone(m, s.spec.Eng.Name())
+			if outs := s.spec.Eng.Process(&p.ctx, m); len(outs) > 0 {
+				m = outs[0].Msg
+			}
+			s.inService = false
+		}
+		if !p.emit(s, m) {
+			s.cur = m
+			s.busy = 0 // retry emission next cycle: downstream HOL
+			return
+		}
+		s.cur = nil
+	}
+	if s.cur == nil && s.in.CanPop() {
+		m := s.in.Pop()
+		s.cur = m
+		if p.unmet(m) == s.spec.Eng.Name() {
+			s.busy = s.spec.Eng.ServiceCycles(m)
+			if s.busy == 0 {
+				s.busy = 1
+			}
+			s.inService = true
+		} else {
+			s.busy = 1 // pure forwarding occupies the stage one cycle
+			s.inService = false
+		}
+	}
+}
+
+// Run advances the simulation.
+func (p *PipelineNIC) Run(cycles uint64) { p.kernel.Run(cycles) }
+
+// Now returns the current cycle.
+func (p *PipelineNIC) Now() uint64 { return p.kernel.Now() }
+
+// RxCount returns the number of packets admitted from the wire.
+func (p *PipelineNIC) RxCount() uint64 { return p.pacer.rx() }

@@ -1,0 +1,149 @@
+package baseline
+
+import (
+	"github.com/panic-nic/panic/internal/core"
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/rmt"
+	"github.com/panic-nic/panic/internal/sim"
+)
+
+// RMTOnlyConfig parameterizes the Fig 2c (FlexNIC-style) baseline.
+type RMTOnlyConfig struct {
+	FreqHz       float64
+	LineRateGbps float64
+	// Program runs in the inline match+action pipeline (parse, steer,
+	// simple rewrites — all at line rate).
+	Program *rmt.Program
+	// NeedsComplex marks traffic requiring an offload that cannot live
+	// in an RMT pipeline (compression, encryption, DMA-waiting work,
+	// §2.3.3); it is punted to host software.
+	NeedsComplex Need
+	// PCIeCycles is the DMA/PCIe round-trip cost of the punt.
+	PCIeCycles uint64
+	// HostCycles is the host software cost for ordinary packets;
+	// HostComplexPerByte adds the software implementation of the missing
+	// offload (e.g. software crypto) per payload byte.
+	HostCycles         uint64
+	HostComplexPerByte float64
+	// HostCores bounds host-side parallelism.
+	HostCores int
+	// QueueCap bounds the host queue.
+	QueueCap int
+	Seed     uint64
+}
+
+// RMTOnlyNIC is the Fig 2c architecture: an inline RMT pipeline plus
+// host-software fallback for everything the pipeline cannot express.
+type RMTOnlyNIC struct {
+	cfg    RMTOnlyConfig
+	kernel *sim.Kernel
+	pacer  *pacer
+	pipe   *rmt.Pipeline
+	hostQ  *sim.FIFO[*packet.Message]
+	cores  []hostCore
+
+	// HostLat collects wire-to-host-completion latency (including any
+	// software offload work).
+	HostLat *core.LatencyCollector
+	// Punted counts packets that needed host software offloads.
+	Punted uint64
+	// QueueDrops counts host-queue overflows.
+	QueueDrops uint64
+}
+
+type hostCore struct {
+	cur  *packet.Message
+	busy uint64
+}
+
+// NewRMTOnlyNIC builds the baseline.
+func NewRMTOnlyNIC(cfg RMTOnlyConfig, src engine.Source) *RMTOnlyNIC {
+	if cfg.Program == nil {
+		// The program only needs to parse and pass; steering decisions
+		// are modeled by NeedsComplex.
+		cfg.Program = rmt.NewProgram(rmt.StandardParser(),
+			[]*rmt.Table{rmt.NewTable("pass", rmt.MatchExact,
+				[]rmt.FieldID{rmt.FieldMetaClass}, 0,
+				rmt.NewAction("pass", rmt.OpPushHop{Engine: 1}))})
+	}
+	if cfg.NeedsComplex == nil {
+		cfg.NeedsComplex = NeedNone
+	}
+	if cfg.HostCores < 1 {
+		cfg.HostCores = 1
+	}
+	if cfg.QueueCap < 2 {
+		cfg.QueueCap = 64
+	}
+	k := sim.NewKernel(sim.Frequency(cfg.FreqHz))
+	r := &RMTOnlyNIC{
+		cfg:     cfg,
+		kernel:  k,
+		pacer:   newPacer(0, cfg.LineRateGbps, cfg.FreqHz, src),
+		pipe:    rmt.NewPipeline(cfg.Program, 1, 1),
+		hostQ:   sim.NewFIFO[*packet.Message](cfg.QueueCap),
+		cores:   make([]hostCore, cfg.HostCores),
+		HostLat: core.NewLatencyCollector(),
+	}
+	k.Register(r.hostQ)
+	k.Register(sim.TickFunc(r.tick))
+	return r
+}
+
+func (r *RMTOnlyNIC) tick(cycle uint64) {
+	// Host cores complete software work.
+	for i := range r.cores {
+		c := &r.cores[i]
+		if c.cur != nil {
+			c.busy--
+			if c.busy == 0 {
+				c.cur.Done = cycle
+				r.HostLat.Deliver(c.cur, cycle)
+				c.cur = nil
+			}
+		}
+		if c.cur == nil && r.hostQ.CanPop() {
+			m := r.hostQ.Pop()
+			cycles := r.cfg.PCIeCycles + r.cfg.HostCycles
+			if r.cfg.NeedsComplex(m) {
+				r.Punted++
+				cycles += uint64(r.cfg.HostComplexPerByte * float64(m.WireLen()))
+			}
+			if cycles == 0 {
+				cycles = 1
+			}
+			c.cur = m
+			c.busy = cycles
+		}
+	}
+
+	// Pipeline output feeds the host queue.
+	if res, ok := r.pipe.Tick(); ok {
+		if r.hostQ.CanPush() {
+			r.hostQ.Push(res.Msg)
+		} else {
+			r.QueueDrops++
+		}
+	}
+
+	// Line-rate arrivals into the pipeline (1/cycle).
+	for _, m := range r.pacer.poll(cycle) {
+		if r.pipe.CanAccept() {
+			r.pipe.Accept(m, cycle)
+		} else {
+			// A second same-cycle arrival waits in the MAC; this simple
+			// model drops it instead (rare below line rate).
+			r.QueueDrops++
+		}
+	}
+}
+
+// Run advances the simulation.
+func (r *RMTOnlyNIC) Run(cycles uint64) { r.kernel.Run(cycles) }
+
+// Now returns the current cycle.
+func (r *RMTOnlyNIC) Now() uint64 { return r.kernel.Now() }
+
+// RxCount returns the number of packets admitted from the wire.
+func (r *RMTOnlyNIC) RxCount() uint64 { return r.pacer.rx() }

@@ -1,0 +1,122 @@
+// Package core assembles PANIC NICs: it places RMT engines, offload
+// engines, Ethernet MACs, and the DMA/PCIe engines on the on-chip mesh
+// (Figure 3c of the paper), installs the RMT steering program that
+// computes offload chains and slack values, and exposes end-to-end
+// latency/throughput measurement.
+package core
+
+import (
+	"fmt"
+
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/noc"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/rmt"
+	"github.com/panic-nic/panic/internal/sim"
+)
+
+// Well-known engine addresses used by the canonical PANIC assembly and its
+// RMT programs.
+const (
+	AddrRMTBase  packet.Addr = 1  // RMT pipeline i = AddrRMTBase + i
+	AddrEthBase  packet.Addr = 16 // Ethernet port i = AddrEthBase + i
+	AddrDMA      packet.Addr = 32
+	AddrPCIe     packet.Addr = 33
+	AddrIPSec    packet.Addr = 34
+	AddrKVSCache packet.Addr = 35
+	AddrRDMA     packet.Addr = 36
+	AddrTxDMA    packet.Addr = 37
+	AddrLSO      packet.Addr = 38
+	AddrRateLim  packet.Addr = 39
+	AddrExtra    packet.Addr = 48 // first free address for extra offloads
+)
+
+// Builder places engines on a mesh and wires the shared route table. It is
+// the low-level assembly API; NIC wraps it with the canonical layout.
+type Builder struct {
+	Kernel *sim.Kernel
+	Mesh   *noc.Mesh
+	Routes *engine.RouteTable
+	rng    *sim.RNG
+	used   map[noc.NodeID]bool
+
+	Tiles []*engine.Tile
+	RMTs  []*engine.RMTTile
+}
+
+// NewBuilder creates a builder with a fresh kernel and mesh.
+func NewBuilder(freqHz float64, meshCfg noc.MeshConfig, seed uint64) *Builder {
+	k := sim.NewKernel(sim.Frequency(freqHz))
+	m := noc.NewMesh(meshCfg)
+	m.RegisterWith(k)
+	return &Builder{
+		Kernel: k,
+		Mesh:   m,
+		Routes: engine.NewRouteTable(),
+		rng:    sim.NewRNG(seed),
+		used:   make(map[noc.NodeID]bool),
+	}
+}
+
+// claim marks a mesh node used.
+func (b *Builder) claim(x, y int) noc.NodeID {
+	node := b.Mesh.NodeAt(x, y)
+	if b.used[node] {
+		panic(fmt.Sprintf("core: node (%d,%d) already occupied", x, y))
+	}
+	b.used[node] = true
+	return node
+}
+
+// NextFree returns an unoccupied mesh node, scanning row-major. It panics
+// when the mesh is full.
+func (b *Builder) NextFree() (int, int) {
+	cfg := b.Mesh.Config()
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			if !b.used[b.Mesh.NodeAt(x, y)] {
+				return x, y
+			}
+		}
+	}
+	panic("core: mesh is full")
+}
+
+// PlaceTile puts an offload engine at (x, y) with the given config
+// overrides applied.
+func (b *Builder) PlaceTile(addr packet.Addr, x, y int, eng engine.Engine, opts ...func(*engine.TileConfig)) *engine.Tile {
+	node := b.claim(x, y)
+	b.Routes.Bind(addr, node)
+	cfg := engine.TileConfig{Addr: addr, Node: node, QueueCap: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	t := engine.NewTile(cfg, eng, b.Mesh, b.Routes, b.rng.Fork())
+	b.Kernel.Register(t)
+	b.Tiles = append(b.Tiles, t)
+	return t
+}
+
+// PlaceRMT puts an RMT engine at (x, y).
+func (b *Builder) PlaceRMT(addr packet.Addr, x, y int, pipe *rmt.Pipeline, opts ...func(*engine.TileConfig)) *engine.RMTTile {
+	node := b.claim(x, y)
+	b.Routes.Bind(addr, node)
+	cfg := engine.TileConfig{Addr: addr, Node: node, QueueCap: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	t := engine.NewRMTTile(cfg, pipe, b.Mesh, b.Routes)
+	b.Kernel.Register(t)
+	b.RMTs = append(b.RMTs, t)
+	return t
+}
+
+// TileByAddr returns the placed tile with the given address, or nil.
+func (b *Builder) TileByAddr(addr packet.Addr) *engine.Tile {
+	for _, t := range b.Tiles {
+		if t.Addr() == addr {
+			return t
+		}
+	}
+	return nil
+}

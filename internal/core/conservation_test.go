@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/sched"
+	"github.com/panic-nic/panic/internal/workload"
+)
+
+// TestPropertyRequestConservation: for arbitrary workload parameters,
+// every admitted request is accounted for — it produced a wire response,
+// was dropped by a scheduling queue or the ACL, or the run simply did not
+// drain (which RunQuiet rules out). Nothing is silently lost, nothing is
+// served twice.
+func TestPropertyRequestConservation(t *testing.T) {
+	prop := func(seed uint64, countSeed, getSeed, wanSeed uint8, lossy bool) bool {
+		count := 5 + uint64(countSeed%40)
+		getRatio := float64(getSeed%101) / 100
+		wanShare := float64(wanSeed%101) / 100
+		cfg := DefaultConfig()
+		if lossy {
+			cfg.Policy = sched.DropLowestPriority
+		} else {
+			cfg.Policy = sched.Backpressure
+		}
+		src := workload.NewKVSStream(workload.KVSTenantConfig{
+			Tenant: 1, Class: packet.ClassLatency,
+			RateGbps: 4, FreqHz: cfg.FreqHz,
+			Keys: 32, GetRatio: getRatio, WANShare: wanShare,
+			ValueBytes: 128, Count: count, Seed: seed,
+		})
+		nic := NewNIC(cfg, []engine.Source{src})
+		if !nic.RunQuiet(3000, 8_000_000) {
+			return false
+		}
+		var rx uint64
+		for _, m := range nic.MACs {
+			rx += m.RxCount()
+		}
+		if rx != count {
+			return false
+		}
+		// Every request reaches the host exactly once (no drops at this
+		// gentle load) and yields exactly one response on the wire.
+		served := nic.WireLat.Count
+		dropped := nic.Drops.Value() + nic.RMTStats().Dropped + nic.RMTStats().QueueDropped
+		return served+dropped == count && nic.HostLat.Count+uint64(hitCount(nic)) == count
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func hitCount(nic *NIC) int {
+	hits, _, _ := nic.Cache.Counts()
+	return int(hits)
+}
+
+// TestConservationUnderOverload: with heavy overload and the lossy policy,
+// served + dropped still equals admitted.
+func TestConservationUnderOverload(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PCIeGbps = 8 // choke the host link
+	cfg.QueueCap = 16
+	src := workload.NewKVSStream(workload.KVSTenantConfig{
+		Tenant: 1, Class: packet.ClassLatency,
+		RateGbps: 20, FreqHz: cfg.FreqHz, Poisson: true,
+		Keys: 64, GetRatio: 1.0, ValueBytes: 64, Count: 3000, Seed: 3,
+	})
+	nic := NewNIC(cfg, []engine.Source{src})
+	if !nic.RunQuiet(5000, 20_000_000) {
+		t.Fatal("did not drain")
+	}
+	var rx uint64
+	for _, m := range nic.MACs {
+		rx += m.RxCount()
+	}
+	served := nic.WireLat.Count
+	dropped := nic.Drops.Value() + nic.RMTStats().Dropped + nic.RMTStats().QueueDropped
+	if rx != 3000 {
+		t.Fatalf("rx = %d", rx)
+	}
+	if dropped == 0 {
+		t.Error("overload produced no drops")
+	}
+	if served+dropped != 3000 {
+		t.Errorf("served %d + dropped %d != admitted 3000", served, dropped)
+	}
+}

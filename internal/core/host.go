@@ -1,0 +1,145 @@
+package core
+
+import (
+	"container/heap"
+
+	"github.com/panic-nic/panic/internal/packet"
+)
+
+// KVSHost models the host-side key-value store behind the DMA engine: the
+// authoritative store that serves cache misses and absorbs SETs. It
+// implements engine.HostResponder. Responses re-enter the NIC after
+// ServiceCycles, modeling the host's software path (process, post TX
+// descriptor, descriptor fetch) that the on-NIC cache exists to bypass.
+type KVSHost struct {
+	// ServiceCycles is the host processing latency per request.
+	ServiceCycles uint64
+	// DefaultValueBytes sizes responses for keys never SET.
+	DefaultValueBytes uint32
+
+	store map[uint64]uint32
+	// txq holds responses waiting for the TX-DMA engine, ordered by the
+	// cycle the host software finishes producing them.
+	txq hostTxQueue
+
+	gets, sets uint64
+}
+
+type hostTxItem struct {
+	msg   *packet.Message
+	ready uint64
+	seq   uint64
+}
+
+type hostTxQueue struct {
+	items []hostTxItem
+	seq   uint64
+}
+
+func (q hostTxQueue) Len() int { return len(q.items) }
+func (q hostTxQueue) Less(i, j int) bool {
+	if q.items[i].ready != q.items[j].ready {
+		return q.items[i].ready < q.items[j].ready
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+func (q hostTxQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *hostTxQueue) Push(x any)   { q.items = append(q.items, x.(hostTxItem)) }
+func (q *hostTxQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+// NewKVSHost builds the host model.
+func NewKVSHost(serviceCycles uint64, defaultValueBytes uint32) *KVSHost {
+	return &KVSHost{
+		ServiceCycles:     serviceCycles,
+		DefaultValueBytes: defaultValueBytes,
+		store:             make(map[uint64]uint32),
+	}
+}
+
+// Respond implements engine.HostResponder.
+func (h *KVSHost) Respond(msg *packet.Message, now uint64) (*packet.Message, uint64, bool) {
+	l := msg.Pkt.Layer(packet.LayerTypeKVS)
+	if l == nil {
+		return nil, 0, false
+	}
+	k := l.(*packet.KVS)
+	switch k.Op {
+	case packet.KVSGet:
+		h.gets++
+		vlen, ok := h.store[k.Key]
+		if !ok {
+			vlen = h.DefaultValueBytes
+		}
+		return h.reply(msg, k, packet.KVSGetResp, vlen), h.ServiceCycles, true
+	case packet.KVSSet:
+		h.sets++
+		h.store[k.Key] = k.ValueLen
+		return h.reply(msg, k, packet.KVSSetResp, 0), h.ServiceCycles, true
+	default:
+		return nil, 0, false
+	}
+}
+
+// reply builds the response packet with swapped addressing and no chain;
+// it re-enters through the RMT pipeline like any TX packet.
+func (h *KVSHost) reply(req *packet.Message, k *packet.KVS, op packet.KVSOp, vlen uint32) *packet.Message {
+	reqEth := req.Pkt.Layer(packet.LayerTypeEthernet).(*packet.Ethernet)
+	reqIP := req.Pkt.Layer(packet.LayerTypeIPv4).(*packet.IPv4)
+	reqUDP := req.Pkt.Layer(packet.LayerTypeUDP).(*packet.UDP)
+	return &packet.Message{
+		ID:     req.ID,
+		Tenant: req.Tenant,
+		Class:  req.Class,
+		Inject: req.Inject,
+		Port:   req.Port,
+		Pkt: packet.NewPacket(int(vlen),
+			&packet.Ethernet{Dst: reqEth.Src, Src: reqEth.Dst, EtherType: packet.EtherTypeIPv4},
+			&packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: reqIP.Dst, Dst: reqIP.Src},
+			&packet.UDP{SrcPort: reqUDP.DstPort, DstPort: reqUDP.SrcPort},
+			&packet.KVS{Op: op, Tenant: k.Tenant, Key: k.Key, ValueLen: vlen},
+		),
+	}
+}
+
+// Absorb implements engine.Sink-style delivery for the split RX/TX DMA
+// datapath: the delivered request is processed by host software, and the
+// response is queued for the TX-DMA engine to fetch ServiceCycles later.
+func (h *KVSHost) Absorb(msg *packet.Message, now uint64) {
+	resp, delay, ok := h.Respond(msg, now)
+	if !ok {
+		return
+	}
+	h.txq.seq++
+	heap.Push(&h.txq, hostTxItem{msg: resp, ready: now + delay, seq: h.txq.seq})
+}
+
+// EnqueueTx queues an arbitrary host transmission (e.g. a large TCP send
+// for the LSO engine) for the TX-DMA engine to fetch at the given cycle.
+func (h *KVSHost) EnqueueTx(msg *packet.Message, ready uint64) {
+	h.txq.seq++
+	heap.Push(&h.txq, hostTxItem{msg: msg, ready: ready, seq: h.txq.seq})
+}
+
+// Poll implements engine.Source: the TX-DMA engine fetches responses whose
+// host processing has finished.
+func (h *KVSHost) Poll(now uint64) *packet.Message {
+	if len(h.txq.items) == 0 || h.txq.items[0].ready > now {
+		return nil
+	}
+	return heap.Pop(&h.txq).(hostTxItem).msg
+}
+
+// TxBacklog returns the number of responses awaiting fetch.
+func (h *KVSHost) TxBacklog() int { return len(h.txq.items) }
+
+// Counts returns (gets served, sets absorbed).
+func (h *KVSHost) Counts() (gets, sets uint64) { return h.gets, h.sets }
+
+// Store exposes the authoritative map size (tests).
+func (h *KVSHost) StoreLen() int { return len(h.store) }

@@ -1,0 +1,417 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/noc"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/rmt"
+	"github.com/panic-nic/panic/internal/sched"
+	"github.com/panic-nic/panic/internal/stats"
+)
+
+// Config parameterizes a PANIC NIC.
+type Config struct {
+	// FreqHz is the NIC clock (the paper's operating point is 500 MHz).
+	FreqHz float64
+	// LineRateGbps and Ports describe the Ethernet side.
+	LineRateGbps float64
+	Ports        int
+	// Mesh is the on-chip network geometry (Table 3's rows are 6×6 and
+	// 8×8 at 64 or 128 bits).
+	Mesh noc.MeshConfig
+	// RMTPipelines is the number of parallel heavyweight RMT engines
+	// (§4.2: throughput is FreqHz × RMTPipelines packets/s).
+	RMTPipelines int
+	// QueueCap is each engine's scheduling-queue capacity.
+	QueueCap int
+	// Policy picks lossless backpressure or priority-drop overflow.
+	Policy sched.Policy
+	// Rank orders scheduling queues (nil = LSTF on chain slack).
+	Rank sched.RankFunc
+	// Program configures the steering program (Ports is overridden).
+	Program ProgramConfig
+	// CacheCapacity is the on-NIC KVS cache size in keys (0 disables).
+	CacheCapacity int
+	// IPSec configures the crypto engine datapath.
+	IPSec engine.IPSecConfig
+	// PCIeGbps, DMALatency, and DMAJitter model the host connection.
+	PCIeGbps              float64
+	DMALatency, DMAJitter uint64
+	// HostCycles and HostValueBytes model the host KVS software.
+	HostCycles     uint64
+	HostValueBytes uint32
+	// InterruptCoalesce is the PCIe engine's coalescing count.
+	InterruptCoalesce int
+	// RateLimits installs per-tenant rate limits (Gbps) on the SENIC-style
+	// rate-limiter engine; non-empty enables the engine and prepends it to
+	// every KVS chain (sets Program.EnableRateLimiter).
+	RateLimits map[uint16]float64
+	// LSO, when set, places a TCP segmentation engine and chains
+	// host-originated TCP sends through it (sets Program.EnableLSO).
+	LSO *engine.LSOConfig
+	// CompactPlacement clusters all engines into the mesh's top-left
+	// corner instead of spreading them (the placement ablation for the
+	// paper's §6 question "How should different engines be placed?").
+	// Spread placement is the default and performs much better: corner
+	// placement concentrates every flow onto a few links.
+	CompactPlacement bool
+	// Trace records per-engine visits on messages.
+	Trace bool
+	Seed  uint64
+}
+
+// DefaultConfig returns the canonical PANIC operating point: a two-port
+// 100 Gbps NIC at 500 MHz with two RMT pipelines on a 6×6 mesh of 128-bit
+// channels (the paper's §4.2 headline configuration and Table 3 row 3).
+func DefaultConfig() Config {
+	mesh := noc.DefaultMeshConfig()
+	mesh.FlitWidthBits = 128
+	return Config{
+		FreqHz:            500e6,
+		LineRateGbps:      100,
+		Ports:             2,
+		Mesh:              mesh,
+		RMTPipelines:      2,
+		QueueCap:          64,
+		Policy:            sched.DropLowestPriority,
+		Program:           DefaultProgramConfig(2),
+		CacheCapacity:     1024,
+		IPSec:             engine.IPSecConfig{BytesPerCycle: 16, SetupCycles: 20},
+		PCIeGbps:          256,
+		DMALatency:        150, // ~300 ns host round trip at 500 MHz
+		DMAJitter:         50,
+		HostCycles:        1000, // ~2 µs host software path
+		HostValueBytes:    512,
+		InterruptCoalesce: 8,
+		Seed:              1,
+	}
+}
+
+// NIC is an assembled PANIC NIC.
+type NIC struct {
+	Cfg     Config
+	Builder *Builder
+	Program *rmt.Program
+
+	MACs     []*engine.EthernetMAC
+	macTiles []*engine.Tile
+	LSOEng   *engine.LSOEngine
+	RateLim  *engine.RateLimiterEngine
+	DMA      *engine.DMAEngine
+	TxDMA    *engine.TxDMAEngine
+	PCIe     *engine.PCIeEngine
+	IPSec    *engine.IPSecEngine
+	Cache    *engine.KVSCacheEngine
+	RDMA     *engine.RDMAEngine
+	Host     *KVSHost
+
+	// HostLat histograms request latency to host delivery; WireLat
+	// histograms request-to-response latency at wire egress.
+	HostLat *LatencyCollector
+	WireLat *LatencyCollector
+	// Drops counts messages shed by scheduling queues.
+	Drops *stats.Counter
+}
+
+// NewNIC assembles a PANIC NIC. sources[i] feeds Ethernet port i and may
+// be nil for a TX-only port; len(sources) must not exceed cfg.Ports.
+func NewNIC(cfg Config, sources []engine.Source) *NIC {
+	if cfg.Ports < 1 || len(sources) > cfg.Ports {
+		panic(fmt.Sprintf("core: %d sources for %d ports", len(sources), cfg.Ports))
+	}
+	if cfg.RMTPipelines < 1 {
+		panic("core: need at least one RMT pipeline")
+	}
+	w, h := cfg.Mesh.Width, cfg.Mesh.Height
+	if cfg.Ports > h || cfg.RMTPipelines > h || w < 4 || h < 3 {
+		panic(fmt.Sprintf("core: %dx%d mesh too small for %d ports and %d pipelines", w, h, cfg.Ports, cfg.RMTPipelines))
+	}
+	cfg.Program.Ports = cfg.Ports
+	cfg.Program.EnableRateLimiter = len(cfg.RateLimits) > 0
+	if cfg.Program.EnableRateLimiter {
+		tenants := make([]uint16, 0, len(cfg.RateLimits))
+		for t := range cfg.RateLimits {
+			tenants = append(tenants, t)
+		}
+		sort.Slice(tenants, func(i, j int) bool { return tenants[i] < tenants[j] })
+		cfg.Program.RateLimitTenants = tenants
+	}
+	cfg.Program.EnableLSO = cfg.LSO != nil
+
+	n := &NIC{
+		Cfg:     cfg,
+		HostLat: NewLatencyCollector(),
+		WireLat: NewLatencyCollector(),
+		Drops:   &stats.Counter{},
+	}
+	b := NewBuilder(cfg.FreqHz, cfg.Mesh, cfg.Seed)
+	n.Builder = b
+	n.Program = BuildProgram(cfg.Program)
+	n.Host = NewKVSHost(cfg.HostCycles, cfg.HostValueBytes)
+
+	dropSink := engine.SinkFunc(func(*packet.Message, uint64) { n.Drops.Inc() })
+	common := func(c *engine.TileConfig) {
+		c.QueueCap = cfg.QueueCap
+		c.Policy = cfg.Policy
+		c.Rank = cfg.Rank
+		c.TraceVisits = cfg.Trace
+	}
+	// Chainless traffic (fresh ingress, reinjections, host responses) is
+	// sprayed round-robin across the parallel RMT pipelines, as ingress
+	// hardware would load-balance them.
+	spread := make([]packet.Addr, cfg.RMTPipelines)
+	for i := range spread {
+		spread[i] = AddrRMTBase + packet.Addr(i)
+	}
+
+	// Placement spreads engines over the whole mesh (Figure 3c): MACs on
+	// the west edge, RMT pipelines through the center column, host
+	// interface on the east edge, offloads staggered in between, so no
+	// mesh row carries every flow.
+	midY := h / 2
+	ethY := func(p int) int { return clampY(midY-cfg.Ports/2+p, h) }
+	rmtY := func(i int) int { return clampY(1+2*i, h) }
+	if cfg.CompactPlacement {
+		midY = 0
+		ethY = func(p int) int { return p }
+		rmtY = func(i int) int { return i }
+	}
+
+	// West edge: Ethernet MACs (fabric edge, external interfaces).
+	for p := 0; p < cfg.Ports; p++ {
+		var src engine.Source
+		if p < len(sources) {
+			src = sources[p]
+		}
+		mac := engine.NewEthernetMAC(engine.MACConfig{
+			Port: p, LineRateGbps: cfg.LineRateGbps, FreqHz: cfg.FreqHz,
+		}, src, n.WireLat)
+		n.MACs = append(n.MACs, mac)
+		tile := b.PlaceTile(AddrEthBase+packet.Addr(p), 0, ethY(p), mac, common,
+			func(c *engine.TileConfig) { c.DefaultSpread = spread })
+		tile.DropSink = dropSink
+		n.macTiles = append(n.macTiles, tile)
+	}
+
+	// Center column: the heavyweight RMT pipelines, staggered vertically.
+	rmtX := w / 2
+	if cfg.CompactPlacement {
+		rmtX = 1
+	}
+	for i := 0; i < cfg.RMTPipelines; i++ {
+		pipe := rmt.NewPipeline(n.Program, 1, 1)
+		b.PlaceRMT(AddrRMTBase+packet.Addr(i), rmtX, rmtY(i), pipe, common,
+			func(c *engine.TileConfig) { c.Rank = nil }) // FIFO admission
+	}
+
+	// Right edge: DMA and PCIe (the host interface).
+	hostSink := engine.SinkFunc(func(m *packet.Message, now uint64) {
+		n.HostLat.Deliver(m, now)
+		n.Host.Absorb(m, now)
+	})
+	n.DMA = engine.NewDMAEngine(engine.DMAConfig{
+		PCIeGbps: cfg.PCIeGbps, FreqHz: cfg.FreqHz,
+		BaseLatencyCycles: cfg.DMALatency, JitterCycles: cfg.DMAJitter,
+		NotifyAddr: AddrPCIe,
+	}, hostSink, nil)
+	dmaY := clampY(midY, h)
+	if cfg.CompactPlacement {
+		dmaY = 0
+	}
+	dmaTile := b.PlaceTile(AddrDMA, w-1, dmaY, n.DMA, common,
+		func(c *engine.TileConfig) { c.DefaultSpread = spread })
+	dmaTile.DropSink = dropSink
+
+	coalesce := cfg.InterruptCoalesce
+	if coalesce < 1 {
+		coalesce = 1
+	}
+	n.PCIe = engine.NewPCIeEngine(engine.PCIeConfig{CoalesceCount: coalesce, InterruptCycles: 4})
+	pcieY := clampY(midY-1, h)
+	if cfg.CompactPlacement {
+		pcieY = 1
+	}
+	b.PlaceTile(AddrPCIe, w-1, pcieY, n.PCIe, common)
+
+	// TX-side DMA: fetches host responses independently of the receive
+	// path (split RX/TX DMA, as on real NICs).
+	n.TxDMA = engine.NewTxDMAEngine(cfg.PCIeGbps, cfg.FreqHz, n.Host)
+	txY := clampY(midY+1, h)
+	if cfg.CompactPlacement {
+		txY = 2
+	}
+	b.PlaceTile(AddrTxDMA, w-1, txY, n.TxDMA, common,
+		func(c *engine.TileConfig) { c.DefaultSpread = spread })
+
+	// Interior: the offload engines.
+	n.IPSec = engine.NewIPSecEngine(cfg.IPSec)
+	ipsecX, ipsecY := clampFree(b, 1, h-2)
+	if cfg.CompactPlacement {
+		ipsecX, ipsecY = clampFree(b, 2, 0)
+	}
+	ipsecTile := b.PlaceTile(AddrIPSec, ipsecX, ipsecY, n.IPSec, common,
+		func(c *engine.TileConfig) { c.DefaultSpread = spread })
+	ipsecTile.DropSink = dropSink
+
+	cacheCap := cfg.CacheCapacity
+	if cacheCap < 1 {
+		cacheCap = 1
+	}
+	n.Cache = engine.NewKVSCacheEngine(engine.KVSCacheConfig{
+		Capacity: cacheCap, LookupCycles: 2, RDMAAddr: AddrRDMA,
+	})
+	cacheX, cacheY := clampFree(b, rmtX+1, clampY(midY+1, h))
+	if cfg.CompactPlacement {
+		cacheX, cacheY = clampFree(b, 2, 1)
+	}
+	cacheTile := b.PlaceTile(AddrKVSCache, cacheX, cacheY, n.Cache, common)
+	cacheTile.DropSink = dropSink
+
+	n.RDMA = engine.NewRDMAEngine(engine.RDMAConfig{DMAAddr: AddrDMA, IssueCycles: 4})
+	rdmaX, rdmaY := clampFree(b, rmtX+1, clampY(midY-1, h))
+	if cfg.CompactPlacement {
+		rdmaX, rdmaY = clampFree(b, 3, 0)
+	}
+	rdmaTile := b.PlaceTile(AddrRDMA, rdmaX, rdmaY, n.RDMA, common,
+		func(c *engine.TileConfig) { c.DefaultSpread = spread })
+	rdmaTile.DropSink = dropSink
+
+	// Optional offloads: TCP segmentation and per-tenant rate limiting.
+	if cfg.LSO != nil {
+		n.LSOEng = engine.NewLSOEngine(*cfg.LSO)
+		x, y := b.NextFree()
+		lsoTile := b.PlaceTile(AddrLSO, x, y, n.LSOEng, common)
+		lsoTile.DropSink = dropSink
+	}
+	if len(cfg.RateLimits) > 0 {
+		n.RateLim = engine.NewRateLimiterEngine(engine.RateLimiterConfig{FreqHz: cfg.FreqHz, BurstBytes: 16 * 1024})
+		for tenant, gbps := range cfg.RateLimits {
+			n.RateLim.SetLimit(tenant, gbps)
+		}
+		x, y := b.NextFree()
+		rlTile := b.PlaceTile(AddrRateLim, x, y, n.RateLim, common)
+		rlTile.DropSink = dropSink
+	}
+
+	b.Routes.SetDefault(AddrRMTBase)
+	return n
+}
+
+// Run advances the simulation by the given number of cycles.
+func (n *NIC) Run(cycles uint64) { n.Builder.Kernel.Run(cycles) }
+
+// Now returns the current cycle.
+func (n *NIC) Now() uint64 { return n.Builder.Kernel.Now() }
+
+// RunQuiet runs until no message has been delivered or dropped for
+// idleWindow cycles, or until maxCycles elapse. It reports whether the NIC
+// went quiet.
+func (n *NIC) RunQuiet(idleWindow, maxCycles uint64) bool {
+	activity := func() uint64 {
+		return n.HostLat.Count + n.WireLat.Count + n.Drops.Value()
+	}
+	last := activity()
+	lastChange := n.Now()
+	for n.Now() < maxCycles {
+		n.Run(idleWindow / 4)
+		if a := activity(); a != last {
+			last = a
+			lastChange = n.Now()
+		} else if n.Now()-lastChange >= idleWindow {
+			return true
+		}
+	}
+	return false
+}
+
+// Tile returns the tile hosting the given well-known engine address.
+func (n *NIC) Tile(addr packet.Addr) *engine.Tile { return n.Builder.TileByAddr(addr) }
+
+// RMTStats sums the RMT tiles' counters.
+func (n *NIC) RMTStats() engine.RMTStats {
+	var s engine.RMTStats
+	for _, t := range n.Builder.RMTs {
+		ts := t.Stats()
+		s.Accepted += ts.Accepted
+		s.Emitted += ts.Emitted
+		s.Dropped += ts.Dropped
+		s.Unrouted += ts.Unrouted
+		s.StallCycles += ts.StallCycles
+		s.QueueDropped += ts.QueueDropped
+	}
+	return s
+}
+
+// Summary renders a human-readable run report.
+func (n *NIC) Summary(cycles uint64) string {
+	t := stats.NewTable("metric", "value")
+	freq := n.Cfg.FreqHz
+	ns := func(c float64) float64 { return c / freq * 1e9 }
+	seconds := float64(cycles) / freq
+	var rx, tx uint64
+	for _, m := range n.MACs {
+		rx += m.RxCount()
+		tx += m.TxCount()
+	}
+	t.AddRow("cycles", cycles)
+	t.AddRow("rx packets", rx)
+	t.AddRow("tx packets", tx)
+	t.AddRow("host deliveries", n.HostLat.Count)
+	t.AddRow("wire deliveries", n.WireLat.Count)
+	t.AddRow("sched drops", n.Drops.Value())
+	rmtStats := n.RMTStats()
+	t.AddRow("rmt passes", rmtStats.Accepted)
+	if n.WireLat.Count > 0 {
+		t.AddRow("rtt p50 (ns)", ns(n.WireLat.All.P50()))
+		t.AddRow("rtt p99 (ns)", ns(n.WireLat.All.P99()))
+	}
+	if n.HostLat.Count > 0 {
+		t.AddRow("host-delivery p50 (ns)", ns(n.HostLat.All.P50()))
+	}
+	if seconds > 0 {
+		t.AddRow("wire goodput (Gbps)", float64(n.WireLat.Bytes)*8/seconds/1e9)
+	}
+	hits, misses, _ := n.Cache.Counts()
+	t.AddRow("cache hits/misses", fmt.Sprintf("%d/%d", hits, misses))
+	dec, enc := n.IPSec.Counts()
+	t.AddRow("ipsec dec/enc", fmt.Sprintf("%d/%d", dec, enc))
+	return t.String()
+}
+
+// TileReport renders per-tile utilization, queueing, and drop statistics —
+// the first place to look when a run shows unexpected latency.
+func (n *NIC) TileReport() string {
+	t := stats.NewTable("tile", "busy", "processed", "dropped", "stall", "mean qwait", "qlen")
+	for _, tile := range n.Builder.Tiles {
+		s := tile.Stats()
+		t.AddRow(tile.Name(), s.BusyCycles, s.Processed, s.Dropped, s.StallCycles,
+			fmt.Sprintf("%.1f", s.MeanQueueWait()), tile.QueueLen())
+	}
+	for i, r := range n.Builder.RMTs {
+		s := r.Stats()
+		t.AddRow(fmt.Sprintf("rmt%d", i), "-", s.Accepted, s.Dropped+s.QueueDropped, s.StallCycles, "-", r.QueueLen())
+	}
+	return t.String()
+}
+
+// clampY bounds a row index into the mesh.
+func clampY(y, h int) int {
+	if y < 0 {
+		return 0
+	}
+	if y >= h {
+		return h - 1
+	}
+	return y
+}
+
+// clampFree returns (x, y) if unoccupied, else the next free node.
+func clampFree(b *Builder, x, y int) (int, int) {
+	if !b.used[b.Mesh.NodeAt(x, y)] {
+		return x, y
+	}
+	return b.NextFree()
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/rmt"
+)
+
+// ProgramConfig parameterizes the canonical PANIC steering program: the
+// RMT pipeline program that classifies messages, computes offload chains
+// and per-hop slack values (§3.1.2), and load-balances host-bound traffic
+// across descriptor queues.
+type ProgramConfig struct {
+	// Ports is the number of Ethernet ports; responses to client subnet
+	// 10.P.0.0/16 leave through port P.
+	Ports int
+	// WANPort is the port serving the WAN (203.0.0.0/8); replies to WAN
+	// clients are chained through the IPSec engine first.
+	WANPort int
+	// Queues is the number of host descriptor queues to load-balance
+	// over.
+	Queues uint64
+	// SlackLatency, SlackBulk, and SlackControl are the per-hop slack
+	// values (cycles) stamped by class. Smaller = scheduled sooner under
+	// LSTF.
+	SlackLatency, SlackBulk, SlackControl uint32
+	// EnableLSO chains host-originated TCP sends through the TCP
+	// segmentation engine before egress.
+	EnableLSO bool
+	// EnableRateLimiter places the rate-limiter hop; RateLimitTenants
+	// lists the tenants whose key-value chains go through it (SENIC-style
+	// inline enforcement; unlimited tenants bypass the shaper entirely).
+	EnableRateLimiter bool
+	RateLimitTenants  []uint16
+}
+
+// DefaultProgramConfig returns the canonical operating point.
+func DefaultProgramConfig(ports int) ProgramConfig {
+	return ProgramConfig{
+		Ports:        ports,
+		WANPort:      0,
+		Queues:       8,
+		SlackLatency: 50,
+		SlackBulk:    20000,
+		SlackControl: 0,
+	}
+}
+
+// BuildProgram constructs the steering program. Stages:
+//
+//  1. acl — installable drop rules (empty by default; §6's DoS shedding).
+//  2. slack — class → slack base (scratch1) and lossless flagging.
+//  3. txroute — LPM on IP dst → egress port address (scratch0), WAN
+//     flagging (scratch2).
+//  4. classify — builds the offload chain: ESP → IPSec; GET/SET →
+//     cache→DMA; responses → [IPSec →] egress port; everything else →
+//     DMA (host).
+//  5. lb — flow hash → descriptor queue; per-tenant packet counters in
+//     stateful registers.
+func BuildProgram(cfg ProgramConfig) *rmt.Program {
+	if cfg.Ports < 1 {
+		panic(fmt.Sprintf("core: program for %d ports", cfg.Ports))
+	}
+	if cfg.Queues == 0 {
+		cfg.Queues = 1
+	}
+
+	acl := rmt.NewTable("acl", rmt.MatchTernary,
+		[]rmt.FieldID{rmt.FieldIPSrc, rmt.FieldL4Dst}, 0, rmt.Action{})
+
+	slack := rmt.NewTable("slack", rmt.MatchExact,
+		[]rmt.FieldID{rmt.FieldMetaClass}, 0,
+		rmt.NewAction("bulk-default", rmt.OpSet{Field: rmt.FieldMetaScratch1, Value: uint64(cfg.SlackBulk)}))
+	slack.Add(rmt.Entry{
+		Values: []uint64{uint64(packet.ClassLatency)},
+		Action: rmt.NewAction("latency", rmt.OpSet{Field: rmt.FieldMetaScratch1, Value: uint64(cfg.SlackLatency)}),
+	})
+	slack.Add(rmt.Entry{
+		Values: []uint64{uint64(packet.ClassControl)},
+		Action: rmt.NewAction("control",
+			rmt.OpSet{Field: rmt.FieldMetaScratch1, Value: uint64(cfg.SlackControl)},
+			rmt.OpOr{Field: rmt.FieldMetaNewFlags, Bits: packet.ChainFlagLossless},
+		),
+	})
+
+	txroute := rmt.NewTable("txroute", rmt.MatchLPM,
+		[]rmt.FieldID{rmt.FieldIPDst}, 32,
+		rmt.NewAction("default-port", rmt.OpSet{Field: rmt.FieldMetaScratch0, Value: uint64(AddrEthBase)}))
+	for p := 0; p < cfg.Ports; p++ {
+		prefix := uint64(10)<<24 | uint64(p)<<16 // 10.P.0.0/16
+		txroute.Add(rmt.Entry{
+			Values: []uint64{prefix}, PrefixLen: 16,
+			Action: rmt.NewAction(fmt.Sprintf("port%d", p),
+				rmt.OpSet{Field: rmt.FieldMetaScratch0, Value: uint64(AddrEthBase) + uint64(p)}),
+		})
+	}
+	txroute.Add(rmt.Entry{
+		Values: []uint64{uint64(203) << 24}, PrefixLen: 8, // 203.0.0.0/8: WAN
+		Action: rmt.NewAction("wan",
+			rmt.OpSet{Field: rmt.FieldMetaScratch0, Value: uint64(AddrEthBase) + uint64(cfg.WANPort)},
+			rmt.OpSet{Field: rmt.FieldMetaScratch2, Value: 1}),
+	})
+
+	slackFrom := func(ops ...rmt.Op) rmt.Action { return rmt.Action{Ops: ops} }
+	hop := func(e packet.Addr) rmt.Op {
+		return rmt.OpPushHop{Engine: e, SlackFrom: rmt.FieldMetaScratch1, HasSlackFrom: true}
+	}
+	hopFromField := rmt.OpPushHopFromField{EngineFrom: rmt.FieldMetaScratch0, SlackFrom: rmt.FieldMetaScratch1, HasSlackFrom: true}
+
+	classify := rmt.NewTable("classify", rmt.MatchTernary,
+		[]rmt.FieldID{rmt.FieldIPProto, rmt.FieldKVSOp, rmt.FieldMetaScratch2, rmt.FieldKVSTenant}, 0,
+		// Default: unclassified traffic goes to the host.
+		slackFrom(hop(AddrDMA)))
+	exact := ^uint64(0)
+	classify.Add(rmt.Entry{ // encrypted: decrypt first, then second RMT pass
+		Values: []uint64{packet.ProtoESP, 0, 0, 0}, Masks: []uint64{exact, 0, 0, 0}, Priority: 100,
+		Action: slackFrom(hop(AddrIPSec)),
+	})
+	// Limited tenants' requests are shaped before the cache; everyone
+	// else goes straight to the cache and host.
+	if cfg.EnableRateLimiter {
+		for _, tenant := range cfg.RateLimitTenants {
+			for _, op := range []packet.KVSOp{packet.KVSGet, packet.KVSSet} {
+				classify.Add(rmt.Entry{
+					Values:   []uint64{0, uint64(op), 0, uint64(tenant)},
+					Masks:    []uint64{0, exact, 0, exact},
+					Priority: 95,
+					Action:   slackFrom(hop(AddrRateLim), hop(AddrKVSCache), hop(AddrDMA)),
+				})
+			}
+		}
+	}
+	classify.Add(rmt.Entry{ // GET: cache, then host on miss
+		Values: []uint64{0, uint64(packet.KVSGet), 0, 0}, Masks: []uint64{0, exact, 0, 0}, Priority: 90,
+		Action: slackFrom(hop(AddrKVSCache), hop(AddrDMA)),
+	})
+	classify.Add(rmt.Entry{ // SET: cache update, then host log
+		Values: []uint64{0, uint64(packet.KVSSet), 0, 0}, Masks: []uint64{0, exact, 0, 0}, Priority: 90,
+		Action: slackFrom(hop(AddrKVSCache), hop(AddrDMA)),
+	})
+	for _, op := range []packet.KVSOp{packet.KVSGetResp, packet.KVSSetResp} {
+		classify.Add(rmt.Entry{ // WAN response: encrypt, then egress
+			Values: []uint64{0, uint64(op), 1, 0}, Masks: []uint64{0, exact, exact, 0}, Priority: 85,
+			Action: slackFrom(hop(AddrIPSec), hopFromField),
+		})
+		classify.Add(rmt.Entry{ // LAN response: straight to egress
+			Values: []uint64{0, uint64(op), 0, 0}, Masks: []uint64{0, exact, 0, 0}, Priority: 80,
+			Action: slackFrom(hopFromField),
+		})
+	}
+
+	// Host-originated TCP (meta.port = ^uint32(0): no ingress port) goes
+	// through the segmentation engine, then the egress port the txroute
+	// stage chose. The table runs in the stage after classify so its
+	// OpClearChain overrides the default to-host chain.
+	var lsoStage []*rmt.Table
+	if cfg.EnableLSO {
+		lso := rmt.NewTable("lso", rmt.MatchTernary,
+			[]rmt.FieldID{rmt.FieldIPProto, rmt.FieldMetaPort}, 0, rmt.Action{})
+		lso.Add(rmt.Entry{
+			Values:   []uint64{packet.ProtoTCP, 0xffffffff},
+			Masks:    []uint64{exact, 0xffffffff},
+			Priority: 10,
+			Action: rmt.NewAction("segment",
+				rmt.OpClearChain{},
+				hop(AddrLSO), hopFromField),
+		})
+		lsoStage = []*rmt.Table{lso}
+	}
+
+	lb := rmt.NewTable("lb", rmt.MatchExact,
+		[]rmt.FieldID{rmt.FieldMetaScratch2}, 0,
+		rmt.NewAction("queue-select",
+			rmt.OpHash{Dst: rmt.FieldMetaQueue, Srcs: []rmt.FieldID{
+				rmt.FieldIPSrc, rmt.FieldIPDst, rmt.FieldL4Src, rmt.FieldL4Dst}},
+			rmt.OpMod{Field: rmt.FieldMetaQueue, N: cfg.Queues},
+			rmt.OpRegAdd{Reg: "tenant_pkts", IndexFrom: rmt.FieldMetaTenant, Delta: 1, Dst: rmt.FieldMetaHash},
+		))
+
+	stages := [][]*rmt.Table{{acl}, {slack}, {txroute}, {classify}}
+	if lsoStage != nil {
+		stages = append(stages, lsoStage)
+	}
+	stages = append(stages, []*rmt.Table{lb})
+	prog := rmt.NewProgram(rmt.StandardParser(), stages...)
+	prog.Regs.Define("tenant_pkts", 256)
+	return prog
+}
+
+// InstallDropRule adds an ACL entry dropping traffic from the given IPv4
+// /prefix source (the §6 DoS-shedding knob). Call before or during a run.
+func InstallDropRule(prog *rmt.Program, srcPrefix uint64, prefixLen int, priority int) {
+	acl := prog.Stages[0][0]
+	if acl.Name != "acl" {
+		panic("core: program has no acl stage")
+	}
+	bits := 32 - prefixLen
+	mask := (^uint64(0) << bits) & 0xffffffff
+	acl.Add(rmt.Entry{
+		Values:   []uint64{srcPrefix & mask, 0},
+		Masks:    []uint64{mask, 0},
+		Priority: priority,
+		Action:   rmt.NewAction("drop", rmt.OpDrop{}),
+	})
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/rmt"
+)
+
+func progMsg(build func() *packet.Packet, class packet.Class, tenant uint16) *packet.Message {
+	return &packet.Message{Pkt: build(), Class: class, Tenant: tenant, Port: 0}
+}
+
+func getPkt(srcIP packet.IP4, key uint64) *packet.Packet {
+	return packet.NewPacket(0,
+		&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+		&packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: srcIP, Dst: packet.IP4{10, 255, 0, 2}},
+		&packet.UDP{SrcPort: 5001, DstPort: packet.KVSPort},
+		&packet.KVS{Op: packet.KVSGet, Tenant: 1, Key: key},
+	)
+}
+
+func respPkt(dstIP packet.IP4) *packet.Packet {
+	return packet.NewPacket(256,
+		&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+		&packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: packet.IP4{10, 255, 0, 2}, Dst: dstIP},
+		&packet.UDP{SrcPort: packet.KVSPort, DstPort: 5001},
+		&packet.KVS{Op: packet.KVSGetResp, Tenant: 1, Key: 1, ValueLen: 256},
+	)
+}
+
+func espPkt() *packet.Packet {
+	return packet.NewPacket(128,
+		&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+		&packet.IPv4{TTL: 60, Protocol: packet.ProtoESP, Src: packet.IP4{203, 0, 1, 2}, Dst: packet.IP4{10, 255, 0, 2}},
+		&packet.ESP{SPI: 1, Seq: 1},
+	)
+}
+
+func chainAddrs(m *packet.Message) []packet.Addr {
+	c := m.Chain()
+	if c == nil {
+		return nil
+	}
+	addrs := make([]packet.Addr, len(c.Hops))
+	for i, h := range c.Hops {
+		addrs[i] = h.Engine
+	}
+	return addrs
+}
+
+func TestProgramChainsGetThroughCacheAndDMA(t *testing.T) {
+	prog := BuildProgram(DefaultProgramConfig(2))
+	m := progMsg(func() *packet.Packet { return getPkt(packet.IP4{10, 0, 0, 1}, 7) }, packet.ClassLatency, 1)
+	res, err := prog.Process(m, 100)
+	if err != nil || res.Drop {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	got := chainAddrs(m)
+	want := []packet.Addr{AddrKVSCache, AddrDMA}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("GET chain = %v, want %v", got, want)
+	}
+	// Latency class -> small slack on every hop.
+	for i, h := range m.Chain().Hops {
+		if h.Slack != DefaultProgramConfig(2).SlackLatency {
+			t.Errorf("hop %d slack = %d", i, h.Slack)
+		}
+	}
+}
+
+func TestProgramChainsESPThroughIPSec(t *testing.T) {
+	prog := BuildProgram(DefaultProgramConfig(2))
+	m := progMsg(espPkt, packet.ClassLatency, 3)
+	if _, err := prog.Process(m, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := chainAddrs(m)
+	if len(got) != 1 || got[0] != AddrIPSec {
+		t.Errorf("ESP chain = %v, want [ipsec]", got)
+	}
+}
+
+func TestProgramRoutesResponsesByClientSubnet(t *testing.T) {
+	prog := BuildProgram(DefaultProgramConfig(2))
+	cases := []struct {
+		dst  packet.IP4
+		want []packet.Addr
+	}{
+		// 10.0.x.x -> port 0; 10.1.x.x -> port 1.
+		{packet.IP4{10, 0, 0, 5}, []packet.Addr{AddrEthBase}},
+		{packet.IP4{10, 1, 0, 5}, []packet.Addr{AddrEthBase + 1}},
+		// WAN clients (203/8): encrypt first, then the WAN port.
+		{packet.IP4{203, 0, 1, 2}, []packet.Addr{AddrIPSec, AddrEthBase}},
+	}
+	for _, c := range cases {
+		m := progMsg(func() *packet.Packet { return respPkt(c.dst) }, packet.ClassLatency, 1)
+		if _, err := prog.Process(m, 0); err != nil {
+			t.Fatal(err)
+		}
+		got := chainAddrs(m)
+		if len(got) != len(c.want) {
+			t.Errorf("resp to %v chain = %v, want %v", c.dst, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("resp to %v chain = %v, want %v", c.dst, got, c.want)
+			}
+		}
+	}
+}
+
+func TestProgramBulkSlackAndControlLossless(t *testing.T) {
+	cfg := DefaultProgramConfig(2)
+	prog := BuildProgram(cfg)
+	bulk := progMsg(func() *packet.Packet { return getPkt(packet.IP4{10, 0, 0, 1}, 1) }, packet.ClassBulk, 2)
+	if _, err := prog.Process(bulk, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s := bulk.Chain().Hops[0].Slack; s != cfg.SlackBulk {
+		t.Errorf("bulk slack = %d, want %d", s, cfg.SlackBulk)
+	}
+	ctrl := progMsg(func() *packet.Packet { return getPkt(packet.IP4{10, 0, 0, 1}, 1) }, packet.ClassControl, 0)
+	if _, err := prog.Process(ctrl, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !ctrl.Chain().Lossless() {
+		t.Error("control-class chain not flagged lossless")
+	}
+	if bulk.Chain().Lossless() {
+		t.Error("bulk chain flagged lossless")
+	}
+}
+
+func TestProgramLoadBalancesQueues(t *testing.T) {
+	prog := BuildProgram(DefaultProgramConfig(2))
+	seen := map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		m := progMsg(func() *packet.Packet {
+			return getPkt(packet.IP4{10, 0, byte(i >> 8), byte(i)}, uint64(i))
+		}, packet.ClassLatency, 1)
+		res, err := prog.Process(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Queue >= DefaultProgramConfig(2).Queues {
+			t.Fatalf("queue %d out of range", res.Queue)
+		}
+		seen[res.Queue] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("flow hashing used only %d queues", len(seen))
+	}
+}
+
+func TestProgramTenantCountersAccumulate(t *testing.T) {
+	prog := BuildProgram(DefaultProgramConfig(2))
+	for i := 0; i < 5; i++ {
+		m := progMsg(func() *packet.Packet { return getPkt(packet.IP4{10, 0, 0, 1}, 1) }, packet.ClassLatency, 9)
+		if _, err := prog.Process(m, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := prog.Regs.Read("tenant_pkts", 9); got != 5 {
+		t.Errorf("tenant 9 counter = %d, want 5", got)
+	}
+}
+
+func TestInstallDropRule(t *testing.T) {
+	prog := BuildProgram(DefaultProgramConfig(2))
+	InstallDropRule(prog, uint64(192)<<24|uint64(168)<<16, 16, 50)
+	dropped := progMsg(func() *packet.Packet { return getPkt(packet.IP4{192, 168, 9, 9}, 1) }, packet.ClassLatency, 1)
+	res, err := prog.Process(dropped, 0)
+	if err != nil || !res.Drop {
+		t.Errorf("matching traffic not dropped: %+v err=%v", res, err)
+	}
+	kept := progMsg(func() *packet.Packet { return getPkt(packet.IP4{10, 0, 0, 1}, 1) }, packet.ClassLatency, 1)
+	res, err = prog.Process(kept, 0)
+	if err != nil || res.Drop {
+		t.Errorf("non-matching traffic dropped: %+v err=%v", res, err)
+	}
+}
+
+func TestProgramValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-port program did not panic")
+		}
+	}()
+	BuildProgram(ProgramConfig{Ports: 0})
+}
+
+func TestProgramSplitSharesState(t *testing.T) {
+	prog := BuildProgram(DefaultProgramConfig(2))
+	parts := prog.Split(2)
+	if parts[0].Regs != prog.Regs {
+		t.Error("split parts must share registers")
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.NumStages()
+	}
+	if total != prog.NumStages() {
+		t.Errorf("split stages = %d, want %d", total, prog.NumStages())
+	}
+	_ = rmt.StateAccept // keep rmt import for future additions
+}

@@ -1,0 +1,88 @@
+package core
+
+import "github.com/panic-nic/panic/internal/stats"
+
+// The paper's §2.1 offload taxonomy (Table 1): offloads are classified on
+// three dimensions.
+
+// OffloadLevel distinguishes infrastructure from application offloads.
+type OffloadLevel string
+
+// Offload levels.
+const (
+	LevelInfrastructure OffloadLevel = "Infrastructure"
+	LevelApplication    OffloadLevel = "Application"
+)
+
+// OffloadPlacement distinguishes inline from CPU-bypass offloads.
+type OffloadPlacement string
+
+// Offload placements.
+const (
+	PlacementInline    OffloadPlacement = "Inline"
+	PlacementCPUBypass OffloadPlacement = "CPU-bypass"
+)
+
+// OffloadResource distinguishes computation, memory, and network offloads.
+type OffloadResource string
+
+// Offload resources.
+const (
+	ResourceComputation OffloadResource = "Computation"
+	ResourceMemory      OffloadResource = "Memory"
+	ResourceNetwork     OffloadResource = "Network"
+)
+
+// TaxonomyEntry is one row of the paper's Table 1: how a prior system's
+// offload classifies along the three dimensions. A system may span
+// multiple classifications.
+type TaxonomyEntry struct {
+	Project    string
+	Levels     []OffloadLevel
+	Placements []OffloadPlacement
+	Resources  []OffloadResource
+}
+
+// Table1 returns the paper's Table 1 verbatim.
+func Table1() []TaxonomyEntry {
+	return []TaxonomyEntry{
+		{"FlexNIC", []OffloadLevel{LevelApplication}, []OffloadPlacement{PlacementInline}, []OffloadResource{ResourceComputation}},
+		{"Emu", []OffloadLevel{LevelApplication, LevelInfrastructure}, []OffloadPlacement{PlacementCPUBypass}, []OffloadResource{ResourceMemory, ResourceNetwork}},
+		{"SENIC", []OffloadLevel{LevelInfrastructure}, []OffloadPlacement{PlacementInline}, []OffloadResource{ResourceNetwork}},
+		{"sNICh", []OffloadLevel{LevelInfrastructure}, []OffloadPlacement{PlacementCPUBypass}, []OffloadResource{ResourceNetwork}},
+		{"DCQCN", []OffloadLevel{LevelInfrastructure}, []OffloadPlacement{PlacementCPUBypass}, []OffloadResource{ResourceNetwork}},
+		{"TCP Offload Engines", []OffloadLevel{LevelInfrastructure}, []OffloadPlacement{PlacementCPUBypass}, []OffloadResource{ResourceNetwork}},
+		{"Uno", []OffloadLevel{LevelInfrastructure}, []OffloadPlacement{PlacementCPUBypass}, []OffloadResource{ResourceNetwork}},
+		{"Azure SmartNIC", []OffloadLevel{LevelInfrastructure}, []OffloadPlacement{PlacementCPUBypass}, []OffloadResource{ResourceNetwork}},
+		{"RDMA", []OffloadLevel{LevelApplication}, []OffloadPlacement{PlacementInline, PlacementCPUBypass}, []OffloadResource{ResourceNetwork, ResourceMemory}},
+	}
+}
+
+// Table1Render formats Table 1 like the paper.
+func Table1Render() string {
+	t := stats.NewTable("Project", "Offload", "Type")
+	join := func(parts []string) string {
+		out := ""
+		for i, p := range parts {
+			if i > 0 {
+				out += "/"
+			}
+			out += p
+		}
+		return out
+	}
+	for _, e := range Table1() {
+		var lv, pl, rs []string
+		for _, l := range e.Levels {
+			lv = append(lv, string(l))
+		}
+		for _, p := range e.Placements {
+			pl = append(pl, string(p))
+		}
+		for _, r := range e.Resources {
+			rs = append(rs, string(r))
+		}
+		t.AddRow(e.Project, join(lv), join(pl)+" "+join(rs))
+	}
+	return t.String()
+}

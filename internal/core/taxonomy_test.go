@@ -1,0 +1,48 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable1Taxonomy pins the taxonomy to the paper's Table 1.
+func TestTable1Taxonomy(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 9 {
+		t.Fatalf("Table 1 has %d rows, want 9", len(rows))
+	}
+	byName := map[string]TaxonomyEntry{}
+	for _, r := range rows {
+		byName[r.Project] = r
+	}
+	flexnic := byName["FlexNIC"]
+	if len(flexnic.Levels) != 1 || flexnic.Levels[0] != LevelApplication {
+		t.Errorf("FlexNIC level = %v", flexnic.Levels)
+	}
+	if flexnic.Placements[0] != PlacementInline || flexnic.Resources[0] != ResourceComputation {
+		t.Errorf("FlexNIC = %+v", flexnic)
+	}
+	rdma := byName["RDMA"]
+	if len(rdma.Placements) != 2 || len(rdma.Resources) != 2 {
+		t.Errorf("RDMA should span both placements and two resources: %+v", rdma)
+	}
+	azure := byName["Azure SmartNIC"]
+	if azure.Levels[0] != LevelInfrastructure || azure.Placements[0] != PlacementCPUBypass {
+		t.Errorf("Azure SmartNIC = %+v", azure)
+	}
+	// Every entry has at least one value per dimension.
+	for _, r := range rows {
+		if len(r.Levels) == 0 || len(r.Placements) == 0 || len(r.Resources) == 0 {
+			t.Errorf("%s has an empty dimension", r.Project)
+		}
+	}
+}
+
+func TestTable1RenderContainsAllProjects(t *testing.T) {
+	out := Table1Render()
+	for _, r := range Table1() {
+		if !strings.Contains(out, r.Project) {
+			t.Errorf("render missing %q:\n%s", r.Project, out)
+		}
+	}
+}

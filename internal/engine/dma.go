@@ -1,0 +1,238 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/panic-nic/panic/internal/packet"
+)
+
+// HostResponder lets a simulation model the host CPU behind the DMA
+// engine: when a packet is delivered to host memory, the responder may
+// produce a response packet that re-enters the NIC after a host processing
+// delay (the simplified host loop: process, post TX descriptor, descriptor
+// fetched, packet injected).
+type HostResponder interface {
+	Respond(msg *packet.Message, now uint64) (resp *packet.Message, delay uint64, ok bool)
+}
+
+// DMAConfig parameterizes the DMA engine.
+type DMAConfig struct {
+	// PCIeGbps is the transfer bandwidth toward host memory.
+	PCIeGbps float64
+	// FreqHz is the NIC clock.
+	FreqHz float64
+	// BaseLatencyCycles is the host round-trip latency for reads.
+	BaseLatencyCycles uint64
+	// JitterCycles adds uniform random extra latency, modeling memory
+	// contention from host applications (§3.2: "the DMA engine has
+	// variable performance and may become a bottleneck").
+	JitterCycles uint64
+	// NotifyAddr, when set, receives a small completion notification for
+	// every host delivery (the PCIe/interrupt engine).
+	NotifyAddr packet.Addr
+}
+
+// DMAEngine models the NIC's DMA block as an ordinary engine (§3.1.1:
+// "even parts of the NIC that would not normally be thought of as offloads
+// are implemented as engines"). It serves three kinds of messages:
+//
+//   - DMA-layer read requests: occupy the engine for the transfer time,
+//     then return a read completion to the requester after memory latency.
+//   - DMA-layer write requests: occupy for the transfer time; acked to the
+//     requester when one is named.
+//   - Ordinary packets (chain-terminated here): written to host memory and
+//     delivered to the host sink, optionally generating a notification to
+//     the PCIe engine and a host response.
+type DMAEngine struct {
+	cfg          DMAConfig
+	hostSink     Sink
+	responder    HostResponder
+	bitsPerCycle float64
+
+	reads, writes, hostDeliveries uint64
+}
+
+// NewDMAEngine builds the engine. hostSink receives packets written to
+// host memory (nil discards); responder may be nil.
+func NewDMAEngine(cfg DMAConfig, hostSink Sink, responder HostResponder) *DMAEngine {
+	if cfg.PCIeGbps <= 0 || cfg.FreqHz <= 0 {
+		panic(fmt.Sprintf("engine: DMA with rate %v Gbps freq %v", cfg.PCIeGbps, cfg.FreqHz))
+	}
+	if hostSink == nil {
+		hostSink = NullSink{}
+	}
+	return &DMAEngine{cfg: cfg, hostSink: hostSink, responder: responder,
+		bitsPerCycle: cfg.PCIeGbps * 1e9 / cfg.FreqHz}
+}
+
+// Name implements Engine.
+func (d *DMAEngine) Name() string { return "dma" }
+
+// transferBytes returns the payload size a message moves across PCIe.
+func (d *DMAEngine) transferBytes(msg *packet.Message) int {
+	if l := msg.Pkt.Layer(packet.LayerTypeDMA); l != nil {
+		return int(l.(*packet.DMA).Len)
+	}
+	return msg.WireLen()
+}
+
+// ServiceCycles implements Engine: PCIe occupancy for the transfer.
+func (d *DMAEngine) ServiceCycles(msg *packet.Message) uint64 {
+	return uint64(math.Ceil(float64(d.transferBytes(msg)*8) / d.bitsPerCycle))
+}
+
+// latency returns the host memory round trip including contention jitter.
+func (d *DMAEngine) latency(ctx *Ctx) uint64 {
+	l := d.cfg.BaseLatencyCycles
+	if d.cfg.JitterCycles > 0 {
+		l += uint64(ctx.RNG.Intn(int(d.cfg.JitterCycles) + 1))
+	}
+	return l
+}
+
+// Process implements Engine.
+func (d *DMAEngine) Process(ctx *Ctx, msg *packet.Message) []Out {
+	if l := msg.Pkt.Layer(packet.LayerTypeDMA); l != nil {
+		req := l.(*packet.DMA)
+		switch req.Op {
+		case packet.DMARead:
+			d.reads++
+			compl := &packet.Message{
+				ID:     msg.ID,
+				Tenant: msg.Tenant,
+				Class:  packet.ClassControl,
+				Port:   -1,
+				Inject: ctx.Now,
+				Pkt: packet.NewPacket(int(req.Len),
+					&packet.Ethernet{EtherType: packet.EtherTypeDMA},
+					&packet.DMA{Op: packet.DMAReadCompl, Requester: req.Requester,
+						Len: req.Len, HostAddr: req.HostAddr},
+				),
+			}
+			return []Out{{Msg: compl, To: req.Requester, Delay: d.latency(ctx)}}
+		case packet.DMAWrite:
+			d.writes++
+			if req.Requester == packet.AddrInvalid {
+				return nil
+			}
+			ack := &packet.Message{
+				ID:     msg.ID,
+				Tenant: msg.Tenant,
+				Class:  packet.ClassControl,
+				Port:   -1,
+				Inject: ctx.Now,
+				Pkt: packet.NewPacket(0,
+					&packet.Ethernet{EtherType: packet.EtherTypeDMA},
+					&packet.DMA{Op: packet.DMAWriteCompl, Requester: req.Requester,
+						Len: req.Len, HostAddr: req.HostAddr},
+				),
+			}
+			return []Out{{Msg: ack, To: req.Requester, Delay: d.latency(ctx)}}
+		default:
+			// Completions addressed to the DMA engine are a routing bug;
+			// drop them visibly in traces by consuming.
+			return nil
+		}
+	}
+
+	// An ordinary packet whose chain ends here: deliver to host memory.
+	// The host observes the data after the PCIe write latency.
+	d.hostDeliveries++
+	arrival := ctx.Now + d.latency(ctx)
+	msg.Done = arrival
+	d.hostSink.Deliver(msg, arrival)
+	var outs []Out
+	if d.cfg.NotifyAddr != packet.AddrInvalid {
+		notify := &packet.Message{
+			ID:     msg.ID,
+			Tenant: msg.Tenant,
+			Class:  packet.ClassControl,
+			Port:   -1,
+			Inject: ctx.Now,
+			Pkt: packet.NewPacket(0,
+				&packet.Ethernet{EtherType: packet.EtherTypeDMA},
+				&packet.DMA{Op: packet.DMAWriteCompl, Requester: d.cfg.NotifyAddr,
+					Len: uint32(msg.WireLen())},
+			),
+		}
+		outs = append(outs, Out{Msg: notify, To: d.cfg.NotifyAddr, Delay: d.latency(ctx)})
+	}
+	if d.responder != nil {
+		if resp, delay, ok := d.responder.Respond(msg, ctx.Now); ok {
+			resp.Port = -1
+			outs = append(outs, Out{Msg: resp, Delay: delay})
+		}
+	}
+	return outs
+}
+
+// Counts returns (reads, writes, host deliveries).
+func (d *DMAEngine) Counts() (reads, writes, hostDeliveries uint64) {
+	return d.reads, d.writes, d.hostDeliveries
+}
+
+// PCIeConfig parameterizes the PCIe/interrupt engine.
+type PCIeConfig struct {
+	// CoalesceCount fires an interrupt after this many completion
+	// notifications (1 = every completion).
+	CoalesceCount int
+	// CoalesceTimeoutCycles fires a pending interrupt after this long
+	// even when the count is not reached (0 = no timeout).
+	CoalesceTimeoutCycles uint64
+	// InterruptCycles is the service cost of raising an interrupt.
+	InterruptCycles uint64
+}
+
+// PCIeEngine models interrupt generation with coalescing (§3.2: "the DMA
+// engine will send a message to a PCIe engine that may generate an
+// interrupt depending on the interrupt coalescing state").
+type PCIeEngine struct {
+	cfg        PCIeConfig
+	pendingN   int
+	pendingAt  uint64
+	interrupts uint64
+	notified   uint64
+}
+
+// NewPCIeEngine builds the engine.
+func NewPCIeEngine(cfg PCIeConfig) *PCIeEngine {
+	if cfg.CoalesceCount < 1 {
+		panic(fmt.Sprintf("engine: PCIe coalesce count %d", cfg.CoalesceCount))
+	}
+	return &PCIeEngine{cfg: cfg}
+}
+
+// Name implements Engine.
+func (p *PCIeEngine) Name() string { return "pcie" }
+
+// ServiceCycles implements Engine.
+func (p *PCIeEngine) ServiceCycles(*packet.Message) uint64 {
+	if p.cfg.InterruptCycles == 0 {
+		return 1
+	}
+	return p.cfg.InterruptCycles
+}
+
+// Process implements Engine: count notifications, fire on threshold.
+func (p *PCIeEngine) Process(ctx *Ctx, msg *packet.Message) []Out {
+	p.notified++
+	if p.pendingN == 0 {
+		p.pendingAt = ctx.Now
+	}
+	p.pendingN++
+	fire := p.pendingN >= p.cfg.CoalesceCount
+	if !fire && p.cfg.CoalesceTimeoutCycles > 0 && ctx.Now-p.pendingAt >= p.cfg.CoalesceTimeoutCycles {
+		fire = true
+	}
+	if fire {
+		p.interrupts++
+		p.pendingN = 0
+	}
+	return nil
+}
+
+// Counts returns (notifications seen, interrupts raised).
+func (p *PCIeEngine) Counts() (notifications, interrupts uint64) {
+	return p.notified, p.interrupts
+}

@@ -1,0 +1,107 @@
+package engine
+
+// lruCache is a fixed-capacity LRU map from key to value length, the
+// on-NIC application cache of the paper's KVS example. Hand-rolled
+// intrusive list to keep lookups allocation-free on the hot path.
+type lruCache struct {
+	cap   int
+	items map[uint64]*lruNode
+	head  *lruNode // most recent
+	tail  *lruNode // least recent
+}
+
+type lruNode struct {
+	key        uint64
+	valueLen   uint32
+	prev, next *lruNode
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 1 {
+		panic("engine: LRU capacity must be positive")
+	}
+	return &lruCache{cap: capacity, items: make(map[uint64]*lruNode, capacity)}
+}
+
+func (c *lruCache) Len() int { return len(c.items) }
+
+// Get returns the value length and hit status, refreshing recency on hit.
+func (c *lruCache) Get(key uint64) (uint32, bool) {
+	n, ok := c.items[key]
+	if !ok {
+		return 0, false
+	}
+	c.moveToFront(n)
+	return n.valueLen, true
+}
+
+// Contains reports presence without refreshing recency.
+func (c *lruCache) Contains(key uint64) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Put inserts or updates a key, evicting the least recently used entry
+// when full. It returns the evicted key and whether an eviction happened.
+func (c *lruCache) Put(key uint64, valueLen uint32) (evicted uint64, didEvict bool) {
+	if n, ok := c.items[key]; ok {
+		n.valueLen = valueLen
+		c.moveToFront(n)
+		return 0, false
+	}
+	if len(c.items) >= c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.items, lru.key)
+		evicted, didEvict = lru.key, true
+	}
+	n := &lruNode{key: key, valueLen: valueLen}
+	c.items[key] = n
+	c.pushFront(n)
+	return evicted, didEvict
+}
+
+// Delete removes a key if present.
+func (c *lruCache) Delete(key uint64) bool {
+	n, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.unlink(n)
+	delete(c.items, key)
+	return true
+}
+
+func (c *lruCache) moveToFront(n *lruNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+func (c *lruCache) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *lruCache) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

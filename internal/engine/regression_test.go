@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/panic-nic/panic/internal/packet"
+)
+
+// TestCacheHitAdvancesChainBeforeDivert is a regression test: on a cache
+// hit the engine diverts to the RDMA engine with an explicit destination,
+// which bypasses the tile's chain advance. If the RDMA engine then sheds
+// the request back along the chain (saturation), the chain cursor must
+// already be past the cache hop — otherwise the request loops
+// cache→rdma→cache forever.
+func TestCacheHitAdvancesChainBeforeDivert(t *testing.T) {
+	e := NewKVSCacheEngine(KVSCacheConfig{Capacity: 4, RDMAAddr: 9})
+	e.Warm(5, 128)
+	msg := kvsGet(1, 1, 5)
+	msg.InsertChain(&packet.Chain{Hops: []packet.Hop{
+		{Engine: 3 /* the cache tile's own address */},
+		{Engine: 8 /* DMA */},
+	}})
+	outs := e.Process(&Ctx{Addr: 3}, msg)
+	if len(outs) != 1 || outs[0].To != 9 {
+		t.Fatalf("outs = %+v", outs)
+	}
+	c := outs[0].Msg.Chain()
+	hop, ok := c.Current()
+	if !ok || hop.Engine != 8 {
+		t.Errorf("chain cursor at %v, want DMA hop (8) — shed path would loop", hop)
+	}
+}
+
+// TestCacheHitShedByRDMAGoesToHost drives the full shed path: a saturated
+// RDMA engine pushes the hit back along the chain, which must continue to
+// the DMA hop.
+func TestCacheHitShedByRDMAGoesToHost(t *testing.T) {
+	cache := NewKVSCacheEngine(KVSCacheConfig{Capacity: 4, RDMAAddr: 9})
+	cache.Warm(5, 128)
+	rdma := NewRDMAEngine(RDMAConfig{DMAAddr: 8, MaxOutstanding: 1})
+	ctxCache := &Ctx{Addr: 3}
+	ctxRDMA := &Ctx{Addr: 9}
+
+	// First hit occupies the RDMA engine's single slot.
+	m1 := kvsGet(1, 1, 5)
+	m1.InsertChain(&packet.Chain{Hops: []packet.Hop{{Engine: 3}, {Engine: 8}}})
+	rdma.Process(ctxRDMA, cache.Process(ctxCache, m1)[0].Msg)
+
+	// Second hit is shed; its chain must now point at the DMA hop.
+	m2 := kvsGet(2, 1, 5)
+	m2.InsertChain(&packet.Chain{Hops: []packet.Hop{{Engine: 3}, {Engine: 8}}})
+	outs := rdma.Process(ctxRDMA, cache.Process(ctxCache, m2)[0].Msg)
+	if len(outs) != 1 || outs[0].To != packet.AddrInvalid {
+		t.Fatalf("shed outs = %+v", outs)
+	}
+	hop, ok := outs[0].Msg.Chain().Current()
+	if !ok || hop.Engine != 8 {
+		t.Errorf("shed request chain at %v, want DMA hop", hop)
+	}
+	k := outs[0].Msg.Pkt.Layer(packet.LayerTypeKVS).(*packet.KVS)
+	if k.Flags&packet.KVSFlagMiss == 0 {
+		t.Error("shed request not marked for the host path")
+	}
+}
+
+// TestTxDMAFetchesAtPCIeRate checks the TX-DMA generator paces fetches.
+func TestTxDMAFetchesAtPCIeRate(t *testing.T) {
+	src := &queueSource{}
+	for i := 0; i < 50; i++ {
+		src.msgs = append(src.msgs, &packet.Message{ID: uint64(i), Pkt: &packet.Packet{PayloadLen: 1000}})
+	}
+	// 8 Gbps at 500 MHz = 16 bits/cycle; 1000B = 8000 bits = 500
+	// cycles/message; 50 messages ≈ 25k cycles.
+	tx := NewTxDMAEngine(8, 500e6, src)
+	ctx := &Ctx{}
+	fetched := 0
+	var doneAt uint64
+	for c := uint64(0); c < 60_000 && fetched < 50; c++ {
+		ctx.Now = c
+		fetched += len(tx.Generate(ctx))
+		doneAt = c
+	}
+	if fetched != 50 {
+		t.Fatalf("fetched %d/50", fetched)
+	}
+	if doneAt < 20_000 || doneAt > 30_000 {
+		t.Errorf("fetch pacing finished at %d, want ~25000", doneAt)
+	}
+	if tx.Fetched() != 50 {
+		t.Errorf("Fetched = %d", tx.Fetched())
+	}
+}
+
+// TestTxDMAConsumesStrays: messages misrouted to the TX engine are
+// consumed without panicking.
+func TestTxDMAConsumesStrays(t *testing.T) {
+	tx := NewTxDMAEngine(8, 500e6, nil)
+	if outs := tx.Process(&Ctx{}, kvsGet(1, 1, 1)); len(outs) != 0 {
+		t.Errorf("stray produced outs: %+v", outs)
+	}
+	if tx.Generate(&Ctx{}) != nil {
+		t.Error("nil-source generator produced output")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config did not panic")
+		}
+	}()
+	NewTxDMAEngine(0, 1, nil)
+}

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/panic-nic/panic/internal/noc"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/rmt"
+	"github.com/panic-nic/panic/internal/sched"
+)
+
+// RMTTile is an RMT engine (Figure 3b): a timed match+action pipeline
+// attached to the fabric through the same scheduling queue and router
+// interface as an offload tile. It accepts one message per cycle and holds
+// each for the pipeline latency; when the downstream fabric stalls, the
+// whole pipeline stalls.
+type RMTTile struct {
+	cfg    TileConfig
+	pipe   *rmt.Pipeline
+	fab    noc.Fabric
+	routes *RouteTable
+	queue  *sched.Queue
+	rank   sched.RankFunc
+
+	outbox []resolvedOut
+	stats  RMTStats
+}
+
+// RMTStats are an RMT tile's counters.
+type RMTStats struct {
+	// Accepted counts messages admitted into the pipeline.
+	Accepted uint64
+	// Emitted counts messages sent onward into the fabric.
+	Emitted uint64
+	// Dropped counts program drops plus parse errors.
+	Dropped uint64
+	// Unrouted counts pipeline outputs whose program built no chain
+	// (a program bug; they are discarded and counted).
+	Unrouted uint64
+	// StallCycles counts cycles the pipeline was frozen by fabric
+	// backpressure.
+	StallCycles uint64
+	// QueueDropped counts messages shed by the scheduling queue.
+	QueueDropped uint64
+}
+
+// NewRMTTile builds an RMT engine tile. The rank function defaults to FIFO
+// — most traffic reaching the pipeline carries no slack yet.
+func NewRMTTile(cfg TileConfig, pipe *rmt.Pipeline, fab noc.Fabric, routes *RouteTable) *RMTTile {
+	if cfg.QueueCap < 1 {
+		panic(fmt.Sprintf("engine: RMT tile queue capacity %d", cfg.QueueCap))
+	}
+	if !routes.Has(cfg.Addr) || routes.Lookup(cfg.Addr) != cfg.Node {
+		panic("engine: RMT tile address not bound to its node")
+	}
+	rank := cfg.Rank
+	if rank == nil {
+		rank = sched.RankFIFO
+	}
+	return &RMTTile{
+		cfg:    cfg,
+		pipe:   pipe,
+		fab:    fab,
+		routes: routes,
+		queue:  sched.NewQueue(cfg.QueueCap, cfg.Policy),
+		rank:   rank,
+	}
+}
+
+// Name identifies the tile.
+func (t *RMTTile) Name() string { return fmt.Sprintf("rmt@%d", t.cfg.Addr) }
+
+// Addr returns the tile's logical address.
+func (t *RMTTile) Addr() packet.Addr { return t.cfg.Addr }
+
+// Node returns the tile's fabric node.
+func (t *RMTTile) Node() noc.NodeID { return t.cfg.Node }
+
+// Stats returns a copy of the counters.
+func (t *RMTTile) Stats() RMTStats { return t.stats }
+
+// Pipeline exposes the wrapped pipeline (for test inspection).
+func (t *RMTTile) Pipeline() *rmt.Pipeline { return t.pipe }
+
+// QueueLen returns the scheduling-queue occupancy.
+func (t *RMTTile) QueueLen() int { return t.queue.Len() }
+
+// Idle reports whether the tile has no work in flight.
+func (t *RMTTile) Idle() bool {
+	processed, _, _ := t.pipe.Stats()
+	return t.queue.Len() == 0 && len(t.outbox) == 0 && t.stats.Accepted <= processed
+}
+
+// Tick implements sim.Ticker.
+func (t *RMTTile) Tick(cycle uint64) {
+	// 1. Drain the outbox; a blocked outbox freezes the pipeline below.
+	sent := 0
+	for _, o := range t.outbox {
+		if !t.fab.CanInject(t.cfg.Node, o.dst) {
+			break
+		}
+		t.fab.Inject(t.cfg.Node, o.dst, o.msg)
+		t.stats.Emitted++
+		sent++
+	}
+	t.outbox = t.outbox[:copy(t.outbox, t.outbox[sent:])]
+
+	// 2. Advance the pipeline unless backpressured.
+	if len(t.outbox) == 0 {
+		if res, ok := t.pipe.Tick(); ok {
+			t.route(res.Msg)
+		}
+		// 3. Admit one message per cycle.
+		if t.pipe.CanAccept() {
+			if msg, ok := t.queue.Pop(); ok {
+				t.pipe.Accept(msg, cycle)
+				t.stats.Accepted++
+			}
+		}
+	} else {
+		t.stats.StallCycles++
+	}
+	_, dropped, _ := t.pipe.Stats() // parse errors are counted as drops
+	t.stats.Dropped = dropped
+
+	// 4. Accept arrivals from the fabric.
+	for {
+		if t.queue.Full() && t.cfg.Policy == sched.Backpressure {
+			break
+		}
+		msg, ok := t.fab.TryEject(t.cfg.Node)
+		if !ok {
+			break
+		}
+		slack := uint32(0)
+		if c := msg.Chain(); c != nil {
+			if hop, hok := c.Current(); hok && hop.Engine == t.cfg.Addr {
+				slack = hop.Slack
+			}
+		}
+		msg.EnqueuedAt = cycle
+		if t.cfg.TraceVisits {
+			msg.Trace = append(msg.Trace, packet.Visit{Engine: t.cfg.Addr, Enqueued: cycle})
+		}
+		res := t.queue.Push(msg, t.rank(msg, slack, cycle))
+		if res.Dropped != nil {
+			t.stats.QueueDropped++
+		}
+	}
+}
+
+// route forwards a pipeline output toward its chain's current hop. If the
+// chain's current hop is this RMT tile itself (the pipeline listed itself
+// to regenerate a chain remainder later, §3.1.2), the cursor advances past
+// it first.
+func (t *RMTTile) route(msg *packet.Message) {
+	c := msg.Chain()
+	if c == nil {
+		t.stats.Unrouted++
+		return
+	}
+	hop, ok := c.Current()
+	if ok && hop.Engine == t.cfg.Addr {
+		hop, ok = c.Advance()
+		msg.Pkt.Serialize()
+	}
+	if !ok {
+		t.stats.Unrouted++
+		return
+	}
+	t.outbox = append(t.outbox, resolvedOut{msg: msg, dst: t.routes.Lookup(hop.Engine)})
+}

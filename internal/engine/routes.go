@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/panic-nic/panic/internal/noc"
+	"github.com/panic-nic/panic/internal/packet"
+)
+
+// RouteTable is the lightweight lookup table replicated at every engine
+// (§3.1.2): it resolves logical engine addresses from chain headers to
+// on-chip network nodes without a heavyweight RMT traversal, at a cost the
+// paper models as one cycle (included in the tile's send path).
+//
+// All tiles share one table object in this model; per-tile divergence is
+// not needed because the mapping is global configuration, but the type
+// supports cloning if an experiment wants inconsistent tables.
+type RouteTable struct {
+	nodes map[packet.Addr]noc.NodeID
+	// defaultTo is where chainless (or chain-exhausted) messages go:
+	// the heavyweight RMT pipeline.
+	defaultTo packet.Addr
+}
+
+// NewRouteTable creates an empty table.
+func NewRouteTable() *RouteTable {
+	return &RouteTable{nodes: make(map[packet.Addr]noc.NodeID)}
+}
+
+// Bind maps an engine address to a fabric node. Rebinding an address
+// panics: addresses are global configuration.
+func (r *RouteTable) Bind(addr packet.Addr, node noc.NodeID) {
+	if addr == packet.AddrInvalid {
+		panic("engine: cannot bind the invalid address")
+	}
+	if _, dup := r.nodes[addr]; dup {
+		panic(fmt.Sprintf("engine: address %d already bound", addr))
+	}
+	r.nodes[addr] = node
+}
+
+// SetDefault installs the default route (normally the RMT pipeline's
+// address; with multiple parallel pipelines, a dispatcher address).
+func (r *RouteTable) SetDefault(addr packet.Addr) { r.defaultTo = addr }
+
+// Default returns the default route address.
+func (r *RouteTable) Default() packet.Addr { return r.defaultTo }
+
+// Lookup resolves an address. Unknown addresses panic: a chain referencing
+// an unbound engine is a control-plane bug.
+func (r *RouteTable) Lookup(addr packet.Addr) noc.NodeID {
+	n, ok := r.nodes[addr]
+	if !ok {
+		panic(fmt.Sprintf("engine: no route for address %d", addr))
+	}
+	return n
+}
+
+// Has reports whether an address is bound.
+func (r *RouteTable) Has(addr packet.Addr) bool {
+	_, ok := r.nodes[addr]
+	return ok
+}
+
+// Clone returns an independent copy (for experiments with per-tile
+// tables).
+func (r *RouteTable) Clone() *RouteTable {
+	c := NewRouteTable()
+	for a, n := range r.nodes {
+		c.nodes[a] = n
+	}
+	c.defaultTo = r.defaultTo
+	return c
+}

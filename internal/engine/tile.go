@@ -1,0 +1,312 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/panic-nic/panic/internal/noc"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/sched"
+	"github.com/panic-nic/panic/internal/sim"
+)
+
+// TileConfig parameterizes a tile.
+type TileConfig struct {
+	// Addr is the tile's logical engine address (must be bound in the
+	// route table).
+	Addr packet.Addr
+	// Node is the tile's attachment point on the fabric.
+	Node noc.NodeID
+	// QueueCap is the scheduling queue capacity in messages.
+	QueueCap int
+	// Policy is the queue's overflow policy (lossless backpressure or
+	// priority drop).
+	Policy sched.Policy
+	// Rank orders the scheduling queue; nil means LSTF on chain slack.
+	Rank sched.RankFunc
+	// DefaultTo overrides the route table's default route for this tile;
+	// AddrInvalid uses the table default.
+	DefaultTo packet.Addr
+	// DefaultSpread, when non-empty, sprays chainless traffic across the
+	// given addresses round-robin per message — how ingress hardware
+	// load-balances across parallel RMT pipelines. Takes precedence over
+	// DefaultTo.
+	DefaultSpread []packet.Addr
+	// TraceVisits records per-engine Visit entries on messages (tests
+	// and examples; costs an append per hop).
+	TraceVisits bool
+}
+
+// TileStats are one tile's counters.
+type TileStats struct {
+	// Processed counts messages whose service completed.
+	Processed uint64
+	// BusyCycles counts cycles the engine was serving a message.
+	BusyCycles uint64
+	// Dropped counts messages shed by the scheduling queue.
+	Dropped uint64
+	// Emitted counts messages sent into the fabric.
+	Emitted uint64
+	// QueueWaitTotal accumulates enqueue-to-service-start cycles.
+	QueueWaitTotal uint64
+	// StallCycles counts cycles the tile wanted to inject but the
+	// fabric had no space.
+	StallCycles uint64
+}
+
+// MeanQueueWait returns the mean scheduling-queue wait in cycles.
+func (s TileStats) MeanQueueWait() float64 {
+	if s.Processed == 0 {
+		return 0
+	}
+	return float64(s.QueueWaitTotal) / float64(s.Processed)
+}
+
+// Tile is an offload engine attached to the fabric: scheduling queue +
+// compute + lightweight route lookup (Figure 3a). It implements
+// sim.Ticker.
+type Tile struct {
+	cfg    TileConfig
+	eng    Engine
+	fab    noc.Fabric
+	routes *RouteTable
+	queue  *sched.Queue
+	rank   sched.RankFunc
+	ctx    Ctx
+
+	// Service state.
+	cur      *packet.Message
+	busyLeft uint64
+
+	// Send state: resolved messages awaiting fabric space, plus delayed
+	// emissions ordered by due cycle.
+	outbox     []resolvedOut
+	pending    []delayedOut
+	spreadNext int
+
+	stats TileStats
+	// DropSink, when set, receives messages shed by the queue.
+	DropSink Sink
+}
+
+type resolvedOut struct {
+	msg *packet.Message
+	dst noc.NodeID
+}
+
+type delayedOut struct {
+	due uint64
+	out Out
+}
+
+// NewTile builds a tile around an engine. The tile's address must already
+// be bound to its node in the route table.
+func NewTile(cfg TileConfig, eng Engine, fab noc.Fabric, routes *RouteTable, rng *sim.RNG) *Tile {
+	if cfg.QueueCap < 1 {
+		panic(fmt.Sprintf("engine: tile %q queue capacity %d", eng.Name(), cfg.QueueCap))
+	}
+	if !routes.Has(cfg.Addr) {
+		panic(fmt.Sprintf("engine: tile %q address %d not bound in route table", eng.Name(), cfg.Addr))
+	}
+	if routes.Lookup(cfg.Addr) != cfg.Node {
+		panic(fmt.Sprintf("engine: tile %q bound to node %d but configured at %d", eng.Name(), routes.Lookup(cfg.Addr), cfg.Node))
+	}
+	rank := cfg.Rank
+	if rank == nil {
+		rank = sched.RankLSTF
+	}
+	return &Tile{
+		cfg:    cfg,
+		eng:    eng,
+		fab:    fab,
+		routes: routes,
+		queue:  sched.NewQueue(cfg.QueueCap, cfg.Policy),
+		rank:   rank,
+		ctx:    Ctx{RNG: rng, Addr: cfg.Addr},
+	}
+}
+
+// Name returns the engine name.
+func (t *Tile) Name() string { return t.eng.Name() }
+
+// Addr returns the tile's logical address.
+func (t *Tile) Addr() packet.Addr { return t.cfg.Addr }
+
+// Node returns the tile's fabric node.
+func (t *Tile) Node() noc.NodeID { return t.cfg.Node }
+
+// Engine returns the wrapped engine (for test inspection).
+func (t *Tile) Engine() Engine { return t.eng }
+
+// Stats returns a copy of the tile's counters.
+func (t *Tile) Stats() TileStats { return t.stats }
+
+// QueueStats exposes the scheduling queue's counters.
+func (t *Tile) QueueStats() (pushed, popped, drops, rejects uint64, highWater int) {
+	return t.queue.Stats()
+}
+
+// QueueLen returns the current scheduling-queue occupancy.
+func (t *Tile) QueueLen() int { return t.queue.Len() }
+
+// Idle reports whether the tile has no work in flight (for drain checks).
+func (t *Tile) Idle() bool {
+	return t.cur == nil && t.queue.Len() == 0 && len(t.outbox) == 0 && len(t.pending) == 0
+}
+
+// Tick implements sim.Ticker.
+func (t *Tile) Tick(cycle uint64) {
+	t.ctx.Now = cycle
+
+	// 1. Spontaneous generation (ingress MACs).
+	if g, ok := t.eng.(Generator); ok {
+		for _, out := range g.Generate(&t.ctx) {
+			t.stage(out)
+		}
+	}
+
+	// 2. Promote due delayed emissions, preserving emission order.
+	kept := t.pending[:0]
+	for _, d := range t.pending {
+		if d.due <= cycle {
+			d.out.Delay = 0
+			t.stage(d.out)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	t.pending = kept
+
+	// 3. Drain the outbox into the fabric.
+	sent := 0
+	for _, o := range t.outbox {
+		if !t.fab.CanInject(t.cfg.Node, o.dst) {
+			t.stats.StallCycles++
+			break
+		}
+		t.fab.Inject(t.cfg.Node, o.dst, o.msg)
+		t.stats.Emitted++
+		sent++
+	}
+	t.outbox = t.outbox[:copy(t.outbox, t.outbox[sent:])]
+
+	// 4. Advance service.
+	if t.cur != nil {
+		t.stats.BusyCycles++
+		t.busyLeft--
+		if t.busyLeft == 0 {
+			msg := t.cur
+			t.cur = nil
+			t.stats.Processed++
+			for _, out := range t.eng.Process(&t.ctx, msg) {
+				t.stage(out)
+			}
+		}
+	}
+
+	// 5. Start the next message.
+	if t.cur == nil {
+		if msg, ok := t.queue.Pop(); ok {
+			t.cur = msg
+			var svc uint64
+			if te, ok := t.eng.(TimedEngine); ok {
+				svc = te.ServiceCyclesAt(&t.ctx, msg)
+			} else {
+				svc = t.eng.ServiceCycles(msg)
+			}
+			if svc == 0 {
+				svc = 1
+			}
+			t.busyLeft = svc
+			if t.cfg.TraceVisits && len(msg.Trace) > 0 {
+				msg.Trace[len(msg.Trace)-1].Started = cycle
+			}
+			t.stats.QueueWaitTotal += cycle - msg.EnqueuedAt
+		}
+	}
+
+	// 6. Accept arrivals from the fabric into the scheduling queue. Under
+	// backpressure policy a full queue leaves messages in the network
+	// (lossless); under drop policy the queue sheds the worst-ranked.
+	for {
+		if t.queue.Full() && t.queue.Cap() > 0 && t.cfg.Policy == sched.Backpressure {
+			break
+		}
+		msg, ok := t.fab.TryEject(t.cfg.Node)
+		if !ok {
+			break
+		}
+		t.admit(msg, cycle)
+	}
+}
+
+// admit pushes an arrived message into the scheduling queue.
+func (t *Tile) admit(msg *packet.Message, cycle uint64) {
+	slack := uint32(0)
+	if c := msg.Chain(); c != nil {
+		if hop, ok := c.Current(); ok && hop.Engine == t.cfg.Addr {
+			slack = hop.Slack
+		}
+	}
+	msg.EnqueuedAt = cycle
+	if t.cfg.TraceVisits {
+		msg.Trace = append(msg.Trace, packet.Visit{Engine: t.cfg.Addr, Enqueued: cycle})
+	}
+	res := t.queue.Push(msg, t.rank(msg, slack, cycle))
+	if res.Dropped != nil {
+		t.stats.Dropped++
+		if t.DropSink != nil {
+			t.DropSink.Deliver(res.Dropped, cycle)
+		}
+	}
+}
+
+// stage routes an Out and places it in the outbox (or the delay list).
+func (t *Tile) stage(out Out) {
+	if out.Delay > 0 {
+		t.pending = append(t.pending, delayedOut{due: t.ctx.Now + out.Delay, out: Out{Msg: out.Msg, To: out.To}})
+		return
+	}
+	to := out.To
+	if to == packet.AddrInvalid {
+		to = t.nextFromChain(out.Msg)
+	}
+	t.outbox = append(t.outbox, resolvedOut{msg: out.Msg, dst: t.routes.Lookup(to)})
+}
+
+// nextFromChain advances the message's chain past this tile's hop and
+// returns the next engine, or the default route when the chain is absent,
+// exhausted, or positioned elsewhere (§3.1.2: unknown continuations return
+// to the heavyweight RMT pipeline).
+func (t *Tile) nextFromChain(msg *packet.Message) packet.Addr {
+	c := msg.Chain()
+	if c == nil {
+		return t.defaultRoute()
+	}
+	hop, ok := c.Current()
+	if !ok {
+		return t.defaultRoute()
+	}
+	if hop.Engine != t.cfg.Addr {
+		// A chain built by the RMT pipeline whose first hop is not this
+		// tile: forward toward that hop.
+		return hop.Engine
+	}
+	next, ok := c.Advance()
+	msg.Pkt.Serialize() // cursor moved; keep wire bytes consistent
+	if !ok {
+		return t.defaultRoute()
+	}
+	return next.Engine
+}
+
+func (t *Tile) defaultRoute() packet.Addr {
+	if len(t.cfg.DefaultSpread) > 0 {
+		a := t.cfg.DefaultSpread[t.spreadNext%len(t.cfg.DefaultSpread)]
+		t.spreadNext++
+		return a
+	}
+	if t.cfg.DefaultTo != packet.AddrInvalid {
+		return t.cfg.DefaultTo
+	}
+	return t.routes.Default()
+}

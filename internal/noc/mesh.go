@@ -1,0 +1,417 @@
+package noc
+
+import (
+	"fmt"
+
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/sim"
+)
+
+// Port directions on a mesh router. Local is the tile attachment.
+const (
+	portLocal = iota
+	portNorth
+	portEast
+	portSouth
+	portWest
+	numPorts
+)
+
+var oppositePort = [numPorts]int{portLocal, portSouth, portWest, portNorth, portEast}
+
+// MeshConfig parameterizes a 2D mesh.
+type MeshConfig struct {
+	// Width and Height are the mesh dimensions in tiles.
+	Width, Height int
+	// FlitWidthBits is the channel width; a message of b bits occupies
+	// ceil(b/FlitWidthBits) flits.
+	FlitWidthBits int
+	// BufferDepth is the per-input-port buffer depth in flits (per
+	// virtual channel). Values below 2 halve channel throughput (the
+	// credit loop needs a flit in flight plus one buffered); NewMesh
+	// rejects them.
+	BufferDepth int
+	// VirtualChannels is the number of virtual channels per physical
+	// link (0 or 1 = plain wormhole). Packets are assigned a VC at
+	// injection and keep it end to end; flits of packets on different
+	// VCs interleave on a link, so one blocked packet no longer stalls
+	// the wire — the standard answer to the paper's §6 flow-control
+	// question. XY routing stays deadlock-free with any VC count.
+	VirtualChannels int
+	// InjectDepth and EjectDepth are the per-node message queue depths at
+	// the local ports.
+	InjectDepth, EjectDepth int
+}
+
+// DefaultMeshConfig returns the paper's default operating point: a 6×6 mesh
+// of 64-bit channels (Table 3, first row).
+func DefaultMeshConfig() MeshConfig {
+	return MeshConfig{Width: 6, Height: 6, FlitWidthBits: 64, BufferDepth: 8, VirtualChannels: 1, InjectDepth: 8, EjectDepth: 8}
+}
+
+// Mesh is a 2D mesh of wormhole routers. It implements Fabric and
+// sim.Ticker; RegisterWith attaches it and all its staged queues to a
+// kernel.
+type Mesh struct {
+	cfg     MeshConfig
+	vcs     int
+	routers []*router
+	stats   Stats
+	now     uint64
+}
+
+// injEntry is a message waiting at a local injection port.
+type injEntry struct {
+	msg    *packet.Message
+	dst    NodeID
+	flits  int
+	enqued uint64
+}
+
+type router struct {
+	m      *Mesh
+	id     NodeID
+	x, y   int
+	in     [numPorts][]*sim.FIFO[Flit] // [port][vc]; in[portLocal] unused
+	inj    injector
+	ejectQ *sim.FIFO[*packet.Message]
+	// assembly reassembles one message per VC at the local output.
+	assembly []struct {
+		msg    *packet.Message
+		enqued uint64
+	}
+	// holder[out][vc] is the input port whose wormhole owns that VC lane
+	// of the output, or -1.
+	holder   [numPorts][]int
+	rrIn     [numPorts]int // round-robin pointer over inputs, per output
+	rrVC     [numPorts]int // round-robin pointer over VCs, per output
+	consumed [numPorts]bool
+	neighbor [numPorts]*router
+}
+
+// injector serializes queued messages into flits at the local input port.
+// Each virtual channel has an independent lane, so a backpressured packet
+// does not block later packets on other VCs; the physical port still
+// emits at most one flit per cycle. Packets are assigned to VCs by
+// destination, which preserves per-(src,dst) ordering — packets to the
+// same destination always share a lane and a single wormhole path.
+type injector struct {
+	lanes []injLane
+}
+
+type injLane struct {
+	q     *sim.FIFO[injEntry]
+	cur   injEntry
+	sent  int
+	valid bool
+}
+
+// vcFor maps a destination to its virtual channel.
+func (i *injector) vcFor(dst NodeID) int { return int(dst) % len(i.lanes) }
+
+// peek returns the candidate flit on the given VC lane, if any. An idle
+// lane offers the head of its own message queue.
+func (i *injector) peek(vc int) (Flit, bool) {
+	l := &i.lanes[vc]
+	if l.valid {
+		last := l.sent == l.cur.flits-1
+		return Flit{Dst: l.cur.dst, VC: vc, Head: false, Tail: last}, true
+	}
+	e, ok := l.q.Peek()
+	if !ok {
+		return Flit{}, false
+	}
+	return Flit{Msg: e.msg, Dst: e.dst, VC: vc, Head: true, Tail: e.flits == 1, Enq: e.enqued}, true
+}
+
+func (i *injector) pop(vc int) {
+	l := &i.lanes[vc]
+	if l.valid {
+		l.sent++
+		if l.sent == l.cur.flits {
+			l.valid = false
+		}
+		return
+	}
+	e := l.q.Pop()
+	if e.flits > 1 {
+		l.cur, l.sent, l.valid = e, 1, true
+	}
+}
+
+// NewMesh builds a Width×Height mesh.
+func NewMesh(cfg MeshConfig) *Mesh {
+	if cfg.Width < 1 || cfg.Height < 1 {
+		panic(fmt.Sprintf("noc: invalid mesh %dx%d", cfg.Width, cfg.Height))
+	}
+	if cfg.FlitWidthBits < 1 {
+		panic("noc: flit width must be positive")
+	}
+	if cfg.BufferDepth < 2 {
+		panic("noc: buffer depth below 2 cannot sustain wormhole throughput")
+	}
+	if cfg.InjectDepth < 1 || cfg.EjectDepth < 1 {
+		panic("noc: local queue depths must be positive")
+	}
+	if cfg.VirtualChannels < 0 {
+		panic("noc: negative virtual channel count")
+	}
+	vcs := cfg.VirtualChannels
+	if vcs == 0 {
+		vcs = 1
+	}
+	m := &Mesh{cfg: cfg, vcs: vcs}
+	n := cfg.Width * cfg.Height
+	m.routers = make([]*router, n)
+	for id := range m.routers {
+		r := &router{m: m, id: NodeID(id), x: id % cfg.Width, y: id / cfg.Width}
+		for p := portNorth; p < numPorts; p++ {
+			r.in[p] = make([]*sim.FIFO[Flit], vcs)
+			for v := 0; v < vcs; v++ {
+				r.in[p][v] = sim.NewFIFO[Flit](cfg.BufferDepth)
+			}
+		}
+		r.inj.lanes = make([]injLane, vcs)
+		for v := range r.inj.lanes {
+			r.inj.lanes[v].q = sim.NewFIFO[injEntry](cfg.InjectDepth)
+		}
+		r.ejectQ = sim.NewFIFO[*packet.Message](cfg.EjectDepth)
+		r.assembly = make([]struct {
+			msg    *packet.Message
+			enqued uint64
+		}, vcs)
+		for p := range r.holder {
+			r.holder[p] = make([]int, vcs)
+			for v := range r.holder[p] {
+				r.holder[p][v] = -1
+			}
+		}
+		m.routers[id] = r
+	}
+	for _, r := range m.routers {
+		if r.y > 0 {
+			r.neighbor[portNorth] = m.routers[int(r.id)-cfg.Width]
+		}
+		if r.y < cfg.Height-1 {
+			r.neighbor[portSouth] = m.routers[int(r.id)+cfg.Width]
+		}
+		if r.x > 0 {
+			r.neighbor[portWest] = m.routers[int(r.id)-1]
+		}
+		if r.x < cfg.Width-1 {
+			r.neighbor[portEast] = m.routers[int(r.id)+1]
+		}
+	}
+	return m
+}
+
+// RegisterWith attaches the mesh and its staged state to a kernel.
+func (m *Mesh) RegisterWith(k *sim.Kernel) {
+	k.Register(m)
+	for _, r := range m.routers {
+		for p := portNorth; p < numPorts; p++ {
+			for _, f := range r.in[p] {
+				k.Register(f)
+			}
+		}
+		for v := range r.inj.lanes {
+			k.Register(r.inj.lanes[v].q)
+		}
+		k.Register(r.ejectQ)
+	}
+}
+
+// Config returns the mesh configuration.
+func (m *Mesh) Config() MeshConfig { return m.cfg }
+
+// Nodes implements Fabric.
+func (m *Mesh) Nodes() int { return len(m.routers) }
+
+// NodeAt returns the node at mesh coordinate (x, y).
+func (m *Mesh) NodeAt(x, y int) NodeID {
+	if x < 0 || x >= m.cfg.Width || y < 0 || y >= m.cfg.Height {
+		panic(fmt.Sprintf("noc: NodeAt(%d,%d) outside %dx%d mesh", x, y, m.cfg.Width, m.cfg.Height))
+	}
+	return NodeID(y*m.cfg.Width + x)
+}
+
+// CoordOf returns the mesh coordinate of a node.
+func (m *Mesh) CoordOf(id NodeID) Coord {
+	return Coord{X: int(id) % m.cfg.Width, Y: int(id) / m.cfg.Width}
+}
+
+// FlitsFor implements Fabric.
+func (m *Mesh) FlitsFor(msg *packet.Message) int {
+	return flitsFor(msg.WireLen(), m.cfg.FlitWidthBits)
+}
+
+// CanInject implements Fabric.
+func (m *Mesh) CanInject(src, dst NodeID) bool {
+	inj := &m.routers[src].inj
+	return inj.lanes[inj.vcFor(dst)].q.CanPush()
+}
+
+// Inject implements Fabric.
+func (m *Mesh) Inject(src, dst NodeID, msg *packet.Message) {
+	if int(dst) < 0 || int(dst) >= len(m.routers) {
+		panic(fmt.Sprintf("noc: Inject to invalid node %d", dst))
+	}
+	inj := &m.routers[src].inj
+	inj.lanes[inj.vcFor(dst)].q.Push(injEntry{msg: msg, dst: dst, flits: m.FlitsFor(msg), enqued: m.now})
+	m.stats.Injected++
+}
+
+// TryEject implements Fabric.
+func (m *Mesh) TryEject(node NodeID) (*packet.Message, bool) {
+	q := m.routers[node].ejectQ
+	if !q.CanPop() {
+		return nil, false
+	}
+	return q.Pop(), true
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Mesh) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the accumulated statistics (for measuring steady state
+// after warmup).
+func (m *Mesh) ResetStats() { m.stats = Stats{} }
+
+// Tick implements sim.Ticker: one cycle of every router.
+func (m *Mesh) Tick(cycle uint64) {
+	m.now = cycle
+	for _, r := range m.routers {
+		r.tick()
+	}
+}
+
+// peekIn returns the head flit at (input port, vc).
+func (r *router) peekIn(p, vc int) (Flit, bool) {
+	if p == portLocal {
+		return r.inj.peek(vc)
+	}
+	return r.in[p][vc].Peek()
+}
+
+func (r *router) popIn(p, vc int) {
+	if p == portLocal {
+		r.inj.pop(vc)
+		return
+	}
+	r.in[p][vc].Pop()
+}
+
+// route returns the output port for a flit under XY dimension-order
+// routing.
+func (r *router) route(dst NodeID) int {
+	dx := int(dst)%r.m.cfg.Width - r.x
+	dy := int(dst)/r.m.cfg.Width - r.y
+	switch {
+	case dx > 0:
+		return portEast
+	case dx < 0:
+		return portWest
+	case dy > 0:
+		return portSouth
+	case dy < 0:
+		return portNorth
+	default:
+		return portLocal
+	}
+}
+
+// canAccept reports whether output port o can take one more flit on the
+// flit's VC.
+func (r *router) canAccept(o int, f Flit) bool {
+	if o == portLocal {
+		if f.Head {
+			// Reserve an eject slot: other VCs mid-assembly also hold
+			// reservations.
+			free := r.ejectQ.Cap() - r.ejectQ.Len()
+			reserved := 0
+			for v := range r.assembly {
+				if v != f.VC && r.assembly[v].msg != nil {
+					reserved++
+				}
+			}
+			return free > reserved
+		}
+		return true
+	}
+	nb := r.neighbor[o]
+	if nb == nil {
+		panic(fmt.Sprintf("noc: route to missing neighbor %d from %v", o, r.m.CoordOf(r.id)))
+	}
+	return nb.in[oppositePort[o]][f.VC].CanPush()
+}
+
+// deliver moves a flit out through output port o.
+func (r *router) deliver(o int, f Flit) {
+	if o == portLocal {
+		a := &r.assembly[f.VC]
+		if f.Head {
+			a.msg, a.enqued = f.Msg, f.Enq
+		}
+		if f.Tail {
+			msg := a.msg
+			a.msg = nil
+			r.ejectQ.Push(msg)
+			r.m.stats.Delivered++
+			r.m.stats.TotalLatency += r.m.now - a.enqued
+		}
+		return
+	}
+	r.neighbor[o].in[oppositePort[o]][f.VC].Push(f)
+	r.m.stats.FlitHops++
+}
+
+func (r *router) tick() {
+	for p := range r.consumed {
+		r.consumed[p] = false
+	}
+	vcs := r.m.vcs
+	for o := 0; o < numPorts; o++ {
+		// One flit per output per cycle; VCs take turns (round-robin),
+		// letting packets interleave on the physical link.
+		sent := false
+		for vi := 0; vi < vcs && !sent; vi++ {
+			v := (r.rrVC[o] + vi) % vcs
+			if h := r.holder[o][v]; h >= 0 {
+				f, ok := r.peekIn(h, v)
+				if !ok || r.consumed[h] || !r.canAccept(o, f) {
+					continue
+				}
+				r.popIn(h, v)
+				r.consumed[h] = true
+				r.deliver(o, f)
+				if f.Tail {
+					r.holder[o][v] = -1
+				}
+				r.rrVC[o] = (v + 1) % vcs
+				sent = true
+				continue
+			}
+			// Allocate this VC lane to a waiting head flit.
+			for ii := 0; ii < numPorts; ii++ {
+				in := (r.rrIn[o] + ii) % numPorts
+				if r.consumed[in] {
+					continue
+				}
+				f, ok := r.peekIn(in, v)
+				if !ok || !f.Head || r.route(f.Dst) != o || !r.canAccept(o, f) {
+					continue
+				}
+				r.popIn(in, v)
+				r.consumed[in] = true
+				r.deliver(o, f)
+				if !f.Tail {
+					r.holder[o][v] = in
+				}
+				r.rrIn[o] = (in + 1) % numPorts
+				r.rrVC[o] = (v + 1) % vcs
+				sent = true
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/panic-nic/panic/internal/sim"
+)
+
+// TestPropertyMeshDeliversEverything: for arbitrary small meshes, message
+// sizes, and traffic, every injected message is delivered exactly once and
+// per-(src,dst) order is preserved.
+func TestPropertyMeshDeliversEverything(t *testing.T) {
+	type key struct{ src, dst NodeID }
+	prop := func(wSeed, hSeed, widthSeed uint8, seed uint64, msgCount uint8) bool {
+		w := 1 + int(wSeed%4)
+		h := 1 + int(hSeed%4)
+		cfg := MeshConfig{
+			Width: w, Height: h,
+			FlitWidthBits: 32 * (1 + int(widthSeed%4)),
+			BufferDepth:   2 + int(widthSeed%6),
+			InjectDepth:   4, EjectDepth: 4,
+		}
+		m := NewMesh(cfg)
+		k := sim.NewKernel(1 * sim.GHz)
+		m.RegisterWith(k)
+		rng := sim.NewRNG(seed)
+		total := 1 + int(msgCount%60)
+
+		next := 0
+		seq := make(map[key][]uint64)
+		got := make(map[key][]uint64)
+		deliveredIDs := make(map[uint64]int)
+		k.Register(sim.TickFunc(func(uint64) {
+			for node := 0; node < m.Nodes(); node++ {
+				id := NodeID(node)
+				for {
+					mm, ok := m.TryEject(id)
+					if !ok {
+						break
+					}
+					deliveredIDs[mm.ID]++
+					kk := key{NodeID(mm.Tenant), id} // src smuggled in Tenant
+					got[kk] = append(got[kk], mm.ID)
+				}
+			}
+			if next < total {
+				src := NodeID(rng.Intn(m.Nodes()))
+				dst := NodeID(rng.Intn(m.Nodes()))
+				if m.CanInject(src, dst) {
+					msg := testMsg(1 + rng.Intn(100))
+					next++
+					msg.ID = uint64(next)
+					msg.Tenant = uint16(src)
+					m.Inject(src, dst, msg)
+					seq[key{src, dst}] = append(seq[key{src, dst}], msg.ID)
+				}
+			}
+		}))
+		k.Run(uint64(3000 + 200*total))
+		if len(deliveredIDs) != total {
+			return false
+		}
+		for _, n := range deliveredIDs {
+			if n != 1 {
+				return false
+			}
+		}
+		for kk, want := range seq {
+			have := got[kk]
+			if len(have) != len(want) {
+				return false
+			}
+			for i := range want {
+				if have[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFlitConservation: flit-hop count equals the sum over
+// messages of flits × hop distance (XY routing takes exactly the Manhattan
+// path, and the network neither creates nor destroys flits).
+func TestPropertyFlitConservation(t *testing.T) {
+	prop := func(seed uint64, n uint8) bool {
+		cfg := MeshConfig{Width: 4, Height: 4, FlitWidthBits: 64, BufferDepth: 4, InjectDepth: 64, EjectDepth: 64}
+		m := NewMesh(cfg)
+		k := sim.NewKernel(1 * sim.GHz)
+		m.RegisterWith(k)
+		rng := sim.NewRNG(seed)
+		total := 1 + int(n%20)
+		expectedHops := uint64(0)
+		injected := 0
+		k.Register(sim.TickFunc(func(uint64) {
+			for node := 0; node < m.Nodes(); node++ {
+				for {
+					if _, ok := m.TryEject(NodeID(node)); !ok {
+						break
+					}
+				}
+			}
+			if injected < total {
+				src, dst := rng.Intn(16), rng.Intn(16)
+				if m.CanInject(NodeID(src), NodeID(dst)) {
+					msg := testMsg(1 + rng.Intn(64))
+					injected++
+					m.Inject(NodeID(src), NodeID(dst), msg)
+					sc, dc := m.CoordOf(NodeID(src)), m.CoordOf(NodeID(dst))
+					manhattan := abs(sc.X-dc.X) + abs(sc.Y-dc.Y)
+					expectedHops += uint64(m.FlitsFor(msg) * manhattan)
+				}
+			}
+		}))
+		k.Run(5000)
+		s := m.Stats()
+		return s.Delivered == uint64(total) && s.FlitHops == expectedHops
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestPropertyCrossbarDeliversEverything mirrors the mesh property for the
+// crossbar fabric.
+func TestPropertyCrossbarDeliversEverything(t *testing.T) {
+	prop := func(nSeed, latSeed uint8, seed uint64, msgCount uint8) bool {
+		n := 2 + int(nSeed%8)
+		c := NewCrossbar(CrossbarConfig{
+			Nodes: n, FlitWidthBits: 64,
+			TraversalLatency: int(latSeed % 10),
+			InjectDepth:      4, EjectDepth: 4,
+		})
+		k := sim.NewKernel(1 * sim.GHz)
+		c.RegisterWith(k)
+		rng := sim.NewRNG(seed)
+		total := 1 + int(msgCount%40)
+		injected := 0
+		delivered := make(map[uint64]int)
+		k.Register(sim.TickFunc(func(uint64) {
+			for node := 0; node < n; node++ {
+				for {
+					mm, ok := c.TryEject(NodeID(node))
+					if !ok {
+						break
+					}
+					delivered[mm.ID]++
+				}
+			}
+			if injected < total {
+				src := NodeID(rng.Intn(n))
+				dst := NodeID(rng.Intn(n))
+				if c.CanInject(src, dst) {
+					msg := testMsg(1 + rng.Intn(100))
+					injected++
+					msg.ID = uint64(injected)
+					c.Inject(src, dst, msg)
+				}
+			}
+		}))
+		k.Run(uint64(2000 + 100*total))
+		if len(delivered) != total {
+			return false
+		}
+		for _, cnt := range delivered {
+			if cnt != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

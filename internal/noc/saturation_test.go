@@ -1,0 +1,109 @@
+package noc
+
+import (
+	"testing"
+
+	"github.com/panic-nic/panic/internal/analytic"
+)
+
+// table3Mesh builds the mesh for one Table 3 configuration.
+func table3Mesh(k, widthBits int) *Mesh {
+	cfg := DefaultMeshConfig()
+	cfg.Width, cfg.Height, cfg.FlitWidthBits = k, k, widthBits
+	return NewMesh(cfg)
+}
+
+// TestSaturationShapeMatchesTable3 checks that measured uniform-random
+// saturation throughput follows the analytic model's shape across the
+// paper's Table 3 configurations: it scales up with mesh size and channel
+// width in the predicted ratios, and lands in the band expected for
+// single-VC wormhole routing (roughly 40–100% of the single-axis
+// bisection bound).
+func TestSaturationShapeMatchesTable3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation sweep is slow")
+	}
+	const freq = 500e6
+	measure := func(k, w int) float64 {
+		return MeasureSaturation(table3Mesh(k, w), freq, 64, 2000, 10000, 7).DeliveredGbps
+	}
+	g6x64 := measure(6, 64)
+	g8x64 := measure(8, 64)
+	g6x128 := measure(6, 128)
+
+	for _, c := range []struct {
+		name string
+		k, w int
+		gbps float64
+	}{{"6x6/64", 6, 64, g6x64}, {"8x8/64", 8, 64, g8x64}, {"6x6/128", 6, 128, g6x128}} {
+		bound := analytic.MeshParams{K: c.k, WidthBits: c.w, FreqHz: freq}.UniformBisectionBoundGbps()
+		if c.gbps > bound {
+			t.Errorf("%s: measured %.0f Gbps exceeds theoretical bound %.0f", c.name, c.gbps, bound)
+		}
+		if c.gbps < 0.4*bound {
+			t.Errorf("%s: measured %.0f Gbps below 40%% of bound %.0f", c.name, c.gbps, bound)
+		}
+	}
+	// Shape: 8x8 vs 6x6 capacity ratio is 8/6; allow slack for routing
+	// effects but require clear monotonicity.
+	if g8x64 <= g6x64*1.1 {
+		t.Errorf("8x8 (%.0f) not clearly above 6x6 (%.0f)", g8x64, g6x64)
+	}
+	// Doubling channel width should roughly double throughput.
+	if r := g6x128 / g6x64; r < 1.7 || r > 2.4 {
+		t.Errorf("width doubling ratio = %.2f, want ~2", r)
+	}
+}
+
+// TestLatencyThroughputCurve checks the canonical NoC behaviour: latency is
+// flat at low load and blows up near saturation; delivered throughput is
+// monotone in offered load below saturation.
+func TestLatencyThroughputCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load sweep is slow")
+	}
+	build := func() resettable { return table3Mesh(6, 64) }
+	// Offered load in Gbps is load × 36 nodes × 512 bits × 500 MHz ≈
+	// load × 9.2 Tbps; saturation is near 460 Gbps (load ≈ 0.05).
+	points := SweepLoad(build, 500e6, 64, []float64{0.005, 0.02, 0.9}, 1000, 6000, 11)
+	low, mid, high := points[0], points[1], points[2]
+	if low.DeliveredGbps >= mid.DeliveredGbps || mid.DeliveredGbps >= high.DeliveredGbps {
+		t.Errorf("throughput not monotone: %.1f, %.1f, %.1f Gbps",
+			low.DeliveredGbps, mid.DeliveredGbps, high.DeliveredGbps)
+	}
+	// At 2% load the mesh is uncongested: latency close to pure hop
+	// latency (avg ~4.4 hops + eject + 7 serialization cycles for 8 flits).
+	if low.MeanLatencyCycles > 30 {
+		t.Errorf("low-load latency %.1f cycles, want near-minimal", low.MeanLatencyCycles)
+	}
+	if high.MeanLatencyCycles < 3*low.MeanLatencyCycles {
+		t.Errorf("saturation latency %.1f not clearly above low-load %.1f",
+			high.MeanLatencyCycles, low.MeanLatencyCycles)
+	}
+}
+
+// TestCrossbarVsMeshTradeoff reproduces the paper's wire-length argument
+// (§3.1.2): an idealized (zero-extra-latency) crossbar beats the mesh on
+// latency, but once the crossbar pays a realistic long-wire traversal
+// penalty the mesh wins at low load, which is why PANIC distributes the
+// switch.
+func TestCrossbarVsMeshTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fabric comparison is slow")
+	}
+	mesh := table3Mesh(6, 64)
+	meshLat := MeasureLoad(mesh, 500e6, 64, 0.02, 1000, 5000, 3).MeanLatencyCycles
+
+	ideal := NewCrossbar(CrossbarConfig{Nodes: 36, FlitWidthBits: 64, TraversalLatency: 0, InjectDepth: 8, EjectDepth: 8})
+	idealLat := MeasureLoad(ideal, 500e6, 64, 0.02, 1000, 5000, 3).MeanLatencyCycles
+
+	slow := NewCrossbar(CrossbarConfig{Nodes: 36, FlitWidthBits: 64, TraversalLatency: 30, InjectDepth: 8, EjectDepth: 8})
+	slowLat := MeasureLoad(slow, 500e6, 64, 0.02, 1000, 5000, 3).MeanLatencyCycles
+
+	if idealLat >= meshLat {
+		t.Errorf("ideal crossbar latency %.1f not below mesh %.1f", idealLat, meshLat)
+	}
+	if slowLat <= meshLat {
+		t.Errorf("long-wire crossbar latency %.1f not above mesh %.1f", slowLat, meshLat)
+	}
+}

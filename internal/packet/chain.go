@@ -1,0 +1,125 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Addr is the logical address of an engine on the PANIC on-chip network.
+// The heavyweight RMT pipeline writes chains of Addrs into the chain shim
+// header; each engine's lightweight lookup table and the mesh routers
+// resolve Addrs to tile coordinates.
+type Addr uint16
+
+// AddrInvalid is the zero, never-assigned engine address.
+const AddrInvalid Addr = 0
+
+// Hop is one step of an offload chain: which engine to visit and the slack
+// time (in cycles) the logical scheduler uses to order the message in that
+// engine's priority queue (§3.1.3). Smaller slack = more urgent.
+type Hop struct {
+	Engine Addr
+	Slack  uint32
+}
+
+// MaxChainHops bounds the chain length encodable in the shim header.
+const MaxChainHops = 255
+
+// Chain is the PANIC chain shim header inserted after the Ethernet header
+// (EtherType 0x88B5). It carries the offload chain computed by the
+// heavyweight RMT pipeline so that subsequent steering needs only the
+// lightweight per-engine lookup tables (§3.1.2).
+type Chain struct {
+	// Cursor indexes the next unvisited hop.
+	Cursor uint8
+	// Flags carries message attributes (lossless class, reinjected, ...).
+	Flags uint8
+	// InnerType is the EtherType of the encapsulated header stack.
+	InnerType uint16
+	// Hops is the chain of engines to visit, in order.
+	Hops []Hop
+}
+
+// Chain flag bits.
+const (
+	// ChainFlagLossless marks messages that must never be dropped
+	// (descriptor DMA reads, completions); the logical scheduler may drop
+	// only messages without this flag (§4.3, §6).
+	ChainFlagLossless = 1 << 0
+	// ChainFlagReinjected marks messages making a second pass through the
+	// heavyweight RMT pipeline (e.g. decrypted IPSec traffic).
+	ChainFlagReinjected = 1 << 1
+)
+
+// LayerType implements Layer.
+func (*Chain) LayerType() LayerType { return LayerTypeChain }
+
+// HeaderLen implements Layer.
+func (c *Chain) HeaderLen() int { return 6 + 6*len(c.Hops) }
+
+// Marshal implements Layer.
+func (c *Chain) Marshal(b []byte) []byte {
+	if len(c.Hops) > MaxChainHops {
+		panic(fmt.Sprintf("packet: chain with %d hops exceeds %d", len(c.Hops), MaxChainHops))
+	}
+	b = append(b, c.Cursor, c.Flags, uint8(len(c.Hops)), 0)
+	b = binary.BigEndian.AppendUint16(b, c.InnerType)
+	for _, h := range c.Hops {
+		b = binary.BigEndian.AppendUint16(b, uint16(h.Engine))
+		b = binary.BigEndian.AppendUint32(b, h.Slack)
+	}
+	return b
+}
+
+// Unmarshal implements Layer.
+func (c *Chain) Unmarshal(b []byte) (int, error) {
+	if len(b) < 6 {
+		return 0, ErrTruncated
+	}
+	c.Cursor = b[0]
+	c.Flags = b[1]
+	count := int(b[2])
+	c.InnerType = binary.BigEndian.Uint16(b[4:6])
+	need := 6 + 6*count
+	if len(b) < need {
+		return 0, fmt.Errorf("%w: chain of %d hops needs %d bytes, have %d", ErrTruncated, count, need, len(b))
+	}
+	if int(c.Cursor) > count {
+		return 0, fmt.Errorf("%w: chain cursor %d > count %d", ErrBadField, c.Cursor, count)
+	}
+	c.Hops = make([]Hop, count)
+	for i := range c.Hops {
+		off := 6 + 6*i
+		c.Hops[i].Engine = Addr(binary.BigEndian.Uint16(b[off : off+2]))
+		c.Hops[i].Slack = binary.BigEndian.Uint32(b[off+2 : off+6])
+	}
+	return need, nil
+}
+
+// Current returns the next unvisited hop and reports whether one exists.
+func (c *Chain) Current() (Hop, bool) {
+	if int(c.Cursor) >= len(c.Hops) {
+		return Hop{}, false
+	}
+	return c.Hops[c.Cursor], true
+}
+
+// Advance moves the cursor past the current hop and returns the hop after
+// it, reporting whether one exists. Calling Advance with an exhausted chain
+// panics: engines must check Current first.
+func (c *Chain) Advance() (Hop, bool) {
+	if int(c.Cursor) >= len(c.Hops) {
+		panic("packet: Chain.Advance past end of chain")
+	}
+	c.Cursor++
+	return c.Current()
+}
+
+// Remaining returns the number of unvisited hops.
+func (c *Chain) Remaining() int { return len(c.Hops) - int(c.Cursor) }
+
+// Lossless reports whether the message is in the lossless class.
+func (c *Chain) Lossless() bool { return c.Flags&ChainFlagLossless != 0 }
+
+// Reinjected reports whether the message already made an RMT pass.
+func (c *Chain) Reinjected() bool { return c.Flags&ChainFlagReinjected != 0 }

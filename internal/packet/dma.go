@@ -1,0 +1,79 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// DMAOp is an on-NIC DMA message operation.
+type DMAOp uint8
+
+// DMA operations. Requests flow toward the DMA engine; completions flow
+// back to the requesting engine.
+const (
+	DMARead DMAOp = iota + 1
+	DMAWrite
+	DMAReadCompl
+	DMAWriteCompl
+)
+
+// String returns the operation name.
+func (op DMAOp) String() string {
+	switch op {
+	case DMARead:
+		return "DMA-READ"
+	case DMAWrite:
+		return "DMA-WRITE"
+	case DMAReadCompl:
+		return "DMA-READ-COMPL"
+	case DMAWriteCompl:
+		return "DMA-WRITE-COMPL"
+	default:
+		return fmt.Sprintf("DMAOp(%d)", uint8(op))
+	}
+}
+
+// DMA is the header of an on-NIC DMA request or completion. Per §3.1 of the
+// paper, descriptor reads, packet writes to host memory, and RDMA reads are
+// all ordinary messages on the unified on-chip network, encoded with
+// EtherType 0x88B6.
+type DMA struct {
+	Op    DMAOp
+	Flags uint8
+	// Requester is the engine awaiting the completion.
+	Requester Addr
+	// Len is the transfer length in bytes.
+	Len uint32
+	// HostAddr is the host physical address.
+	HostAddr uint64
+}
+
+// LayerType implements Layer.
+func (*DMA) LayerType() LayerType { return LayerTypeDMA }
+
+// HeaderLen implements Layer.
+func (*DMA) HeaderLen() int { return 16 }
+
+// Marshal implements Layer.
+func (d *DMA) Marshal(b []byte) []byte {
+	b = append(b, uint8(d.Op), d.Flags)
+	b = binary.BigEndian.AppendUint16(b, uint16(d.Requester))
+	b = binary.BigEndian.AppendUint32(b, d.Len)
+	return binary.BigEndian.AppendUint64(b, d.HostAddr)
+}
+
+// Unmarshal implements Layer.
+func (d *DMA) Unmarshal(b []byte) (int, error) {
+	if len(b) < 16 {
+		return 0, ErrTruncated
+	}
+	d.Op = DMAOp(b[0])
+	if d.Op < DMARead || d.Op > DMAWriteCompl {
+		return 0, fmt.Errorf("%w: DMA op %d", ErrBadField, b[0])
+	}
+	d.Flags = b[1]
+	d.Requester = Addr(binary.BigEndian.Uint16(b[2:4]))
+	d.Len = binary.BigEndian.Uint32(b[4:8])
+	d.HostAddr = binary.BigEndian.Uint64(b[8:16])
+	return 16, nil
+}

@@ -1,0 +1,81 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// KVSOp is a key-value-store operation code.
+type KVSOp uint8
+
+// KVS operations.
+const (
+	KVSGet KVSOp = iota + 1
+	KVSSet
+	KVSGetResp
+	KVSSetResp
+)
+
+// String returns the operation name.
+func (op KVSOp) String() string {
+	switch op {
+	case KVSGet:
+		return "GET"
+	case KVSSet:
+		return "SET"
+	case KVSGetResp:
+		return "GET-RESP"
+	case KVSSetResp:
+		return "SET-RESP"
+	default:
+		return fmt.Sprintf("KVSOp(%d)", uint8(op))
+	}
+}
+
+// KVS is the application header of the paper's DynamoDB-style key-value
+// store example (§2.2, §3.2): multi-tenant, geodistributed, with GET
+// requests that may be served from an on-NIC cache.
+type KVS struct {
+	Op       KVSOp
+	Flags    uint8
+	Tenant   uint16
+	Key      uint64
+	ValueLen uint32
+}
+
+// KVS flag bits.
+const (
+	// KVSFlagMiss is set by the NIC cache engine on a GET that missed and
+	// must continue to the host CPU.
+	KVSFlagMiss = 1 << 0
+)
+
+// LayerType implements Layer.
+func (*KVS) LayerType() LayerType { return LayerTypeKVS }
+
+// HeaderLen implements Layer.
+func (*KVS) HeaderLen() int { return 16 }
+
+// Marshal implements Layer.
+func (k *KVS) Marshal(b []byte) []byte {
+	b = append(b, uint8(k.Op), k.Flags)
+	b = binary.BigEndian.AppendUint16(b, k.Tenant)
+	b = binary.BigEndian.AppendUint64(b, k.Key)
+	return binary.BigEndian.AppendUint32(b, k.ValueLen)
+}
+
+// Unmarshal implements Layer.
+func (k *KVS) Unmarshal(b []byte) (int, error) {
+	if len(b) < 16 {
+		return 0, ErrTruncated
+	}
+	k.Op = KVSOp(b[0])
+	if k.Op < KVSGet || k.Op > KVSSetResp {
+		return 0, fmt.Errorf("%w: KVS op %d", ErrBadField, b[0])
+	}
+	k.Flags = b[1]
+	k.Tenant = binary.BigEndian.Uint16(b[2:4])
+	k.Key = binary.BigEndian.Uint64(b[4:12])
+	k.ValueLen = binary.BigEndian.Uint32(b[12:16])
+	return 16, nil
+}

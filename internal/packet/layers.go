@@ -1,0 +1,261 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Well-known protocol constants.
+const (
+	EtherTypeIPv4  = 0x0800
+	EtherTypeChain = 0x88B5 // IEEE local-experimental: PANIC chain shim
+	EtherTypeDMA   = 0x88B6 // IEEE local-experimental: on-NIC DMA message
+
+	ProtoTCP = 6
+	ProtoUDP = 17
+	ProtoESP = 50
+
+	// KVSPort is the UDP port of the key-value-store application protocol
+	// used by the paper's DynamoDB-style running example.
+	KVSPort = 6379
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String formats the address in canonical colon notation.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet is an Ethernet II header (no VLAN; the PANIC chain shim plays
+// the tag role).
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+}
+
+// LayerType implements Layer.
+func (*Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// HeaderLen implements Layer.
+func (*Ethernet) HeaderLen() int { return 14 }
+
+// Marshal implements Layer.
+func (e *Ethernet) Marshal(b []byte) []byte {
+	b = append(b, e.Dst[:]...)
+	b = append(b, e.Src[:]...)
+	return binary.BigEndian.AppendUint16(b, e.EtherType)
+}
+
+// Unmarshal implements Layer.
+func (e *Ethernet) Unmarshal(b []byte) (int, error) {
+	if len(b) < 14 {
+		return 0, ErrTruncated
+	}
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	e.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return 14, nil
+}
+
+// IP4 is an IPv4 address.
+type IP4 [4]byte
+
+// String formats the address in dotted-quad notation.
+func (a IP4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// IPv4 is an IPv4 header without options (IHL fixed at 5).
+type IPv4 struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src, Dst IP4
+}
+
+// LayerType implements Layer.
+func (*IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// HeaderLen implements Layer.
+func (*IPv4) HeaderLen() int { return 20 }
+
+// Marshal implements Layer.
+func (ip *IPv4) Marshal(b []byte) []byte {
+	b = append(b, 0x45, ip.TOS)
+	b = binary.BigEndian.AppendUint16(b, ip.TotalLen)
+	b = binary.BigEndian.AppendUint16(b, ip.ID)
+	b = binary.BigEndian.AppendUint16(b, 0) // flags+fragment offset
+	b = append(b, ip.TTL, ip.Protocol)
+	b = binary.BigEndian.AppendUint16(b, ip.Checksum)
+	b = append(b, ip.Src[:]...)
+	return append(b, ip.Dst[:]...)
+}
+
+// Unmarshal implements Layer.
+func (ip *IPv4) Unmarshal(b []byte) (int, error) {
+	if len(b) < 20 {
+		return 0, ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return 0, fmt.Errorf("%w: IP version %d", ErrBadField, b[0]>>4)
+	}
+	if b[0]&0x0f != 5 {
+		return 0, fmt.Errorf("%w: IPv4 options unsupported (IHL=%d)", ErrBadField, b[0]&0x0f)
+	}
+	ip.TOS = b[1]
+	ip.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	ip.ID = binary.BigEndian.Uint16(b[4:6])
+	ip.TTL = b[8]
+	ip.Protocol = b[9]
+	ip.Checksum = binary.BigEndian.Uint16(b[10:12])
+	copy(ip.Src[:], b[12:16])
+	copy(ip.Dst[:], b[16:20])
+	return 20, nil
+}
+
+// ComputeChecksum returns the correct header checksum for the current field
+// values (with the checksum field itself zeroed, per RFC 791).
+func (ip *IPv4) ComputeChecksum() uint16 {
+	saved := ip.Checksum
+	ip.Checksum = 0
+	hdr := ip.Marshal(make([]byte, 0, 20))
+	ip.Checksum = saved
+	return InternetChecksum(hdr)
+}
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+}
+
+// LayerType implements Layer.
+func (*UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// HeaderLen implements Layer.
+func (*UDP) HeaderLen() int { return 8 }
+
+// Marshal implements Layer.
+func (u *UDP) Marshal(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, u.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, u.DstPort)
+	b = binary.BigEndian.AppendUint16(b, u.Length)
+	return binary.BigEndian.AppendUint16(b, u.Checksum)
+}
+
+// Unmarshal implements Layer.
+func (u *UDP) Unmarshal(b []byte) (int, error) {
+	if len(b) < 8 {
+		return 0, ErrTruncated
+	}
+	u.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	u.DstPort = binary.BigEndian.Uint16(b[2:4])
+	u.Length = binary.BigEndian.Uint16(b[4:6])
+	u.Checksum = binary.BigEndian.Uint16(b[6:8])
+	return 8, nil
+}
+
+// TCP is a TCP header without options (data offset fixed at 5).
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+}
+
+// TCP flag bits.
+const (
+	TCPFlagFIN = 1 << 0
+	TCPFlagSYN = 1 << 1
+	TCPFlagRST = 1 << 2
+	TCPFlagPSH = 1 << 3
+	TCPFlagACK = 1 << 4
+)
+
+// LayerType implements Layer.
+func (*TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// HeaderLen implements Layer.
+func (*TCP) HeaderLen() int { return 20 }
+
+// Marshal implements Layer.
+func (t *TCP) Marshal(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, t.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, t.DstPort)
+	b = binary.BigEndian.AppendUint32(b, t.Seq)
+	b = binary.BigEndian.AppendUint32(b, t.Ack)
+	b = append(b, 5<<4, t.Flags)
+	b = binary.BigEndian.AppendUint16(b, t.Window)
+	b = binary.BigEndian.AppendUint16(b, t.Checksum)
+	return binary.BigEndian.AppendUint16(b, 0) // urgent pointer
+}
+
+// Unmarshal implements Layer.
+func (t *TCP) Unmarshal(b []byte) (int, error) {
+	if len(b) < 20 {
+		return 0, ErrTruncated
+	}
+	t.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	t.DstPort = binary.BigEndian.Uint16(b[2:4])
+	t.Seq = binary.BigEndian.Uint32(b[4:8])
+	t.Ack = binary.BigEndian.Uint32(b[8:12])
+	if off := b[12] >> 4; off != 5 {
+		return 0, fmt.Errorf("%w: TCP options unsupported (offset=%d)", ErrBadField, off)
+	}
+	t.Flags = b[13]
+	t.Window = binary.BigEndian.Uint16(b[14:16])
+	t.Checksum = binary.BigEndian.Uint16(b[16:18])
+	return 20, nil
+}
+
+// ESP is an IPSec Encapsulating Security Payload header. Everything after
+// it is opaque ciphertext, so decoding stops here; the IPSec engine
+// replaces the ESP layer with the decrypted inner layers.
+type ESP struct {
+	SPI uint32
+	Seq uint32
+}
+
+// LayerType implements Layer.
+func (*ESP) LayerType() LayerType { return LayerTypeESP }
+
+// HeaderLen implements Layer.
+func (*ESP) HeaderLen() int { return 8 }
+
+// Marshal implements Layer.
+func (e *ESP) Marshal(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, e.SPI)
+	return binary.BigEndian.AppendUint32(b, e.Seq)
+}
+
+// Unmarshal implements Layer.
+func (e *ESP) Unmarshal(b []byte) (int, error) {
+	if len(b) < 8 {
+		return 0, ErrTruncated
+	}
+	e.SPI = binary.BigEndian.Uint32(b[0:4])
+	e.Seq = binary.BigEndian.Uint32(b[4:8])
+	return 8, nil
+}
+
+// InternetChecksum computes the RFC 1071 one's-complement checksum.
+func InternetChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,140 @@
+package packet
+
+import "fmt"
+
+// Class is a traffic class used by workloads and the logical scheduler.
+type Class uint8
+
+// Traffic classes.
+const (
+	ClassBulk Class = iota
+	ClassLatency
+	ClassControl
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassBulk:
+		return "bulk"
+	case ClassLatency:
+		return "latency"
+	case ClassControl:
+		return "control"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Message is the unit that flows through a simulated NIC: a packet plus the
+// simulation metadata that a real NIC would keep in per-packet descriptor
+// state (not on the wire).
+type Message struct {
+	// ID is unique per simulation for tracing.
+	ID uint64
+	// Pkt is the wire representation.
+	Pkt *Packet
+	// Inject is the cycle the message entered the NIC (or was created by
+	// an engine); Done is the cycle it left (delivered to host or wire).
+	Inject, Done uint64
+	// Deadline, when non-zero, is the absolute cycle by which the message
+	// should complete; the RMT pipeline derives slack values from it.
+	Deadline uint64
+	// Tenant and Class describe the originating application for
+	// scheduling and accounting.
+	Tenant uint16
+	Class  Class
+	// Port is the Ethernet port index the message arrived on (or will
+	// leave from), -1 for NIC-internal messages.
+	Port int
+	// Trace, when enabled, records each engine visit.
+	Trace []Visit
+	// EnqueuedAt is scratch used by scheduling queues: the cycle the
+	// message entered its current queue (a message sits in at most one
+	// queue at a time).
+	EnqueuedAt uint64
+	// Needs lists the offload-engine names this message still requires,
+	// in order. It is descriptor-side metadata used by the baseline
+	// architectures of internal/baseline, which have no chain header;
+	// nil means "not yet derived". PANIC itself never reads it.
+	Needs []string
+	// Inner carries an encapsulated plaintext packet for encrypted
+	// messages: the simulator does not materialize ciphertext bytes, so
+	// the IPSec engine swaps Inner in when it "decrypts" (a documented
+	// substitution for real crypto, which is irrelevant to the paper's
+	// scheduling and switching claims).
+	Inner *Packet
+}
+
+// Visit is one step of a message's path, for tracing and tests.
+type Visit struct {
+	Engine Addr
+	// Enqueued and Started are the cycles the message entered the
+	// engine's scheduling queue and began service.
+	Enqueued, Started uint64
+}
+
+// Chain returns the message's chain shim header, or nil.
+func (m *Message) Chain() *Chain {
+	if l := m.Pkt.Layer(LayerTypeChain); l != nil {
+		return l.(*Chain)
+	}
+	return nil
+}
+
+// WireLen returns the message's on-wire size in bytes.
+func (m *Message) WireLen() int { return m.Pkt.WireLen() }
+
+// Lossless reports whether the message must not be dropped: control-class
+// messages and messages whose chain carries the lossless flag.
+func (m *Message) Lossless() bool {
+	if m.Class == ClassControl {
+		return true
+	}
+	if c := m.Chain(); c != nil {
+		return c.Lossless()
+	}
+	return false
+}
+
+// String summarizes the message for traces.
+func (m *Message) String() string {
+	return fmt.Sprintf("msg#%d[%s tenant=%d %s %dB]", m.ID, m.Pkt, m.Tenant, m.Class, m.WireLen())
+}
+
+// InsertChain inserts a chain shim header directly after the Ethernet
+// header, taking over the Ethernet EtherType, and reserializes the packet.
+// It panics if the packet has no Ethernet layer or already has a chain.
+func (m *Message) InsertChain(c *Chain) {
+	if m.Pkt.Has(LayerTypeChain) {
+		panic("packet: InsertChain on packet that already has a chain")
+	}
+	eth, ok := m.Pkt.Layers[0].(*Ethernet)
+	if !ok {
+		panic("packet: InsertChain on packet without Ethernet layer")
+	}
+	c.InnerType = eth.EtherType
+	eth.EtherType = EtherTypeChain
+	layers := make([]Layer, 0, len(m.Pkt.Layers)+1)
+	layers = append(layers, eth, c)
+	layers = append(layers, m.Pkt.Layers[1:]...)
+	m.Pkt.Layers = layers
+	m.Pkt.Serialize()
+}
+
+// StripChain removes the chain shim header (the deparse step when a message
+// finally leaves the NIC through an Ethernet port) and reserializes. It is
+// a no-op for packets without a chain.
+func (m *Message) StripChain() {
+	c := m.Chain()
+	if c == nil {
+		return
+	}
+	eth := m.Pkt.Layers[0].(*Ethernet)
+	eth.EtherType = c.InnerType
+	layers := make([]Layer, 0, len(m.Pkt.Layers)-1)
+	layers = append(layers, eth)
+	layers = append(layers, m.Pkt.Layers[2:]...)
+	m.Pkt.Layers = layers
+	m.Pkt.Serialize()
+}

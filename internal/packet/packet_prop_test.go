@@ -1,0 +1,200 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyLayerRoundTrips: Marshal→Unmarshal is the identity for every
+// header type, for arbitrary field values.
+func TestPropertyLayerRoundTrips(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+
+	t.Run("Ethernet", func(t *testing.T) {
+		prop := func(dst, src [6]byte, et uint16) bool {
+			in := &Ethernet{Dst: dst, Src: src, EtherType: et}
+			var out Ethernet
+			n, err := out.Unmarshal(in.Marshal(nil))
+			return err == nil && n == in.HeaderLen() && out == *in
+		}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("IPv4", func(t *testing.T) {
+		prop := func(tos uint8, tl, id uint16, ttl, proto uint8, src, dst [4]byte) bool {
+			in := &IPv4{TOS: tos, TotalLen: tl, ID: id, TTL: ttl, Protocol: proto, Src: src, Dst: dst}
+			in.Checksum = in.ComputeChecksum()
+			var out IPv4
+			n, err := out.Unmarshal(in.Marshal(nil))
+			return err == nil && n == 20 && out == *in
+		}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("UDP", func(t *testing.T) {
+		prop := func(sp, dp, l, ck uint16) bool {
+			in := &UDP{SrcPort: sp, DstPort: dp, Length: l, Checksum: ck}
+			var out UDP
+			n, err := out.Unmarshal(in.Marshal(nil))
+			return err == nil && n == 8 && out == *in
+		}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("TCP", func(t *testing.T) {
+		prop := func(sp, dp uint16, seq, ack uint32, flags uint8, win, ck uint16) bool {
+			in := &TCP{SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack, Flags: flags, Window: win, Checksum: ck}
+			var out TCP
+			n, err := out.Unmarshal(in.Marshal(nil))
+			return err == nil && n == 20 && out == *in
+		}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("ESP", func(t *testing.T) {
+		prop := func(spi, seq uint32) bool {
+			in := &ESP{SPI: spi, Seq: seq}
+			var out ESP
+			n, err := out.Unmarshal(in.Marshal(nil))
+			return err == nil && n == 8 && out == *in
+		}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("KVS", func(t *testing.T) {
+		prop := func(op uint8, flags uint8, tenant uint16, key uint64, vl uint32) bool {
+			in := &KVS{Op: KVSOp(op%4) + KVSGet, Flags: flags, Tenant: tenant, Key: key, ValueLen: vl}
+			var out KVS
+			n, err := out.Unmarshal(in.Marshal(nil))
+			return err == nil && n == 16 && out == *in
+		}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("DMA", func(t *testing.T) {
+		prop := func(op uint8, flags uint8, req uint16, l uint32, addr uint64) bool {
+			in := &DMA{Op: DMAOp(op%4) + DMARead, Flags: flags, Requester: Addr(req), Len: l, HostAddr: addr}
+			var out DMA
+			n, err := out.Unmarshal(in.Marshal(nil))
+			return err == nil && n == 16 && out == *in
+		}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("Chain", func(t *testing.T) {
+		prop := func(cursor uint8, flags uint8, inner uint16, engines []uint16, slackSeed uint32) bool {
+			if len(engines) > MaxChainHops {
+				engines = engines[:MaxChainHops]
+			}
+			hops := make([]Hop, len(engines))
+			for i, e := range engines {
+				hops[i] = Hop{Engine: Addr(e), Slack: slackSeed + uint32(i)}
+			}
+			if len(hops) > 0 {
+				cursor %= uint8(len(hops) + 1)
+			} else {
+				cursor = 0
+			}
+			in := &Chain{Cursor: cursor, Flags: flags, InnerType: inner, Hops: hops}
+			b := in.Marshal(nil)
+			if len(b) != in.HeaderLen() {
+				return false
+			}
+			var out Chain
+			n, err := out.Unmarshal(b)
+			if err != nil || n != len(b) {
+				return false
+			}
+			if out.Cursor != in.Cursor || out.Flags != in.Flags || out.InnerType != in.InnerType || len(out.Hops) != len(in.Hops) {
+				return false
+			}
+			for i := range in.Hops {
+				if in.Hops[i] != out.Hops[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestPropertyDecodeSerializeIdentity: decoding a serialized packet and
+// reserializing yields identical bytes (parser/deparser are inverses).
+func TestPropertyDecodeSerializeIdentity(t *testing.T) {
+	prop := func(tenant uint16, key uint64, payload uint16, useChain bool, hopsRaw []uint16) bool {
+		p := NewPacket(int(payload)%2000,
+			&Ethernet{Dst: MAC{2, 0, 0, 0, 0, 1}, Src: MAC{2, 0, 0, 0, 0, 2}, EtherType: EtherTypeIPv4},
+			&IPv4{TTL: 64, Protocol: ProtoUDP, Src: IP4{10, 0, 0, 1}, Dst: IP4{10, 0, 0, 2}},
+			&UDP{SrcPort: 9999, DstPort: KVSPort},
+			&KVS{Op: KVSGet, Tenant: tenant, Key: key},
+		)
+		m := &Message{Pkt: p}
+		if useChain {
+			if len(hopsRaw) > 16 {
+				hopsRaw = hopsRaw[:16]
+			}
+			hops := make([]Hop, len(hopsRaw))
+			for i, h := range hopsRaw {
+				hops[i] = Hop{Engine: Addr(h), Slack: uint32(i)}
+			}
+			m.InsertChain(&Chain{Hops: hops})
+		}
+		orig := append([]byte(nil), m.Pkt.Buf...)
+		dec, err := Decode(m.Pkt.Buf, m.WireLen())
+		if err != nil {
+			return false
+		}
+		dec.Serialize()
+		return bytes.Equal(orig, dec.Buf) && dec.WireLen() == m.WireLen()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyChecksumDetectsSingleByteErrors: the internet checksum over a
+// checksummed IPv4 header is zero, and flipping any byte breaks it.
+func TestPropertyChecksumDetectsSingleByteErrors(t *testing.T) {
+	prop := func(tos uint8, id uint16, ttl uint8, src, dst [4]byte, pos uint8, delta uint8) bool {
+		ip := &IPv4{TOS: tos, TotalLen: 40, ID: id, TTL: ttl, Protocol: ProtoUDP, Src: src, Dst: dst}
+		ip.Checksum = ip.ComputeChecksum()
+		hdr := ip.Marshal(nil)
+		if InternetChecksum(hdr) != 0 {
+			return false
+		}
+		if delta == 0 {
+			return true
+		}
+		i := int(pos) % len(hdr)
+		hdr[i] += delta
+		// One's-complement sum: a single non-zero byte change is always
+		// detected unless it flips 0x00<->0xff in a position summed with
+		// its pair (classic +0/-0 aliasing); allow that rare alias.
+		orig := hdr[i] - delta
+		if (orig == 0x00 && hdr[i] == 0xff) || (orig == 0xff && hdr[i] == 0x00) {
+			return true
+		}
+		return InternetChecksum(hdr) != 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

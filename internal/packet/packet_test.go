@@ -1,0 +1,341 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func ethIPUDP(dstPort uint16, payload int) *Packet {
+	return NewPacket(payload,
+		&Ethernet{Dst: MAC{2, 0, 0, 0, 0, 1}, Src: MAC{2, 0, 0, 0, 0, 2}, EtherType: EtherTypeIPv4},
+		&IPv4{TTL: 64, Protocol: ProtoUDP, Src: IP4{10, 0, 0, 1}, Dst: IP4{10, 0, 0, 2}},
+		&UDP{SrcPort: 40000, DstPort: dstPort},
+	)
+}
+
+func TestDecodeEthernetIPv4UDP(t *testing.T) {
+	p := ethIPUDP(53, 100)
+	got, err := Decode(p.Buf, p.WireLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Layers) != 3 {
+		t.Fatalf("decoded %d layers (%s), want 3", len(got.Layers), got)
+	}
+	if got.PayloadLen != 100 {
+		t.Errorf("PayloadLen = %d, want 100", got.PayloadLen)
+	}
+	ip := got.Layer(LayerTypeIPv4).(*IPv4)
+	if ip.Src.String() != "10.0.0.1" || ip.Dst.String() != "10.0.0.2" {
+		t.Errorf("IP addrs = %v→%v", ip.Src, ip.Dst)
+	}
+	udp := got.Layer(LayerTypeUDP).(*UDP)
+	if udp.SrcPort != 40000 || udp.DstPort != 53 {
+		t.Errorf("ports = %d→%d", udp.SrcPort, udp.DstPort)
+	}
+	if got.String() != "Ethernet/IPv4/UDP(+100B)" {
+		t.Errorf("String = %q", got.String())
+	}
+}
+
+func TestDecodeKVS(t *testing.T) {
+	p := NewPacket(0,
+		&Ethernet{EtherType: EtherTypeIPv4},
+		&IPv4{Protocol: ProtoUDP},
+		&UDP{SrcPort: 1234, DstPort: KVSPort},
+		&KVS{Op: KVSGet, Tenant: 7, Key: 0xdeadbeef},
+	)
+	got, err := Decode(p.Buf, p.WireLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, ok := got.Layer(LayerTypeKVS).(*KVS)
+	if !ok {
+		t.Fatalf("no KVS layer in %s", got)
+	}
+	if k.Op != KVSGet || k.Tenant != 7 || k.Key != 0xdeadbeef {
+		t.Errorf("KVS = %+v", k)
+	}
+}
+
+func TestDecodeTCP(t *testing.T) {
+	p := NewPacket(512,
+		&Ethernet{EtherType: EtherTypeIPv4},
+		&IPv4{Protocol: ProtoTCP},
+		&TCP{SrcPort: 80, DstPort: 5555, Seq: 1, Ack: 2, Flags: TCPFlagACK | TCPFlagPSH, Window: 4096},
+	)
+	got, err := Decode(p.Buf, p.WireLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := got.Layer(LayerTypeTCP).(*TCP)
+	if tc.Flags != TCPFlagACK|TCPFlagPSH || tc.Window != 4096 {
+		t.Errorf("TCP = %+v", tc)
+	}
+}
+
+func TestDecodeESPStopsAtCiphertext(t *testing.T) {
+	p := NewPacket(200,
+		&Ethernet{EtherType: EtherTypeIPv4},
+		&IPv4{Protocol: ProtoESP},
+		&ESP{SPI: 99, Seq: 1},
+	)
+	got, err := Decode(p.Buf, p.WireLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Layers[len(got.Layers)-1].LayerType() != LayerTypeESP {
+		t.Errorf("last layer = %v, want ESP", got.Layers[len(got.Layers)-1].LayerType())
+	}
+	if got.PayloadLen != 200 {
+		t.Errorf("ciphertext len = %d, want 200", got.PayloadLen)
+	}
+}
+
+func TestDecodeDMAMessage(t *testing.T) {
+	p := NewPacket(64,
+		&Ethernet{EtherType: EtherTypeDMA},
+		&DMA{Op: DMARead, Requester: 9, Len: 64, HostAddr: 0x1000},
+	)
+	got, err := Decode(p.Buf, p.WireLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := got.Layer(LayerTypeDMA).(*DMA)
+	if d.Op != DMARead || d.Requester != 9 || d.Len != 64 || d.HostAddr != 0x1000 {
+		t.Errorf("DMA = %+v", d)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	p := ethIPUDP(53, 0)
+	_, err := Decode(p.Buf[:20], 20)
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeWireLenShorterThanHeaders(t *testing.T) {
+	p := ethIPUDP(53, 0)
+	_, err := Decode(p.Buf, 10)
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeBadIPVersion(t *testing.T) {
+	p := ethIPUDP(53, 0)
+	p.Buf[14] = 0x65 // version 6
+	_, err := Decode(p.Buf, p.WireLen())
+	if !errors.Is(err, ErrBadField) {
+		t.Errorf("err = %v, want ErrBadField", err)
+	}
+}
+
+func TestDecodeUnknownEtherTypeIsPayload(t *testing.T) {
+	p := NewPacket(50, &Ethernet{EtherType: 0x86DD}) // IPv6: opaque here
+	got, err := Decode(p.Buf, p.WireLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Layers) != 1 || got.PayloadLen != 50 {
+		t.Errorf("got %s with payload %d", got, got.PayloadLen)
+	}
+}
+
+func TestIPv4Checksum(t *testing.T) {
+	ip := &IPv4{TOS: 0, TotalLen: 60, ID: 4711, TTL: 64, Protocol: ProtoTCP,
+		Src: IP4{192, 168, 0, 1}, Dst: IP4{192, 168, 0, 199}}
+	ip.Checksum = ip.ComputeChecksum()
+	// A header with a correct checksum sums to zero.
+	hdr := ip.Marshal(nil)
+	if got := InternetChecksum(hdr); got != 0 {
+		t.Errorf("checksum over checksummed header = %#x, want 0", got)
+	}
+	// Mutating a field must break it.
+	hdr[8] = 63
+	if got := InternetChecksum(hdr); got == 0 {
+		t.Error("checksum did not detect mutation")
+	}
+}
+
+func TestInternetChecksumRFCExample(t *testing.T) {
+	// RFC 1071 example: 0001 f203 f4f5 f6f7 -> checksum 0x220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := InternetChecksum(b); got != 0x220d {
+		t.Errorf("checksum = %#x, want 0x220d", got)
+	}
+}
+
+func TestInternetChecksumOddLength(t *testing.T) {
+	if got := InternetChecksum([]byte{0xff}); got != ^uint16(0xff00) {
+		t.Errorf("odd-length checksum = %#x", got)
+	}
+}
+
+func TestChainRoundTrip(t *testing.T) {
+	c := &Chain{Cursor: 1, Flags: ChainFlagLossless, InnerType: EtherTypeIPv4,
+		Hops: []Hop{{Engine: 3, Slack: 100}, {Engine: 7, Slack: 50}, {Engine: 2, Slack: 0}}}
+	b := c.Marshal(nil)
+	if len(b) != c.HeaderLen() {
+		t.Fatalf("marshaled %d bytes, HeaderLen says %d", len(b), c.HeaderLen())
+	}
+	var got Chain
+	n, err := got.Unmarshal(b)
+	if err != nil || n != len(b) {
+		t.Fatalf("Unmarshal: n=%d err=%v", n, err)
+	}
+	if got.Cursor != 1 || !got.Lossless() || got.Reinjected() || len(got.Hops) != 3 {
+		t.Errorf("chain = %+v", got)
+	}
+	if got.Hops[1] != (Hop{Engine: 7, Slack: 50}) {
+		t.Errorf("hop 1 = %+v", got.Hops[1])
+	}
+}
+
+func TestChainCursorWalk(t *testing.T) {
+	c := &Chain{Hops: []Hop{{Engine: 1}, {Engine: 2}}}
+	h, ok := c.Current()
+	if !ok || h.Engine != 1 || c.Remaining() != 2 {
+		t.Fatalf("Current = %+v ok=%v remaining=%d", h, ok, c.Remaining())
+	}
+	h, ok = c.Advance()
+	if !ok || h.Engine != 2 || c.Remaining() != 1 {
+		t.Fatalf("after Advance: %+v ok=%v", h, ok)
+	}
+	if _, ok = c.Advance(); ok {
+		t.Error("Advance at last hop reported another hop")
+	}
+	if _, ok := c.Current(); ok {
+		t.Error("Current on exhausted chain reported a hop")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance past end did not panic")
+		}
+	}()
+	c.Advance()
+}
+
+func TestChainBadCursorRejected(t *testing.T) {
+	c := &Chain{Hops: []Hop{{Engine: 1}}}
+	b := c.Marshal(nil)
+	b[0] = 5 // cursor beyond count
+	var got Chain
+	if _, err := got.Unmarshal(b); !errors.Is(err, ErrBadField) {
+		t.Errorf("err = %v, want ErrBadField", err)
+	}
+}
+
+func TestInsertAndStripChain(t *testing.T) {
+	m := &Message{Pkt: ethIPUDP(53, 64)}
+	origLen := m.WireLen()
+	c := &Chain{Hops: []Hop{{Engine: 4, Slack: 10}}}
+	m.InsertChain(c)
+	if !m.Pkt.Has(LayerTypeChain) {
+		t.Fatal("chain not inserted")
+	}
+	if m.WireLen() != origLen+c.HeaderLen() {
+		t.Errorf("WireLen = %d, want %d", m.WireLen(), origLen+c.HeaderLen())
+	}
+	// Decoding the serialized bytes must round-trip the shim.
+	got, err := Decode(m.Pkt.Buf, m.WireLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "Ethernet/Chain/IPv4/UDP(+64B)" {
+		t.Errorf("decoded stack = %s", got)
+	}
+	m.StripChain()
+	if m.Pkt.Has(LayerTypeChain) || m.WireLen() != origLen {
+		t.Errorf("strip failed: %s len=%d want %d", m.Pkt, m.WireLen(), origLen)
+	}
+	if m.Pkt.Layers[0].(*Ethernet).EtherType != EtherTypeIPv4 {
+		t.Error("EtherType not restored")
+	}
+}
+
+func TestStripChainNoChainIsNoop(t *testing.T) {
+	m := &Message{Pkt: ethIPUDP(53, 0)}
+	before := append([]byte(nil), m.Pkt.Buf...)
+	m.StripChain()
+	if !bytes.Equal(before, m.Pkt.Buf) {
+		t.Error("StripChain modified chainless packet")
+	}
+}
+
+func TestInsertChainTwicePanics(t *testing.T) {
+	m := &Message{Pkt: ethIPUDP(53, 0)}
+	m.InsertChain(&Chain{Hops: []Hop{{Engine: 1}}})
+	defer func() {
+		if recover() == nil {
+			t.Error("double InsertChain did not panic")
+		}
+	}()
+	m.InsertChain(&Chain{})
+}
+
+func TestMessageLossless(t *testing.T) {
+	m := &Message{Pkt: ethIPUDP(53, 0), Class: ClassControl}
+	if !m.Lossless() {
+		t.Error("control message should be lossless")
+	}
+	m2 := &Message{Pkt: ethIPUDP(53, 0), Class: ClassBulk}
+	if m2.Lossless() {
+		t.Error("bulk message without chain should be lossy")
+	}
+	m2.InsertChain(&Chain{Flags: ChainFlagLossless, Hops: []Hop{{Engine: 1}}})
+	if !m2.Lossless() {
+		t.Error("lossless chain flag not honored")
+	}
+}
+
+func TestWireConstants(t *testing.T) {
+	// The canonical 84-byte minimum wire size from Table 2.
+	if MinFrameBytes+WireOverheadBytes != 84 {
+		t.Errorf("min wire size = %d, want 84", MinFrameBytes+WireOverheadBytes)
+	}
+}
+
+func TestLayerTypeStrings(t *testing.T) {
+	for lt, want := range map[LayerType]string{
+		LayerTypeEthernet: "Ethernet", LayerTypeChain: "Chain", LayerTypeIPv4: "IPv4",
+		LayerTypeUDP: "UDP", LayerTypeTCP: "TCP", LayerTypeESP: "ESP",
+		LayerTypeKVS: "KVS", LayerTypeDMA: "DMA", LayerType(99): "LayerType(99)",
+	} {
+		if lt.String() != want {
+			t.Errorf("%d.String() = %q, want %q", lt, lt.String(), want)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if KVSGet.String() != "GET" || KVSOp(99).String() != "KVSOp(99)" {
+		t.Error("KVSOp strings wrong")
+	}
+	if DMARead.String() != "DMA-READ" || DMAOp(99).String() != "DMAOp(99)" {
+		t.Error("DMAOp strings wrong")
+	}
+	if ClassLatency.String() != "latency" || Class(99).String() != "Class(99)" {
+		t.Error("Class strings wrong")
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	if m.String() != "de:ad:be:ef:00:01" {
+		t.Errorf("MAC.String = %q", m.String())
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := &Message{ID: 5, Pkt: ethIPUDP(53, 10), Tenant: 3, Class: ClassLatency}
+	s := m.String()
+	for _, want := range []string{"msg#5", "tenant=3", "latency"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Message.String() = %q missing %q", s, want)
+		}
+	}
+}

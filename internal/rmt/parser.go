@@ -1,0 +1,265 @@
+package rmt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/panic-nic/panic/internal/packet"
+)
+
+// Extract copies Width bytes at byte Offset within the current header into
+// a PHV field (big-endian, right-aligned).
+type Extract struct {
+	Field  FieldID
+	Offset int
+	Width  int // 1..8 bytes
+}
+
+// Transition selects the next parse state when, for every select field i,
+// (value[i] & Masks[i]) == Values[i].
+type Transition struct {
+	Values []uint64
+	Masks  []uint64 // nil = exact match on all bits
+	Next   string
+}
+
+// StateAccept ends parsing successfully.
+const StateAccept = "accept"
+
+// ParseState describes one header in the parse graph.
+type ParseState struct {
+	Name string
+	// HdrLen is the fixed header length in bytes; if LenFunc is non-nil
+	// it computes the length from the header bytes instead (for the
+	// variable-length chain shim).
+	HdrLen  int
+	LenFunc func(hdr []byte) (int, error)
+	// Extracts are applied to the header bytes.
+	Extracts []Extract
+	// Select lists the fields the transition keys match against.
+	Select []FieldID
+	// Transitions are evaluated in order; Default applies when none
+	// match ("accept" to stop).
+	Transitions []Transition
+	Default     string
+}
+
+// Parser is a programmable parse graph, the front end of an RMT engine
+// (Figure 3b).
+type Parser struct {
+	states map[string]*ParseState
+	start  string
+}
+
+// NewParser builds a parser from states, starting at start. It validates
+// that every referenced state exists.
+func NewParser(start string, states ...*ParseState) (*Parser, error) {
+	p := &Parser{states: make(map[string]*ParseState, len(states)), start: start}
+	for _, s := range states {
+		if _, dup := p.states[s.Name]; dup {
+			return nil, fmt.Errorf("rmt: duplicate parse state %q", s.Name)
+		}
+		p.states[s.Name] = s
+	}
+	check := func(name string) error {
+		if name != StateAccept {
+			if _, ok := p.states[name]; !ok {
+				return fmt.Errorf("rmt: parse graph references unknown state %q", name)
+			}
+		}
+		return nil
+	}
+	if err := check(start); err != nil {
+		return nil, err
+	}
+	for _, s := range p.states {
+		for _, tr := range s.Transitions {
+			if len(tr.Values) != len(s.Select) {
+				return nil, fmt.Errorf("rmt: state %q: transition arity %d != select arity %d", s.Name, len(tr.Values), len(s.Select))
+			}
+			if tr.Masks != nil && len(tr.Masks) != len(s.Select) {
+				return nil, fmt.Errorf("rmt: state %q: mask arity mismatch", s.Name)
+			}
+			if err := check(tr.Next); err != nil {
+				return nil, err
+			}
+		}
+		if s.Default == "" {
+			s.Default = StateAccept
+		}
+		if err := check(s.Default); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// MustParser is NewParser that panics on error, for static parse graphs.
+func MustParser(start string, states ...*ParseState) *Parser {
+	p, err := NewParser(start, states...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Parse walks the graph over the packet bytes and fills the PHV. The PHV is
+// not reset: callers pre-populate metadata fields.
+func (p *Parser) Parse(buf []byte, phv *PHV) error {
+	state := p.start
+	off := 0
+	for steps := 0; state != StateAccept; steps++ {
+		if steps > 32 {
+			return fmt.Errorf("rmt: parse graph did not terminate (loop at %q)", state)
+		}
+		s := p.states[state]
+		hlen := s.HdrLen
+		if s.LenFunc != nil {
+			var err error
+			hlen, err = s.LenFunc(buf[off:])
+			if err != nil {
+				return fmt.Errorf("rmt: state %q: %w", state, err)
+			}
+		}
+		if off+hlen > len(buf) {
+			return fmt.Errorf("rmt: state %q: header needs %d bytes at offset %d, have %d", state, hlen, off, len(buf))
+		}
+		hdr := buf[off : off+hlen]
+		for _, e := range s.Extracts {
+			v, err := extractBE(hdr, e.Offset, e.Width)
+			if err != nil {
+				return fmt.Errorf("rmt: state %q extract %v: %w", state, e.Field, err)
+			}
+			phv.Set(e.Field, v)
+		}
+		off += hlen
+		state = s.next(phv)
+	}
+	return nil
+}
+
+func (s *ParseState) next(phv *PHV) string {
+	for _, tr := range s.Transitions {
+		match := true
+		for i, f := range s.Select {
+			v := phv.Get(f)
+			if tr.Masks != nil {
+				v &= tr.Masks[i]
+			}
+			if v != tr.Values[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return tr.Next
+		}
+	}
+	return s.Default
+}
+
+func extractBE(hdr []byte, off, width int) (uint64, error) {
+	if width < 1 || width > 8 {
+		return 0, fmt.Errorf("width %d out of range", width)
+	}
+	if off < 0 || off+width > len(hdr) {
+		return 0, fmt.Errorf("extract [%d:%d] outside %d-byte header", off, off+width, len(hdr))
+	}
+	var buf [8]byte
+	copy(buf[8-width:], hdr[off:off+width])
+	return binary.BigEndian.Uint64(buf[:]), nil
+}
+
+// StandardParser returns the parse graph for the full protocol stack used
+// in this repository: Ethernet, the PANIC chain shim, IPv4, UDP/TCP/ESP,
+// the KVS application header, and on-NIC DMA messages.
+func StandardParser() *Parser {
+	return MustParser("ethernet",
+		&ParseState{
+			Name:   "ethernet",
+			HdrLen: 14,
+			Extracts: []Extract{
+				{FieldEthDst, 0, 6}, {FieldEthSrc, 6, 6}, {FieldEthType, 12, 2},
+			},
+			Select: []FieldID{FieldEthType},
+			Transitions: []Transition{
+				{Values: []uint64{packet.EtherTypeIPv4}, Next: "ipv4"},
+				{Values: []uint64{packet.EtherTypeChain}, Next: "chain"},
+				{Values: []uint64{packet.EtherTypeDMA}, Next: "dma"},
+			},
+		},
+		&ParseState{
+			Name: "chain",
+			LenFunc: func(hdr []byte) (int, error) {
+				if len(hdr) < 6 {
+					return 0, packet.ErrTruncated
+				}
+				return 6 + 6*int(hdr[2]), nil
+			},
+			Extracts: []Extract{
+				{FieldChainFlags, 1, 1}, {FieldChainInner, 4, 2},
+			},
+			Select: []FieldID{FieldChainInner},
+			Transitions: []Transition{
+				{Values: []uint64{packet.EtherTypeIPv4}, Next: "ipv4"},
+				{Values: []uint64{packet.EtherTypeDMA}, Next: "dma"},
+			},
+		},
+		&ParseState{
+			Name:   "ipv4",
+			HdrLen: 20,
+			Extracts: []Extract{
+				{FieldIPTOS, 1, 1}, {FieldIPTTL, 8, 1}, {FieldIPProto, 9, 1},
+				{FieldIPSrc, 12, 4}, {FieldIPDst, 16, 4},
+			},
+			Select: []FieldID{FieldIPProto},
+			Transitions: []Transition{
+				{Values: []uint64{packet.ProtoUDP}, Next: "udp"},
+				{Values: []uint64{packet.ProtoTCP}, Next: "tcp"},
+				{Values: []uint64{packet.ProtoESP}, Next: "esp"},
+			},
+		},
+		&ParseState{
+			Name:   "udp",
+			HdrLen: 8,
+			Extracts: []Extract{
+				{FieldL4Src, 0, 2}, {FieldL4Dst, 2, 2},
+			},
+			Select: []FieldID{FieldL4Src, FieldL4Dst},
+			Transitions: []Transition{
+				{Values: []uint64{0, packet.KVSPort}, Masks: []uint64{0, 0xffff}, Next: "kvs"},
+				{Values: []uint64{packet.KVSPort, 0}, Masks: []uint64{0xffff, 0}, Next: "kvs"},
+			},
+		},
+		&ParseState{
+			Name:   "tcp",
+			HdrLen: 20,
+			Extracts: []Extract{
+				{FieldL4Src, 0, 2}, {FieldL4Dst, 2, 2},
+			},
+		},
+		&ParseState{
+			Name:   "esp",
+			HdrLen: 8,
+			Extracts: []Extract{
+				{FieldESPSPI, 0, 4},
+			},
+		},
+		&ParseState{
+			Name:   "kvs",
+			HdrLen: 16,
+			Extracts: []Extract{
+				{FieldKVSOp, 0, 1}, {FieldKVSFlags, 1, 1}, {FieldKVSTenant, 2, 2},
+				{FieldKVSKey, 4, 8}, {FieldKVSValueLen, 12, 4},
+			},
+		},
+		&ParseState{
+			Name:   "dma",
+			HdrLen: 16,
+			Extracts: []Extract{
+				{FieldDMAOp, 0, 1}, {FieldDMARequester, 2, 2},
+				{FieldDMALen, 4, 4}, {FieldDMAHostAddr, 8, 8},
+			},
+		},
+	)
+}

@@ -1,0 +1,119 @@
+// Package rmt models PANIC's heavyweight reconfigurable match+action
+// pipeline (§3.1.2): a programmable parser that turns packet bytes into a
+// packet header vector (PHV), a sequence of match+action stages over the
+// PHV with P4-style single-cycle action primitives and stateful registers,
+// and a deparser that writes results — most importantly the offload chain
+// and per-hop slack values — back into the packet as the chain shim header.
+//
+// Timing follows the paper's model: a pipeline accepts one packet per cycle
+// (throughput F·P packets/s for P parallel pipelines at F Hz) with a fixed
+// latency of parser + stages + deparser cycles.
+package rmt
+
+import "fmt"
+
+// FieldID identifies a PHV container. Parsed header fields and per-packet
+// metadata share one namespace, as in RMT hardware.
+type FieldID uint8
+
+// PHV fields.
+const (
+	// Ethernet.
+	FieldEthDst FieldID = iota
+	FieldEthSrc
+	FieldEthType
+	// PANIC chain shim (present on reinjected messages).
+	FieldChainFlags
+	FieldChainRemaining
+	FieldChainInner
+	// IPv4.
+	FieldIPSrc
+	FieldIPDst
+	FieldIPProto
+	FieldIPTOS
+	FieldIPTTL
+	// L4 (UDP and TCP share port containers).
+	FieldL4Src
+	FieldL4Dst
+	// IPSec ESP.
+	FieldESPSPI
+	// KVS application header.
+	FieldKVSOp
+	FieldKVSFlags
+	FieldKVSTenant
+	FieldKVSKey
+	FieldKVSValueLen
+	// On-NIC DMA messages.
+	FieldDMAOp
+	FieldDMARequester
+	FieldDMALen
+	FieldDMAHostAddr
+	// Per-packet metadata (not parsed from bytes; set by the engine).
+	FieldMetaPort     // ingress port index
+	FieldMetaWireLen  // message wire length in bytes
+	FieldMetaClass    // packet.Class
+	FieldMetaTenant   // accounting tenant
+	FieldMetaNow      // cycle the packet entered the pipeline
+	FieldMetaDeadline // absolute-cycle deadline (0 = none)
+	FieldMetaQueue    // descriptor queue selected by load balancing
+	FieldMetaNewFlags // chain flags for the outgoing chain header
+	FieldMetaHash     // scratch for hash results
+	FieldMetaScratch0 // general scratch
+	FieldMetaScratch1 // general scratch
+	FieldMetaScratch2 // general scratch
+	NumFields         // sentinel
+)
+
+var fieldNames = [NumFields]string{
+	"eth.dst", "eth.src", "eth.type",
+	"chain.flags", "chain.remaining", "chain.inner",
+	"ip.src", "ip.dst", "ip.proto", "ip.tos", "ip.ttl",
+	"l4.src", "l4.dst",
+	"esp.spi",
+	"kvs.op", "kvs.flags", "kvs.tenant", "kvs.key", "kvs.vlen",
+	"dma.op", "dma.requester", "dma.len", "dma.hostaddr",
+	"meta.port", "meta.wirelen", "meta.class", "meta.tenant",
+	"meta.now", "meta.deadline", "meta.queue", "meta.newflags",
+	"meta.hash", "meta.scratch0", "meta.scratch1", "meta.scratch2",
+}
+
+// String returns the field name.
+func (f FieldID) String() string {
+	if f < NumFields {
+		return fieldNames[f]
+	}
+	return fmt.Sprintf("field(%d)", uint8(f))
+}
+
+// PHV is a packet header vector: one 64-bit container per field plus a
+// validity bitmap.
+type PHV struct {
+	vals  [NumFields]uint64
+	valid uint64
+}
+
+// Set writes a field and marks it valid.
+func (p *PHV) Set(f FieldID, v uint64) {
+	p.vals[f] = v
+	p.valid |= 1 << f
+}
+
+// Get returns a field's value; invalid fields read as zero (as in RMT
+// hardware, where reading an invalid container yields an undefined-but-
+// harmless value — zero here for determinism).
+func (p *PHV) Get(f FieldID) uint64 { return p.vals[f] }
+
+// Valid reports whether the field was set (parsed or assigned).
+func (p *PHV) Valid(f FieldID) bool { return p.valid&(1<<f) != 0 }
+
+// Invalidate clears a field.
+func (p *PHV) Invalidate(f FieldID) {
+	p.valid &^= 1 << f
+	p.vals[f] = 0
+}
+
+// Reset clears the whole vector for reuse.
+func (p *PHV) Reset() {
+	p.vals = [NumFields]uint64{}
+	p.valid = 0
+}

@@ -1,0 +1,185 @@
+package rmt
+
+import (
+	"fmt"
+
+	"github.com/panic-nic/panic/internal/packet"
+)
+
+// Program is everything installed into an RMT pipeline: the parse graph,
+// the match+action stages (tables applied in order within a stage), and
+// the stateful registers.
+type Program struct {
+	Parser *Parser
+	Stages [][]*Table
+	Regs   *RegisterFile
+}
+
+// NewProgram builds a program with an empty register file.
+func NewProgram(parser *Parser, stages ...[]*Table) *Program {
+	return &Program{Parser: parser, Stages: stages, Regs: NewRegisterFile()}
+}
+
+// NumStages returns the number of match+action stages.
+func (p *Program) NumStages() int { return len(p.Stages) }
+
+// Split partitions the program's stages into n contiguous sub-programs for
+// chained RMT engines (§3.1.2: "Neighboring engines may be configured to
+// independently process messages or be chained to form a longer
+// pipeline"). Sub-programs share the parser and register file. The first
+// i%n sub-programs get the extra stages when the count is not divisible.
+func (p *Program) Split(n int) []*Program {
+	if n < 1 || n > len(p.Stages) {
+		panic(fmt.Sprintf("rmt: cannot split %d stages into %d parts", len(p.Stages), n))
+	}
+	parts := make([]*Program, n)
+	per := len(p.Stages) / n
+	extra := len(p.Stages) % n
+	off := 0
+	for i := range parts {
+		take := per
+		if i < extra {
+			take++
+		}
+		parts[i] = &Program{Parser: p.Parser, Stages: p.Stages[off : off+take], Regs: p.Regs}
+		off += take
+	}
+	return parts
+}
+
+// Result is the verdict of one pipeline traversal.
+type Result struct {
+	Msg *packet.Message
+	// Drop means the program discarded the packet.
+	Drop bool
+	// Queue is the descriptor queue selected by the program (value of
+	// meta.queue at deparse time).
+	Queue uint64
+}
+
+// Process runs one message through the program combinationally (parse →
+// stages → deparse) and returns the verdict. The timed Pipeline wraps this
+// with the throughput/latency model. now is the current cycle for
+// slack/deadline arithmetic.
+func (p *Program) Process(msg *packet.Message, now uint64) (Result, error) {
+	var phv PHV
+	phv.Set(FieldMetaPort, uint64(uint32(msg.Port)))
+	phv.Set(FieldMetaWireLen, uint64(msg.WireLen()))
+	phv.Set(FieldMetaClass, uint64(msg.Class))
+	phv.Set(FieldMetaTenant, uint64(msg.Tenant))
+	phv.Set(FieldMetaNow, now)
+	phv.Set(FieldMetaDeadline, msg.Deadline)
+	if c := msg.Chain(); c != nil {
+		phv.Set(FieldChainRemaining, uint64(c.Remaining()))
+	}
+	if err := p.Parser.Parse(msg.Pkt.Buf, &phv); err != nil {
+		return Result{}, err
+	}
+	ctx := Ctx{PHV: &phv, Regs: p.Regs}
+	for _, stage := range p.Stages {
+		for _, table := range stage {
+			action, _ := table.Lookup(&phv)
+			action.Apply(&ctx)
+		}
+	}
+	if ctx.Drop {
+		return Result{Msg: msg, Drop: true}, nil
+	}
+	p.deparse(msg, &ctx)
+	return Result{Msg: msg, Queue: phv.Get(FieldMetaQueue)}, nil
+}
+
+// deparse writes the action results back into the packet: the offload
+// chain (and its flags) becomes the chain shim header, replacing any
+// existing one.
+func (p *Program) deparse(msg *packet.Message, ctx *Ctx) {
+	if len(ctx.Chain) == 0 {
+		return
+	}
+	hops := make([]packet.Hop, len(ctx.Chain))
+	copy(hops, ctx.Chain)
+	flags := uint8(ctx.PHV.Get(FieldMetaNewFlags))
+	if existing := msg.Chain(); existing != nil {
+		existing.Cursor = 0
+		existing.Flags = flags
+		existing.Hops = hops
+		msg.Pkt.Serialize()
+		return
+	}
+	msg.InsertChain(&packet.Chain{Flags: flags, Hops: hops})
+}
+
+// Pipeline is the timed model of one RMT engine's pipeline: it accepts at
+// most one message per cycle and holds each for a fixed latency of
+// parserCycles + stages + deparserCycles before it emerges.
+type Pipeline struct {
+	prog    *Program
+	slots   []pipeSlot // slots[0] is the entry stage
+	dropped uint64
+	errs    uint64
+	done    uint64
+}
+
+type pipeSlot struct {
+	res  Result
+	full bool
+}
+
+// NewPipeline builds a timed pipeline around a program. parserCycles and
+// deparserCycles default to 1 when zero.
+func NewPipeline(prog *Program, parserCycles, deparserCycles int) *Pipeline {
+	if parserCycles <= 0 {
+		parserCycles = 1
+	}
+	if deparserCycles <= 0 {
+		deparserCycles = 1
+	}
+	latency := parserCycles + prog.NumStages() + deparserCycles
+	return &Pipeline{prog: prog, slots: make([]pipeSlot, latency)}
+}
+
+// Latency returns the pipeline depth in cycles.
+func (p *Pipeline) Latency() int { return len(p.slots) }
+
+// CanAccept reports whether the entry stage is free this cycle.
+func (p *Pipeline) CanAccept() bool { return !p.slots[0].full }
+
+// Accept admits one message; the caller must have checked CanAccept. The
+// verdict is computed immediately but only becomes visible when the
+// message exits the pipeline. Parse errors count as drops (a real pipeline
+// sends unparseable packets to a default action; ours discards and
+// counts).
+func (p *Pipeline) Accept(msg *packet.Message, now uint64) {
+	if p.slots[0].full {
+		panic("rmt: Pipeline.Accept when entry stage is occupied")
+	}
+	res, err := p.prog.Process(msg, now)
+	if err != nil {
+		p.errs++
+		res = Result{Msg: msg, Drop: true}
+	}
+	p.slots[0] = pipeSlot{res: res, full: true}
+}
+
+// Tick advances the pipeline one cycle and returns the message exiting
+// this cycle, if any. Dropped packets are counted and not returned.
+func (p *Pipeline) Tick() (Result, bool) {
+	last := len(p.slots) - 1
+	out := p.slots[last]
+	copy(p.slots[1:], p.slots[:last])
+	p.slots[0] = pipeSlot{}
+	if !out.full {
+		return Result{}, false
+	}
+	p.done++
+	if out.res.Drop {
+		p.dropped++
+		return Result{}, false
+	}
+	return out.res, true
+}
+
+// Stats returns (processed, dropped, parse errors).
+func (p *Pipeline) Stats() (processed, dropped, parseErrors uint64) {
+	return p.done, p.dropped, p.errs
+}

@@ -1,0 +1,403 @@
+package rmt
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/panic-nic/panic/internal/packet"
+)
+
+func kvsGetMsg(tenant uint16, key uint64) *packet.Message {
+	return &packet.Message{
+		Pkt: packet.NewPacket(0,
+			&packet.Ethernet{Dst: packet.MAC{2, 0, 0, 0, 0, 1}, EtherType: packet.EtherTypeIPv4},
+			&packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 9}},
+			&packet.UDP{SrcPort: 7000, DstPort: packet.KVSPort},
+			&packet.KVS{Op: packet.KVSGet, Tenant: tenant, Key: key},
+		),
+		Tenant: tenant,
+		Port:   0,
+	}
+}
+
+func espMsg() *packet.Message {
+	return &packet.Message{
+		Pkt: packet.NewPacket(128,
+			&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+			&packet.IPv4{TTL: 64, Protocol: packet.ProtoESP, Src: packet.IP4{203, 0, 113, 5}, Dst: packet.IP4{10, 0, 0, 9}},
+			&packet.ESP{SPI: 77, Seq: 3},
+		),
+	}
+}
+
+func TestPHVBasics(t *testing.T) {
+	var p PHV
+	if p.Valid(FieldIPSrc) || p.Get(FieldIPSrc) != 0 {
+		t.Error("zero PHV should be invalid and read zero")
+	}
+	p.Set(FieldIPSrc, 42)
+	if !p.Valid(FieldIPSrc) || p.Get(FieldIPSrc) != 42 {
+		t.Error("Set/Get failed")
+	}
+	p.Invalidate(FieldIPSrc)
+	if p.Valid(FieldIPSrc) || p.Get(FieldIPSrc) != 0 {
+		t.Error("Invalidate failed")
+	}
+	p.Set(FieldKVSKey, 7)
+	p.Reset()
+	if p.Valid(FieldKVSKey) {
+		t.Error("Reset failed")
+	}
+}
+
+func TestFieldNames(t *testing.T) {
+	if FieldEthDst.String() != "eth.dst" || FieldMetaQueue.String() != "meta.queue" {
+		t.Error("field names wrong")
+	}
+	if !strings.Contains(FieldID(200).String(), "200") {
+		t.Error("out-of-range field name wrong")
+	}
+}
+
+func TestStandardParserKVS(t *testing.T) {
+	m := kvsGetMsg(9, 0xabcdef)
+	var phv PHV
+	if err := StandardParser().Parse(m.Pkt.Buf, &phv); err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		f    FieldID
+		want uint64
+	}{
+		{FieldEthType, packet.EtherTypeIPv4},
+		{FieldIPProto, packet.ProtoUDP},
+		{FieldIPSrc, 0x0a000001},
+		{FieldIPDst, 0x0a000009},
+		{FieldL4Dst, packet.KVSPort},
+		{FieldKVSOp, uint64(packet.KVSGet)},
+		{FieldKVSTenant, 9},
+		{FieldKVSKey, 0xabcdef},
+	}
+	for _, c := range checks {
+		if !phv.Valid(c.f) {
+			t.Errorf("%v not parsed", c.f)
+		} else if got := phv.Get(c.f); got != c.want {
+			t.Errorf("%v = %#x, want %#x", c.f, got, c.want)
+		}
+	}
+	if phv.Valid(FieldESPSPI) {
+		t.Error("ESP field valid on non-ESP packet")
+	}
+}
+
+func TestStandardParserESP(t *testing.T) {
+	var phv PHV
+	if err := StandardParser().Parse(espMsg().Pkt.Buf, &phv); err != nil {
+		t.Fatal(err)
+	}
+	if !phv.Valid(FieldESPSPI) || phv.Get(FieldESPSPI) != 77 {
+		t.Errorf("esp.spi = %d valid=%v", phv.Get(FieldESPSPI), phv.Valid(FieldESPSPI))
+	}
+	if phv.Valid(FieldL4Dst) {
+		t.Error("L4 parsed on ESP packet")
+	}
+}
+
+func TestStandardParserKVSResponseBySrcPort(t *testing.T) {
+	// TX-side GET responses have src=KVSPort; the udp state's two-field
+	// select must still reach the kvs state.
+	m := &packet.Message{Pkt: packet.NewPacket(0,
+		&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+		&packet.IPv4{Protocol: packet.ProtoUDP},
+		&packet.UDP{SrcPort: packet.KVSPort, DstPort: 7000},
+		&packet.KVS{Op: packet.KVSGetResp, Tenant: 1, Key: 5, ValueLen: 100},
+	)}
+	var phv PHV
+	if err := StandardParser().Parse(m.Pkt.Buf, &phv); err != nil {
+		t.Fatal(err)
+	}
+	if phv.Get(FieldKVSOp) != uint64(packet.KVSGetResp) {
+		t.Error("response KVS header not parsed")
+	}
+}
+
+func TestStandardParserChainShim(t *testing.T) {
+	m := kvsGetMsg(1, 2)
+	m.InsertChain(&packet.Chain{Flags: packet.ChainFlagReinjected, Hops: []packet.Hop{{Engine: 5, Slack: 9}}})
+	var phv PHV
+	if err := StandardParser().Parse(m.Pkt.Buf, &phv); err != nil {
+		t.Fatal(err)
+	}
+	if phv.Get(FieldChainFlags) != packet.ChainFlagReinjected {
+		t.Errorf("chain.flags = %d", phv.Get(FieldChainFlags))
+	}
+	if phv.Get(FieldChainInner) != packet.EtherTypeIPv4 {
+		t.Errorf("chain.inner = %#x", phv.Get(FieldChainInner))
+	}
+	// Inner stack still parsed through the shim.
+	if phv.Get(FieldKVSKey) != 2 {
+		t.Error("inner KVS not parsed through chain shim")
+	}
+}
+
+func TestParserTruncatedPacket(t *testing.T) {
+	m := kvsGetMsg(1, 2)
+	var phv PHV
+	if err := StandardParser().Parse(m.Pkt.Buf[:30], &phv); err == nil {
+		t.Error("truncated packet parsed without error")
+	}
+}
+
+func TestParserValidation(t *testing.T) {
+	if _, err := NewParser("nope"); err == nil {
+		t.Error("unknown start state accepted")
+	}
+	if _, err := NewParser("a",
+		&ParseState{Name: "a", HdrLen: 1, Default: "missing"}); err == nil {
+		t.Error("unknown default state accepted")
+	}
+	if _, err := NewParser("a",
+		&ParseState{Name: "a", HdrLen: 1},
+		&ParseState{Name: "a", HdrLen: 2}); err == nil {
+		t.Error("duplicate state accepted")
+	}
+	if _, err := NewParser("a",
+		&ParseState{Name: "a", HdrLen: 1, Select: []FieldID{FieldEthType},
+			Transitions: []Transition{{Values: []uint64{1, 2}, Next: StateAccept}}}); err == nil {
+		t.Error("transition arity mismatch accepted")
+	}
+}
+
+func TestParserLoopDetection(t *testing.T) {
+	p := MustParser("a", &ParseState{Name: "a", HdrLen: 0, Default: "a"})
+	var phv PHV
+	if err := p.Parse(make([]byte, 64), &phv); err == nil {
+		t.Error("looping parse graph did not error")
+	}
+}
+
+func TestExactTable(t *testing.T) {
+	tbl := NewTable("steer", MatchExact, []FieldID{FieldKVSTenant, FieldKVSOp}, 0,
+		NewAction("default", OpSet{FieldMetaQueue, 99}))
+	tbl.Add(Entry{Values: []uint64{7, uint64(packet.KVSGet)}, Action: NewAction("hit", OpSet{FieldMetaQueue, 1})})
+	var phv PHV
+	phv.Set(FieldKVSTenant, 7)
+	phv.Set(FieldKVSOp, uint64(packet.KVSGet))
+	ctx := Ctx{PHV: &phv}
+	a, hit := tbl.Lookup(&phv)
+	a.Apply(&ctx)
+	if !hit || phv.Get(FieldMetaQueue) != 1 {
+		t.Errorf("hit=%v queue=%d", hit, phv.Get(FieldMetaQueue))
+	}
+	phv.Set(FieldKVSTenant, 8)
+	a, hit = tbl.Lookup(&phv)
+	a.Apply(&ctx)
+	if hit || phv.Get(FieldMetaQueue) != 99 {
+		t.Errorf("miss path: hit=%v queue=%d", hit, phv.Get(FieldMetaQueue))
+	}
+	if tbl.Entries() != 1 {
+		t.Errorf("Entries = %d", tbl.Entries())
+	}
+}
+
+func TestLPMTable(t *testing.T) {
+	tbl := NewTable("route", MatchLPM, []FieldID{FieldIPDst}, 32, Action{})
+	// 10.0.0.0/8 -> 1, 10.1.0.0/16 -> 2 (longer wins).
+	tbl.Add(Entry{Values: []uint64{PrefixOf(0x0a000000, 8, 32)}, PrefixLen: 8,
+		Action: NewAction("slash8", OpSet{FieldMetaScratch0, 1})})
+	tbl.Add(Entry{Values: []uint64{PrefixOf(0x0a010000, 16, 32)}, PrefixLen: 16,
+		Action: NewAction("slash16", OpSet{FieldMetaScratch0, 2})})
+	cases := []struct {
+		ip   uint64
+		want uint64
+		hit  bool
+	}{
+		{0x0a000005, 1, true},  // 10.0.0.5 -> /8
+		{0x0a010005, 2, true},  // 10.1.0.5 -> /16
+		{0x0b000001, 0, false}, // 11.0.0.1 -> miss
+	}
+	for _, c := range cases {
+		var phv PHV
+		phv.Set(FieldIPDst, c.ip)
+		a, hit := tbl.Lookup(&phv)
+		ctx := Ctx{PHV: &phv}
+		a.Apply(&ctx)
+		if hit != c.hit {
+			t.Errorf("ip %#x: hit=%v want %v", c.ip, hit, c.hit)
+		}
+		if c.hit && phv.Get(FieldMetaScratch0) != c.want {
+			t.Errorf("ip %#x: scratch=%d want %d", c.ip, phv.Get(FieldMetaScratch0), c.want)
+		}
+	}
+}
+
+func TestLPMZeroLengthPrefixIsDefaultRoute(t *testing.T) {
+	tbl := NewTable("route", MatchLPM, []FieldID{FieldIPDst}, 32, Action{})
+	tbl.Add(Entry{Values: []uint64{0}, PrefixLen: 0, Action: NewAction("any", OpSet{FieldMetaScratch0, 7})})
+	var phv PHV
+	phv.Set(FieldIPDst, 0xffffffff)
+	if _, hit := tbl.Lookup(&phv); !hit {
+		t.Error("0-length prefix did not match everything")
+	}
+}
+
+func TestTernaryTablePriority(t *testing.T) {
+	tbl := NewTable("acl", MatchTernary, []FieldID{FieldIPSrc, FieldL4Dst}, 0, Action{})
+	// Low priority: any src, port 80 -> allow(1). High: src 10.0.0.0/8 wildcard port -> deny(2).
+	tbl.Add(Entry{Values: []uint64{0, 80}, Masks: []uint64{0, 0xffff}, Priority: 1,
+		Action: NewAction("allow", OpSet{FieldMetaScratch0, 1})})
+	tbl.Add(Entry{Values: []uint64{0x0a000000, 0}, Masks: []uint64{0xff000000, 0}, Priority: 10,
+		Action: NewAction("deny", OpSet{FieldMetaScratch0, 2})})
+	var phv PHV
+	phv.Set(FieldIPSrc, 0x0a000001)
+	phv.Set(FieldL4Dst, 80)
+	a, hit := tbl.Lookup(&phv)
+	ctx := Ctx{PHV: &phv}
+	a.Apply(&ctx)
+	if !hit || phv.Get(FieldMetaScratch0) != 2 {
+		t.Errorf("priority not respected: scratch=%d", phv.Get(FieldMetaScratch0))
+	}
+}
+
+func TestTernaryNilMasksAreExact(t *testing.T) {
+	tbl := NewTable("t", MatchTernary, []FieldID{FieldIPSrc}, 0, Action{})
+	tbl.Add(Entry{Values: []uint64{5}, Action: NewAction("hit")})
+	var phv PHV
+	phv.Set(FieldIPSrc, 5)
+	if _, hit := tbl.Lookup(&phv); !hit {
+		t.Error("exact-valued ternary entry missed")
+	}
+	phv.Set(FieldIPSrc, 6)
+	if _, hit := tbl.Lookup(&phv); hit {
+		t.Error("exact-valued ternary entry hit wrong value")
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no key":    func() { NewTable("x", MatchExact, nil, 0, Action{}) },
+		"lpm multi": func() { NewTable("x", MatchLPM, []FieldID{1, 2}, 32, Action{}) },
+		"lpm width": func() { NewTable("x", MatchLPM, []FieldID{1}, 0, Action{}) },
+		"bad arity": func() { NewTable("x", MatchExact, []FieldID{1}, 0, Action{}).Add(Entry{Values: []uint64{1, 2}}) },
+		"bad prefix": func() {
+			NewTable("x", MatchLPM, []FieldID{1}, 32, Action{}).Add(Entry{Values: []uint64{0}, PrefixLen: 40})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestActionPrimitives(t *testing.T) {
+	regs := NewRegisterFile()
+	regs.Define("ctr", 4)
+	var phv PHV
+	ctx := Ctx{PHV: &phv, Regs: regs}
+
+	OpSet{FieldMetaScratch0, 10}.Apply(&ctx)
+	OpAdd{FieldMetaScratch0, -3}.Apply(&ctx)
+	OpCopy{FieldMetaScratch1, FieldMetaScratch0}.Apply(&ctx)
+	if phv.Get(FieldMetaScratch1) != 7 {
+		t.Errorf("set/add/copy chain = %d, want 7", phv.Get(FieldMetaScratch1))
+	}
+	OpAnd{FieldMetaScratch1, 0x3}.Apply(&ctx)
+	if phv.Get(FieldMetaScratch1) != 3 {
+		t.Errorf("and = %d", phv.Get(FieldMetaScratch1))
+	}
+	OpOr{FieldMetaScratch1, 0x8}.Apply(&ctx)
+	if phv.Get(FieldMetaScratch1) != 11 {
+		t.Errorf("or = %d", phv.Get(FieldMetaScratch1))
+	}
+	OpMod{FieldMetaScratch1, 4}.Apply(&ctx)
+	if phv.Get(FieldMetaScratch1) != 3 {
+		t.Errorf("mod = %d", phv.Get(FieldMetaScratch1))
+	}
+
+	// Registers: post-increment RR counter.
+	phv.Set(FieldMetaScratch2, 0) // index
+	for i := uint64(1); i <= 3; i++ {
+		OpRegAdd{"ctr", FieldMetaScratch2, 1, FieldMetaHash}.Apply(&ctx)
+		if phv.Get(FieldMetaHash) != i {
+			t.Errorf("RegAdd #%d = %d", i, phv.Get(FieldMetaHash))
+		}
+	}
+	OpRegWrite{"ctr", FieldMetaScratch2, FieldMetaScratch1}.Apply(&ctx)
+	OpRegRead{"ctr", FieldMetaScratch2, FieldMetaScratch0}.Apply(&ctx)
+	if phv.Get(FieldMetaScratch0) != 3 {
+		t.Errorf("reg write/read = %d", phv.Get(FieldMetaScratch0))
+	}
+	if regs.Read("ctr", 0) != 3 {
+		t.Errorf("direct Read = %d", regs.Read("ctr", 0))
+	}
+
+	// Hash determinism and spread.
+	phv.Set(FieldIPSrc, 1)
+	OpHash{FieldMetaHash, []FieldID{FieldIPSrc, FieldL4Src}}.Apply(&ctx)
+	h1 := phv.Get(FieldMetaHash)
+	OpHash{FieldMetaHash, []FieldID{FieldIPSrc, FieldL4Src}}.Apply(&ctx)
+	if phv.Get(FieldMetaHash) != h1 {
+		t.Error("hash not deterministic")
+	}
+	phv.Set(FieldIPSrc, 2)
+	OpHash{FieldMetaHash, []FieldID{FieldIPSrc, FieldL4Src}}.Apply(&ctx)
+	if phv.Get(FieldMetaHash) == h1 {
+		t.Error("hash did not change with input")
+	}
+
+	// Chain building.
+	OpPushHop{Engine: 5, SlackConst: 100}.Apply(&ctx)
+	phv.Set(FieldMetaScratch0, 3)
+	OpPushHopFromField{EngineFrom: FieldMetaScratch0, SlackConst: 1, SlackFrom: FieldMetaScratch1, HasSlackFrom: true}.Apply(&ctx)
+	if len(ctx.Chain) != 2 || ctx.Chain[0] != (packet.Hop{Engine: 5, Slack: 100}) ||
+		ctx.Chain[1] != (packet.Hop{Engine: 3, Slack: 4}) {
+		t.Errorf("chain = %+v", ctx.Chain)
+	}
+	OpClearChain{}.Apply(&ctx)
+	if len(ctx.Chain) != 0 {
+		t.Error("clear chain failed")
+	}
+	OpDrop{}.Apply(&ctx)
+	if !ctx.Drop {
+		t.Error("drop flag not set")
+	}
+}
+
+func TestSlackSaturation(t *testing.T) {
+	var phv PHV
+	ctx := Ctx{PHV: &phv}
+	phv.Set(FieldMetaScratch0, ^uint64(0))
+	OpPushHop{Engine: 1, SlackConst: 10, SlackFrom: FieldMetaScratch0, HasSlackFrom: true}.Apply(&ctx)
+	if ctx.Chain[0].Slack != 0xffffffff {
+		t.Errorf("slack did not saturate: %d", ctx.Chain[0].Slack)
+	}
+}
+
+func TestRegisterFileValidation(t *testing.T) {
+	r := NewRegisterFile()
+	r.Define("a", 2)
+	for name, fn := range map[string]func(){
+		"dup":       func() { r.Define("a", 2) },
+		"zero size": func() { r.Define("b", 0) },
+		"undefined": func() { r.Read("nope", 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	// Index wraps modulo size.
+	r.write("a", 5, 9)
+	if r.Read("a", 1) != 9 {
+		t.Error("index wrap failed")
+	}
+}

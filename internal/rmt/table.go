@@ -1,0 +1,180 @@
+package rmt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MatchKind is a table's match discipline.
+type MatchKind int
+
+// Match kinds.
+const (
+	MatchExact MatchKind = iota
+	MatchLPM
+	MatchTernary
+)
+
+// String returns the kind name.
+func (k MatchKind) String() string {
+	switch k {
+	case MatchExact:
+		return "exact"
+	case MatchLPM:
+		return "lpm"
+	case MatchTernary:
+		return "ternary"
+	default:
+		return fmt.Sprintf("MatchKind(%d)", int(k))
+	}
+}
+
+// Entry is one table entry. Which fields are meaningful depends on the
+// table's match kind:
+//
+//   - exact: Values
+//   - lpm: Values[0] and PrefixLen (single-field key, up to 64 bits)
+//   - ternary: Values, Masks, Priority (higher wins)
+type Entry struct {
+	Values    []uint64
+	Masks     []uint64
+	PrefixLen int
+	Priority  int
+	Action    Action
+}
+
+// Table is a match+action table.
+type Table struct {
+	Name    string
+	Kind    MatchKind
+	Key     []FieldID
+	Default Action
+
+	exact   map[string]*Entry
+	lpm     []*Entry // sorted by descending prefix length
+	ternary []*Entry // sorted by descending priority
+	width   int      // key bit width for LPM
+}
+
+// NewTable creates an empty table. LPM tables require exactly one key
+// field; keyBits gives its width (e.g. 32 for IPv4 addresses).
+func NewTable(name string, kind MatchKind, key []FieldID, keyBits int, def Action) *Table {
+	if len(key) == 0 {
+		panic(fmt.Sprintf("rmt: table %q has no key", name))
+	}
+	if kind == MatchLPM {
+		if len(key) != 1 {
+			panic(fmt.Sprintf("rmt: LPM table %q must have a single key field", name))
+		}
+		if keyBits < 1 || keyBits > 64 {
+			panic(fmt.Sprintf("rmt: LPM table %q key width %d", name, keyBits))
+		}
+	}
+	return &Table{
+		Name: name, Kind: kind, Key: key, Default: def,
+		exact: make(map[string]*Entry), width: keyBits,
+	}
+}
+
+// Add inserts an entry. It validates arity against the table key and keeps
+// the internal ordering invariants (longest prefix first, highest priority
+// first).
+func (t *Table) Add(e Entry) {
+	if len(e.Values) != len(t.Key) {
+		panic(fmt.Sprintf("rmt: table %q: entry arity %d != key arity %d", t.Name, len(e.Values), len(t.Key)))
+	}
+	switch t.Kind {
+	case MatchExact:
+		t.exact[exactKey(e.Values)] = &e
+	case MatchLPM:
+		if e.PrefixLen < 0 || e.PrefixLen > t.width {
+			panic(fmt.Sprintf("rmt: table %q: prefix length %d out of [0,%d]", t.Name, e.PrefixLen, t.width))
+		}
+		t.lpm = append(t.lpm, &e)
+		sort.SliceStable(t.lpm, func(i, j int) bool { return t.lpm[i].PrefixLen > t.lpm[j].PrefixLen })
+	case MatchTernary:
+		if e.Masks == nil {
+			e.Masks = make([]uint64, len(e.Values))
+			for i := range e.Masks {
+				e.Masks[i] = ^uint64(0)
+			}
+		}
+		if len(e.Masks) != len(t.Key) {
+			panic(fmt.Sprintf("rmt: table %q: mask arity mismatch", t.Name))
+		}
+		t.ternary = append(t.ternary, &e)
+		sort.SliceStable(t.ternary, func(i, j int) bool { return t.ternary[i].Priority > t.ternary[j].Priority })
+	}
+}
+
+// Entries returns the number of installed entries.
+func (t *Table) Entries() int {
+	return len(t.exact) + len(t.lpm) + len(t.ternary)
+}
+
+// Lookup matches the PHV against the table and returns the winning entry's
+// action, or the default action when nothing matches. The boolean reports
+// whether an installed entry (not the default) hit.
+func (t *Table) Lookup(phv *PHV) (Action, bool) {
+	switch t.Kind {
+	case MatchExact:
+		vals := make([]uint64, len(t.Key))
+		for i, f := range t.Key {
+			vals[i] = phv.Get(f)
+		}
+		if e, ok := t.exact[exactKey(vals)]; ok {
+			return e.Action, true
+		}
+	case MatchLPM:
+		v := phv.Get(t.Key[0])
+		for _, e := range t.lpm {
+			if prefixMask(e.PrefixLen, t.width)&v == e.Values[0] {
+				return e.Action, true
+			}
+		}
+	case MatchTernary:
+		for _, e := range t.ternary {
+			hit := true
+			for i, f := range t.Key {
+				if phv.Get(f)&e.Masks[i] != e.Values[i]&e.Masks[i] {
+					hit = false
+					break
+				}
+			}
+			if hit {
+				return e.Action, true
+			}
+		}
+	}
+	return t.Default, false
+}
+
+func prefixMask(prefixLen, width int) uint64 {
+	if prefixLen == 0 {
+		return 0
+	}
+	return (^uint64(0) << (width - prefixLen)) & widthMask(width)
+}
+
+func widthMask(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << width) - 1
+}
+
+func exactKey(vals []uint64) string {
+	b := make([]byte, 0, 8*len(vals))
+	for _, v := range vals {
+		for i := 56; i >= 0; i -= 8 {
+			b = append(b, byte(v>>i))
+		}
+	}
+	return string(b)
+}
+
+// PrefixOf is a convenience for building LPM entries: it masks value to the
+// given prefix length within width bits.
+func PrefixOf(value uint64, prefixLen, width int) uint64 {
+	return value & prefixMask(prefixLen, width)
+}

@@ -1,0 +1,211 @@
+// Package sched implements PANIC's logical scheduler (§3.1.3): the
+// per-engine priority queues that order competing messages by the slack
+// values the heavyweight RMT pipeline computed and stamped into the chain
+// header.
+//
+// Each queue is a PIFO (push-in-first-out) priority queue: an arriving
+// message is inserted at the position given by its rank and the head is
+// always the minimum rank, which is sufficient to express arbitrary
+// scheduling algorithms (the paper cites Universal Packet Scheduling and
+// the PIFO line of work). Rank = arrival + slack implements
+// least-slack-time-first; rank = arrival implements FIFO; rank = class
+// implements strict priority.
+//
+// Admission is a policy decision the paper leaves open (§6): Backpressure
+// never drops (the queue fills and the fabric stalls — lossless), while
+// DropLowestPriority sheds the worst-ranked droppable message on overflow,
+// never dropping messages marked lossless (descriptor DMA and other
+// control traffic).
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/panic-nic/panic/internal/packet"
+)
+
+// Policy is a queue's overflow behaviour.
+type Policy int
+
+// Policies.
+const (
+	// Backpressure rejects pushes when full; the caller must stall
+	// (lossless forwarding).
+	Backpressure Policy = iota
+	// DropLowestPriority accepts the push if the incoming message ranks
+	// better than the worst droppable occupant, which is then dropped.
+	// Messages for which Lossless() is true are never dropped.
+	DropLowestPriority
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case Backpressure:
+		return "backpressure"
+	case DropLowestPriority:
+		return "drop-lowest-priority"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// PushResult reports what a Push did.
+type PushResult struct {
+	// Accepted is false when the message was refused (Backpressure and
+	// full, or lossy and it ranked worse than everything present).
+	Accepted bool
+	// Dropped is the message evicted to make room, if any.
+	Dropped *packet.Message
+}
+
+// Queue is one engine's scheduling queue.
+type Queue struct {
+	h      entryHeap
+	cap    int
+	policy Policy
+	seq    uint64
+
+	// Stats.
+	pushed, popped, drops, rejects uint64
+	highWater                      int
+}
+
+// NewQueue builds a queue with the given capacity and overflow policy.
+func NewQueue(capacity int, policy Policy) *Queue {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sched: queue capacity %d", capacity))
+	}
+	return &Queue{cap: capacity, policy: policy}
+}
+
+// Len returns the current occupancy.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Cap returns the capacity.
+func (q *Queue) Cap() int { return q.cap }
+
+// Full reports whether the queue is at capacity.
+func (q *Queue) Full() bool { return len(q.h) >= q.cap }
+
+// Push inserts a message with the given rank (lower = served sooner).
+// Equal ranks are served in arrival order.
+func (q *Queue) Push(msg *packet.Message, rank uint64) PushResult {
+	if !q.Full() {
+		q.seq++
+		heap.Push(&q.h, entry{msg: msg, rank: rank, seq: q.seq})
+		q.pushed++
+		if len(q.h) > q.highWater {
+			q.highWater = len(q.h)
+		}
+		return PushResult{Accepted: true}
+	}
+	if q.policy == Backpressure {
+		q.rejects++
+		return PushResult{}
+	}
+	// Lossy: evict the worst droppable occupant if the newcomer beats it.
+	worst := q.worstDroppable()
+	if worst < 0 {
+		// Everything resident is lossless; the newcomer itself is shed
+		// unless it is lossless too, in which case the push is refused
+		// and the caller must stall.
+		if msg.Lossless() {
+			q.rejects++
+			return PushResult{}
+		}
+		q.drops++
+		return PushResult{Accepted: true, Dropped: msg}
+	}
+	w := q.h[worst]
+	newcomerLoses := rank > w.rank || (rank == w.rank && !msg.Lossless())
+	if newcomerLoses && !msg.Lossless() {
+		q.drops++
+		return PushResult{Accepted: true, Dropped: msg}
+	}
+	dropped := w.msg
+	heap.Remove(&q.h, worst)
+	q.seq++
+	heap.Push(&q.h, entry{msg: msg, rank: rank, seq: q.seq})
+	q.pushed++
+	q.drops++
+	return PushResult{Accepted: true, Dropped: dropped}
+}
+
+// worstDroppable returns the heap index of the highest-rank droppable
+// entry, or -1. Ties prefer the youngest (largest seq), so older traffic
+// survives.
+func (q *Queue) worstDroppable() int {
+	worst := -1
+	for i, e := range q.h {
+		if e.msg.Lossless() {
+			continue
+		}
+		if worst < 0 || e.rank > q.h[worst].rank ||
+			(e.rank == q.h[worst].rank && e.seq > q.h[worst].seq) {
+			worst = i
+		}
+	}
+	return worst
+}
+
+// Peek returns the best-ranked message without removing it.
+func (q *Queue) Peek() (*packet.Message, bool) {
+	if len(q.h) == 0 {
+		return nil, false
+	}
+	return q.h[0].msg, true
+}
+
+// PeekRank returns the best rank present.
+func (q *Queue) PeekRank() (uint64, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].rank, true
+}
+
+// Pop removes and returns the best-ranked message.
+func (q *Queue) Pop() (*packet.Message, bool) {
+	if len(q.h) == 0 {
+		return nil, false
+	}
+	e := heap.Pop(&q.h).(entry)
+	q.popped++
+	return e.msg, true
+}
+
+// Stats returns (pushed, popped, dropped, rejected, high-water mark).
+func (q *Queue) Stats() (pushed, popped, drops, rejects uint64, highWater int) {
+	return q.pushed, q.popped, q.drops, q.rejects, q.highWater
+}
+
+type entry struct {
+	msg  *packet.Message
+	rank uint64
+	seq  uint64
+}
+
+type entryHeap []entry
+
+func (h entryHeap) Len() int { return len(h) }
+
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].rank != h[j].rank {
+		return h[i].rank < h[j].rank
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *entryHeap) Push(x any) { *h = append(*h, x.(entry)) }
+
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/panic-nic/panic/internal/packet"
+)
+
+func wfqMsg(tenant uint16, bytes int) *packet.Message {
+	return &packet.Message{Tenant: tenant, Pkt: &packet.Packet{PayloadLen: bytes}}
+}
+
+// drainShare pushes a backlog of messages from each tenant into a WFQ
+// queue and returns how many of each tenant's messages appear in the first
+// n pops.
+func drainShare(t *testing.T, weights map[uint16]uint64, msgBytes map[uint16]int, perTenant, n int) map[uint16]int {
+	t.Helper()
+	rank := NewRankWFQ(weights, 1)
+	q := NewQueue(1024, Backpressure)
+	for i := 0; i < perTenant; i++ {
+		for tenant, bytes := range msgBytes {
+			m := wfqMsg(tenant, bytes)
+			q.Push(m, rank(m, 0, 0))
+		}
+	}
+	got := map[uint16]int{}
+	for i := 0; i < n; i++ {
+		m, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue drained early")
+		}
+		got[m.Tenant]++
+	}
+	return got
+}
+
+func TestWFQEqualWeightsEqualShare(t *testing.T) {
+	got := drainShare(t,
+		map[uint16]uint64{1: 1, 2: 1},
+		map[uint16]int{1: 1000, 2: 1000},
+		100, 100)
+	if got[1] < 45 || got[1] > 55 {
+		t.Errorf("equal weights share = %v, want ~50/50", got)
+	}
+}
+
+func TestWFQWeightedShare(t *testing.T) {
+	// Weight 3 vs 1: tenant 1 should get ~75% of service.
+	got := drainShare(t,
+		map[uint16]uint64{1: 3, 2: 1},
+		map[uint16]int{1: 1000, 2: 1000},
+		200, 200)
+	if got[1] < 140 || got[1] > 160 {
+		t.Errorf("3:1 weights share = %v, want ~150/50", got)
+	}
+}
+
+func TestWFQByteFairNotPacketFair(t *testing.T) {
+	// Tenant 2 sends 4x larger messages at equal weight: it should get
+	// ~1/4 the packet count (byte-fair sharing).
+	got := drainShare(t,
+		map[uint16]uint64{1: 1, 2: 1},
+		map[uint16]int{1: 250, 2: 1000},
+		300, 300)
+	ratio := float64(got[1]) / float64(got[2])
+	if ratio < 3.0 || ratio > 5.5 {
+		t.Errorf("byte fairness ratio = %.2f (%v), want ~4", ratio, got)
+	}
+}
+
+func TestWFQIdleTenantNotPenalized(t *testing.T) {
+	// A tenant that was idle must not bank credit: its first message
+	// after idling ranks from `now`, not from its ancient finish time —
+	// and equally must not be punished for having been busy long ago.
+	rank := NewRankWFQ(map[uint16]uint64{1: 1, 2: 1}, 1)
+	// Tenant 1 active early.
+	r1 := rank(wfqMsg(1, 1000), 0, 0)
+	if r1 == 0 {
+		t.Fatal("zero rank")
+	}
+	// Much later, both tenants send: their ranks must be comparable
+	// (both restart from now), so neither dominates.
+	now := uint64(1_000_000)
+	a := rank(wfqMsg(1, 1000), 0, now)
+	b := rank(wfqMsg(2, 1000), 0, now)
+	if a != b {
+		t.Errorf("post-idle ranks differ: %d vs %d", a, b)
+	}
+}
+
+func TestWFQZeroWeightCoerced(t *testing.T) {
+	rank := NewRankWFQ(map[uint16]uint64{1: 0}, 0)
+	if r := rank(wfqMsg(1, 100), 0, 0); r == 0 {
+		t.Error("zero-weight tenant got zero rank (division issue)")
+	}
+	if r := rank(wfqMsg(9, 100), 0, 0); r == 0 {
+		t.Error("unknown tenant with zero default got zero rank")
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import "container/heap"
+
+// event is a callback scheduled at an absolute cycle. seq breaks ties so
+// that events scheduled earlier run earlier, keeping the kernel
+// deterministic.
+type event struct {
+	cycle uint64
+	seq   uint64
+	fn    func()
+}
+
+type eventList struct {
+	h   eventHeap
+	seq uint64
+}
+
+func (l *eventList) nextSeq() uint64 {
+	l.seq++
+	return l.seq
+}
+
+func (l *eventList) push(e event) { heap.Push(&l.h, e) }
+
+func (l *eventList) ready(cycle uint64) bool {
+	return len(l.h) > 0 && l.h[0].cycle <= cycle
+}
+
+func (l *eventList) pop() event { return heap.Pop(&l.h).(event) }
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

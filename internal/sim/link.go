@@ -1,0 +1,142 @@
+package sim
+
+import "fmt"
+
+// Reg is a single-producer single-consumer staged register: a value written
+// during Eval becomes readable only after Commit, modeling a flow-controlled
+// pipeline register between two synchronous components.
+//
+// Order independence: the writer's view (CanSend) depends only on the staged
+// slot and the reader's view (CanRecv/Recv) only on the committed slot, so
+// the cycle's outcome does not depend on which side ticks first. When the
+// reader drains every cycle the register sustains one value per cycle; when
+// the reader stalls, the staged value waits and the writer sees backpressure
+// the next cycle. The zero value is an empty register.
+type Reg[T any] struct {
+	cur, next     T
+	curOK, nextOK bool
+}
+
+// CanSend reports whether the register can accept a write this cycle.
+func (r *Reg[T]) CanSend() bool { return !r.nextOK }
+
+// Send stages a value. It panics if a value has already been staged this
+// cycle: two writers racing for one register is a model bug.
+func (r *Reg[T]) Send(v T) {
+	if r.nextOK {
+		panic("sim: Reg.Send on a register already written this cycle")
+	}
+	r.next = v
+	r.nextOK = true
+}
+
+// CanRecv reports whether a committed value is available.
+func (r *Reg[T]) CanRecv() bool { return r.curOK }
+
+// Peek returns the committed value without consuming it.
+func (r *Reg[T]) Peek() (T, bool) { return r.cur, r.curOK }
+
+// Recv consumes and returns the committed value. It panics when empty.
+func (r *Reg[T]) Recv() T {
+	if !r.curOK {
+		panic("sim: Reg.Recv on empty register")
+	}
+	r.curOK = false
+	var zero T
+	v := r.cur
+	r.cur = zero
+	return v
+}
+
+// Commit implements Committer: if the committed slot is free (the reader
+// consumed it, or it was already empty), the staged value moves in;
+// otherwise it stays staged and the writer stalls.
+func (r *Reg[T]) Commit() {
+	if r.nextOK && !r.curOK {
+		r.cur, r.curOK = r.next, true
+		var zero T
+		r.next, r.nextOK = zero, false
+	}
+}
+
+// FIFO is a single-producer single-consumer staged bounded queue: pushes
+// become visible and pops take effect only at Commit, so within a cycle the
+// producer and consumer may run in either order.
+//
+// Backpressure is conservative, as in a hardware credit loop: CanPush counts
+// committed entries plus same-cycle pushes but does not observe same-cycle
+// pops (credits return one cycle later). A capacity of at least 2 therefore
+// sustains one value per cycle.
+type FIFO[T any] struct {
+	buf     []T
+	staged  []T
+	nPopped int
+	cap     int
+}
+
+// NewFIFO returns a FIFO with the given capacity. Capacity must be positive.
+func NewFIFO[T any](capacity int) *FIFO[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: NewFIFO capacity %d", capacity))
+	}
+	return &FIFO[T]{cap: capacity}
+}
+
+// Cap returns the FIFO capacity.
+func (f *FIFO[T]) Cap() int { return f.cap }
+
+// Len returns the number of committed entries not yet popped this cycle.
+func (f *FIFO[T]) Len() int { return len(f.buf) - f.nPopped }
+
+// CanPush reports whether a push this cycle is within capacity.
+func (f *FIFO[T]) CanPush() bool { return len(f.buf)+len(f.staged) < f.cap }
+
+// Push stages a value for commit. Panics when full; use CanPush.
+func (f *FIFO[T]) Push(v T) {
+	if !f.CanPush() {
+		panic("sim: FIFO.Push on full FIFO (writer ignored CanPush)")
+	}
+	f.staged = append(f.staged, v)
+}
+
+// CanPop reports whether a committed value is available this cycle.
+func (f *FIFO[T]) CanPop() bool { return f.nPopped < len(f.buf) }
+
+// Peek returns the oldest unconsumed committed value without consuming it.
+func (f *FIFO[T]) Peek() (T, bool) {
+	if !f.CanPop() {
+		var zero T
+		return zero, false
+	}
+	return f.buf[f.nPopped], true
+}
+
+// Pop consumes and returns the oldest committed value. The removal is staged
+// until Commit so producers see conservative occupancy. Panics when empty.
+func (f *FIFO[T]) Pop() T {
+	if !f.CanPop() {
+		panic("sim: FIFO.Pop on empty FIFO")
+	}
+	v := f.buf[f.nPopped]
+	f.nPopped++
+	return v
+}
+
+// Commit implements Committer: staged pops are reclaimed and staged pushes
+// become visible.
+func (f *FIFO[T]) Commit() {
+	if f.nPopped > 0 {
+		// Shift rather than reslice so the backing array does not grow
+		// without bound over long simulations.
+		copy(f.buf, f.buf[f.nPopped:])
+		f.buf = f.buf[:len(f.buf)-f.nPopped]
+		f.nPopped = 0
+	}
+	if len(f.staged) > 0 {
+		f.buf = append(f.buf, f.staged...)
+		f.staged = f.staged[:0]
+		if len(f.buf) > f.cap {
+			panic("sim: FIFO over capacity after commit")
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package sim
+
+// RNG is a small, fast, deterministic random number generator (SplitMix64).
+// Every stochastic model in the simulator takes an explicit *RNG so that
+// simulations are reproducible from a seed and independent of global state.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with the given value.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: RNG.Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Fork returns a new independent generator derived from this one, for giving
+// each component its own stream without correlated sequences.
+func (r *RNG) Fork() *RNG { return NewRNG(r.Uint64()) }

@@ -1,0 +1,188 @@
+// Package sim provides a deterministic synchronous (cycle-level) simulation
+// kernel used by every hardware model in this repository.
+//
+// The kernel advances a global clock one cycle at a time. Each cycle has two
+// phases:
+//
+//  1. Eval: every registered Ticker observes the state committed at the end
+//     of the previous cycle and stages its outputs.
+//  2. Commit: every registered Link makes the staged writes visible.
+//
+// Because Eval never observes same-cycle writes, the result of a cycle is
+// independent of the order in which components are ticked, which makes the
+// simulation deterministic and lets hardware models be written as if all
+// components evaluated in parallel, exactly like synchronous digital logic.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ticker is a synchronous component evaluated once per cycle.
+type Ticker interface {
+	// Tick evaluates the component for the given cycle. It must read only
+	// state committed in previous cycles and stage writes through Links (or
+	// private double-buffered state) so that ordering between Tickers within
+	// a cycle does not matter.
+	Tick(cycle uint64)
+}
+
+// Committer is anything with staged state that becomes visible at the end of
+// a cycle. Links implement it; components with private double-buffered state
+// may register themselves too.
+type Committer interface {
+	Commit()
+}
+
+// TickFunc adapts a function to the Ticker interface.
+type TickFunc func(cycle uint64)
+
+// Tick implements Ticker.
+func (f TickFunc) Tick(cycle uint64) { f(cycle) }
+
+// Kernel drives a set of Tickers and Committers with a shared clock.
+type Kernel struct {
+	clock      Clock
+	tickers    []Ticker
+	committers []Committer
+	events     eventList
+	stopped    bool
+}
+
+// NewKernel returns a kernel whose clock runs at the given frequency.
+func NewKernel(freq Frequency) *Kernel {
+	return &Kernel{clock: Clock{freq: freq}}
+}
+
+// Clock returns the kernel's clock (current cycle plus frequency).
+func (k *Kernel) Clock() *Clock { return &k.clock }
+
+// Now returns the current cycle.
+func (k *Kernel) Now() uint64 { return k.clock.cycle }
+
+// Register adds components to the kernel. Arguments may implement Ticker,
+// Committer, or both; anything else panics, since silently ignoring a
+// component is a model bug.
+func (k *Kernel) Register(components ...any) {
+	for _, c := range components {
+		ok := false
+		if t, isT := c.(Ticker); isT {
+			k.tickers = append(k.tickers, t)
+			ok = true
+		}
+		if cm, isC := c.(Committer); isC {
+			k.committers = append(k.committers, cm)
+			ok = true
+		}
+		if !ok {
+			panic(fmt.Sprintf("sim: Register(%T): neither Ticker nor Committer", c))
+		}
+	}
+}
+
+// At schedules fn to run at the start of the given absolute cycle, before
+// Tickers are evaluated. Scheduling in the past (or the current cycle, which
+// has already started) panics: time travel is a model bug.
+func (k *Kernel) At(cycle uint64, fn func()) {
+	if cycle <= k.clock.cycle && !(cycle == 0 && k.clock.cycle == 0 && !k.clock.started) {
+		panic(fmt.Sprintf("sim: At(%d) scheduled at or before current cycle %d", cycle, k.clock.cycle))
+	}
+	k.events.push(event{cycle: cycle, seq: k.events.nextSeq(), fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (k *Kernel) After(d uint64, fn func()) {
+	if d == 0 {
+		panic("sim: After(0) would run in the current cycle")
+	}
+	k.events.push(event{cycle: k.clock.cycle + d, seq: k.events.nextSeq(), fn: fn})
+}
+
+// Stop makes Run return at the end of the current cycle.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step advances the simulation by exactly one cycle.
+func (k *Kernel) Step() {
+	k.clock.started = true
+	for k.events.ready(k.clock.cycle) {
+		k.events.pop().fn()
+	}
+	for _, t := range k.tickers {
+		t.Tick(k.clock.cycle)
+	}
+	for _, c := range k.committers {
+		c.Commit()
+	}
+	k.clock.cycle++
+}
+
+// Run advances the simulation by n cycles, or until Stop is called.
+func (k *Kernel) Run(n uint64) {
+	k.stopped = false
+	for i := uint64(0); i < n && !k.stopped; i++ {
+		k.Step()
+	}
+}
+
+// RunUntil advances the simulation until the predicate returns true at the
+// start of a cycle, or until maxCycles have elapsed. It reports whether the
+// predicate was satisfied.
+func (k *Kernel) RunUntil(pred func() bool, maxCycles uint64) bool {
+	for i := uint64(0); i < maxCycles; i++ {
+		if pred() {
+			return true
+		}
+		k.Step()
+	}
+	return pred()
+}
+
+// Frequency is a clock frequency in hertz.
+type Frequency float64
+
+// Common frequencies.
+const (
+	MHz Frequency = 1e6
+	GHz Frequency = 1e9
+)
+
+// String formats the frequency in the largest convenient unit.
+func (f Frequency) String() string {
+	switch {
+	case f >= GHz:
+		return fmt.Sprintf("%.6gGHz", float64(f/GHz))
+	case f >= MHz:
+		return fmt.Sprintf("%.6gMHz", float64(f/MHz))
+	default:
+		return fmt.Sprintf("%.6gHz", float64(f))
+	}
+}
+
+// Clock tracks the current cycle and converts between cycles and wall time
+// at a fixed frequency.
+type Clock struct {
+	cycle   uint64
+	freq    Frequency
+	started bool
+}
+
+// NewClock returns a standalone clock (useful outside a Kernel).
+func NewClock(freq Frequency) *Clock { return &Clock{freq: freq} }
+
+// Now returns the current cycle.
+func (c *Clock) Now() uint64 { return c.cycle }
+
+// Freq returns the clock frequency.
+func (c *Clock) Freq() Frequency { return c.freq }
+
+// Nanos converts a cycle count to nanoseconds at the clock frequency.
+func (c *Clock) Nanos(cycles uint64) float64 {
+	return float64(cycles) / float64(c.freq) * 1e9
+}
+
+// Cycles converts nanoseconds to a cycle count (rounded up) at the clock
+// frequency.
+func (c *Clock) Cycles(nanos float64) uint64 {
+	return uint64(math.Ceil(nanos * float64(c.freq) / 1e9))
+}

@@ -1,0 +1,233 @@
+// Package stats provides the measurement primitives used across the
+// simulator: counters, rate meters, latency histograms with percentile
+// queries, and aligned-table formatting for experiment output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Gauge tracks a running mean of sampled values (e.g. queue occupancy).
+type Gauge struct {
+	sum float64
+	n   uint64
+	max float64
+}
+
+// Sample records one observation.
+func (g *Gauge) Sample(v float64) {
+	g.sum += v
+	g.n++
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Mean returns the mean of all observations (0 when empty).
+func (g *Gauge) Mean() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return g.sum / float64(g.n)
+}
+
+// Max returns the maximum observation (0 when empty).
+func (g *Gauge) Max() float64 { return g.max }
+
+// Count returns the number of observations.
+func (g *Gauge) Count() uint64 { return g.n }
+
+// Meter converts a byte/packet count observed over a cycle window into a
+// rate at a given clock frequency.
+type Meter struct {
+	bits uint64
+	pkts uint64
+}
+
+// Record adds one packet of the given size in bytes.
+func (m *Meter) Record(bytes int) {
+	m.bits += uint64(bytes) * 8
+	m.pkts++
+}
+
+// Bits returns the accumulated bit count.
+func (m *Meter) Bits() uint64 { return m.bits }
+
+// Packets returns the accumulated packet count.
+func (m *Meter) Packets() uint64 { return m.pkts }
+
+// Gbps returns the average rate in gigabits per second over a window of
+// `cycles` cycles at `freqHz`.
+func (m *Meter) Gbps(cycles uint64, freqHz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	seconds := float64(cycles) / freqHz
+	return float64(m.bits) / seconds / 1e9
+}
+
+// Mpps returns the average packet rate in millions of packets per second
+// over a window of `cycles` cycles at `freqHz`.
+func (m *Meter) Mpps(cycles uint64, freqHz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	seconds := float64(cycles) / freqHz
+	return float64(m.pkts) / seconds / 1e6
+}
+
+// Histogram records latency samples (in cycles or nanoseconds — the unit is
+// the caller's) and answers percentile queries. Samples are kept exactly;
+// simulations here record at most a few million samples, for which exact
+// percentiles are affordable and simpler to trust than sketches.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.samples = append(h.samples, v)
+	h.sum += v
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() float64 { return h.Quantile(0) }
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() float64 { return h.Quantile(1) }
+
+// Quantile returns the q-quantile (q in [0,1]) using the nearest-rank
+// method. It returns 0 when the histogram is empty and panics on q outside
+// [0,1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic(fmt.Sprintf("stats: Quantile(%v) out of [0,1]", q))
+	}
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.samples[idx]
+}
+
+// P50 returns the median.
+func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
+
+// P99 returns the 99th percentile.
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// P999 returns the 99.9th percentile.
+func (h *Histogram) P999() float64 { return h.Quantile(0.999) }
+
+// Summary formats count/mean/p50/p99/max with a unit suffix.
+func (h *Histogram) Summary(unit string) string {
+	return fmt.Sprintf("n=%d mean=%.1f%s p50=%.1f%s p99=%.1f%s max=%.1f%s",
+		h.Count(), h.Mean(), unit, h.P50(), unit, h.P99(), unit, h.Max(), unit)
+}
+
+// Table renders rows of experiment output with aligned columns, in the style
+// of the paper's tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

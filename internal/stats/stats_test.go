@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Errorf("Counter = %d, want 42", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Mean() != 0 || g.Max() != 0 {
+		t.Error("empty gauge should report zeros")
+	}
+	for _, v := range []float64{1, 2, 3, 10} {
+		g.Sample(v)
+	}
+	if g.Mean() != 4 {
+		t.Errorf("Mean = %v, want 4", g.Mean())
+	}
+	if g.Max() != 10 {
+		t.Errorf("Max = %v, want 10", g.Max())
+	}
+	if g.Count() != 4 {
+		t.Errorf("Count = %v, want 4", g.Count())
+	}
+}
+
+func TestMeterRates(t *testing.T) {
+	var m Meter
+	// 1000 packets of 125 bytes = 1e6 bits over 1000 cycles at 1 GHz
+	// = 1e6 bits / 1 µs = 1 Tbps = 1000 Gbps; packets: 1000/1µs = 1000 Mpps.
+	for i := 0; i < 1000; i++ {
+		m.Record(125)
+	}
+	if got := m.Gbps(1000, 1e9); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("Gbps = %v, want 1000", got)
+	}
+	if got := m.Mpps(1000, 1e9); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("Mpps = %v, want 1000", got)
+	}
+	if m.Gbps(0, 1e9) != 0 {
+		t.Error("zero-cycle window should report 0")
+	}
+	if m.Bits() != 1000*125*8 || m.Packets() != 1000 {
+		t.Error("raw accumulators wrong")
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.5, 50}, {0.99, 99}, {1, 100},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if h.Mean() != 50.5 {
+		t.Errorf("Mean = %v, want 50.5", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("Min/Max = %v/%v, want 1/100", h.Min(), h.Max())
+	}
+	if h.P50() != 50 || h.P99() != 99 {
+		t.Errorf("P50/P99 = %v/%v", h.P50(), h.P99())
+	}
+}
+
+func TestHistogramEmptyAndPanics(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should return zeros")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile(1.5) did not panic")
+		}
+	}()
+	h.Quantile(1.5)
+}
+
+func TestHistogramObserveAfterQuantile(t *testing.T) {
+	// Interleaving Observe and Quantile must keep answers correct.
+	h := NewHistogram()
+	h.Observe(5)
+	if h.Quantile(1) != 5 {
+		t.Fatal("first quantile wrong")
+	}
+	h.Observe(1)
+	if h.Quantile(0) != 1 {
+		t.Error("histogram did not resort after new sample")
+	}
+}
+
+// TestHistogramPropertyQuantiles: quantiles of arbitrary data match a direct
+// nearest-rank computation on the sorted data, and are monotone in q.
+func TestHistogramPropertyQuantiles(t *testing.T) {
+	prop := func(vals []float64, qs []float64) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range clean {
+			h.Observe(v)
+		}
+		ref := append([]float64(nil), clean...)
+		sort.Float64s(ref)
+		prev := math.Inf(-1)
+		for _, q := range qs {
+			q = math.Abs(q)
+			q -= math.Floor(q) // into [0,1)
+			got := h.Quantile(q)
+			idx := int(math.Ceil(q*float64(len(ref)))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if got != ref[idx] {
+				return false
+			}
+			_ = prev
+		}
+		// Monotonicity across a fixed ladder.
+		prev = math.Inf(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := NewTable("Line-rate", "# Eth Ports", "PPS")
+	tb.AddRow("40Gbps", 2, "240Mpps")
+	tb.AddRow("100Gbps", 1, "300Mpps")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Line-rate") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "40Gbps") || !strings.Contains(lines[3], "100Gbps") {
+		t.Errorf("rows wrong:\n%s", out)
+	}
+	// Columns aligned: every row same length prefix structure.
+	if len(lines[2]) == 0 || len(lines[3]) == 0 {
+		t.Error("empty rows")
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("a")
+	tb.AddRow(3.0)
+	tb.AddRow(3.14159)
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	if got := strings.TrimSpace(lines[2]); got != "3" {
+		t.Errorf("integral float rendered as %q, want 3", got)
+	}
+	if got := strings.TrimSpace(lines[3]); got != "3.14" {
+		t.Errorf("float rendered as %q, want 3.14", got)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(10)
+	s := h.Summary("ns")
+	if !strings.Contains(s, "n=1") || !strings.Contains(s, "mean=10.0ns") {
+		t.Errorf("Summary = %q", s)
+	}
+}

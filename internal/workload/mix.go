@@ -1,0 +1,67 @@
+package workload
+
+import "github.com/panic-nic/panic/internal/packet"
+
+// Source mirrors engine.Source locally to avoid an import cycle in tests;
+// any generator in this package satisfies both.
+type Source interface {
+	Poll(now uint64) *packet.Message
+}
+
+// Merge interleaves several sources into one stream. Each Poll rotates the
+// starting source so no tenant is structurally favored when multiple
+// sources are due in the same cycle.
+type Merge struct {
+	srcs []Source
+	next int
+}
+
+// NewMerge builds a merged source.
+func NewMerge(srcs ...Source) *Merge {
+	if len(srcs) == 0 {
+		panic("workload: Merge of zero sources")
+	}
+	return &Merge{srcs: srcs}
+}
+
+// Poll implements engine.Source.
+func (m *Merge) Poll(now uint64) *packet.Message {
+	for i := 0; i < len(m.srcs); i++ {
+		s := m.srcs[(m.next+i)%len(m.srcs)]
+		if msg := s.Poll(now); msg != nil {
+			m.next = (m.next + i + 1) % len(m.srcs)
+			return msg
+		}
+	}
+	return nil
+}
+
+// IsolationMix is the §3.1.3 experiment workload: a low-rate
+// latency-sensitive tenant sharing the NIC with a bulk-throughput tenant.
+type IsolationMix struct {
+	// Latency and Bulk are the two tenants' streams.
+	Latency, Bulk Source
+	merged        *Merge
+}
+
+// NewIsolationMix builds the canonical two-tenant blend. latencyGbps
+// should be a small fraction of bulkGbps for the experiment to be
+// interesting.
+func NewIsolationMix(freqHz, latencyGbps, bulkGbps float64, bulkFrameBytes int, seed uint64) *IsolationMix {
+	lat := NewKVSStream(KVSTenantConfig{
+		Tenant: 1, Class: packet.ClassLatency,
+		RateGbps: latencyGbps, FreqHz: freqHz, Poisson: true,
+		Keys: 1024, GetRatio: 1.0, ValueBytes: 128,
+		Seed: seed,
+	})
+	bulk := NewFixedStream(FixedStreamConfig{
+		FrameBytes: bulkFrameBytes,
+		RateGbps:   bulkGbps, FreqHz: freqHz,
+		Tenant: 2, Class: packet.ClassBulk,
+		Seed: seed + 1,
+	})
+	return &IsolationMix{Latency: lat, Bulk: bulk, merged: NewMerge(lat, bulk)}
+}
+
+// Poll implements engine.Source.
+func (m *IsolationMix) Poll(now uint64) *packet.Message { return m.merged.Poll(now) }
