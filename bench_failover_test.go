@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/panic-nic/panic/internal/core"
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/fault"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/workload"
+)
+
+// failoverNIC builds the failover scenario: mixed plain+encrypted KVS load,
+// the IPSec engine wedged at a pinned cycle, and (optionally) the health
+// monitor with a hot standby.
+func failoverNIC(replicas int, health bool, wedgeAt uint64, seed uint64) *core.NIC {
+	cfg := core.DefaultConfig()
+	cfg.IPSecReplicas = replicas
+	if health {
+		cfg.Health = core.DefaultHealthConfig()
+	}
+	if wedgeAt > 0 {
+		cfg.FaultPlan = (&fault.Plan{}).Add(fault.Event{At: wedgeAt, Kind: fault.Wedge, Engine: core.AddrIPSec})
+	}
+	plain := workload.NewKVSStream(workload.KVSTenantConfig{
+		Tenant: 1, Class: packet.ClassLatency, RateGbps: 6, FreqHz: freq, Poisson: true,
+		Keys: 1024, GetRatio: 1.0, ValueBytes: 256, Seed: seed,
+	})
+	encrypted := workload.NewKVSStream(workload.KVSTenantConfig{
+		Tenant: 2, Class: packet.ClassLatency, RateGbps: 6, FreqHz: freq, Poisson: true,
+		Keys: 1024, GetRatio: 1.0, WANShare: 1.0, ValueBytes: 256, Seed: seed + 1,
+	})
+	return core.NewNIC(cfg, []engine.Source{workload.NewMerge(plain, encrypted)})
+}
+
+// BenchmarkFailoverMTTR — mean time to recovery of the self-healing
+// control plane: wedge the crypto engine at cycle 200k with a hot standby
+// in place and report how long until the replica is serving (detection
+// window + reroute + first completion). Reported: mttr_cycles, mttr_us,
+// detect_cycles (fault -> declared failed).
+func BenchmarkFailoverMTTR(b *testing.B) {
+	const wedgeAt = 200_000
+	var mttr, detect float64
+	for i := 0; i < b.N; i++ {
+		nic := failoverNIC(2, true, wedgeAt, 7)
+		nic.Run(500_000)
+		m, ok := nic.Events.MTTR(core.AddrIPSec)
+		if !ok {
+			b.Fatalf("no completed failure episode:\n%s", nic.Events.String())
+		}
+		mttr = float64(m)
+		for _, e := range nic.Events.Events() {
+			if e.Kind == "detected" && e.Engine == core.AddrIPSec {
+				detect = float64(e.Cycle - wedgeAt)
+				break
+			}
+		}
+	}
+	b.ReportMetric(mttr, "mttr_cycles")
+	b.ReportMetric(mttr/freq*1e6, "mttr_us")
+	b.ReportMetric(detect, "detect_cycles")
+	b.ReportMetric(0, "ns/op")
+}
+
+// BenchmarkBystanderImpact — what the failure of one tenant's engine does
+// to everyone else, across recovery strategies. Each sub-benchmark wedges
+// the IPSec engine at cycle 200k of 1M and reports the PLAIN (bystander)
+// tenant's served count and p99, plus the encrypted tenant's served count.
+// healthy is the no-fault reference.
+func BenchmarkBystanderImpact(b *testing.B) {
+	scenarios := []struct {
+		name     string
+		replicas int
+		health   bool
+		wedgeAt  uint64
+	}{
+		{"healthy", 0, false, 0},
+		{"wedge-no-heal", 0, false, 200_000},
+		{"wedge-punt", 0, true, 200_000},
+		{"wedge-replica", 2, true, 200_000},
+	}
+	for _, sc := range scenarios {
+		b.Run(sc.name, func(b *testing.B) {
+			var plainServed, plainP99, encServed float64
+			for i := 0; i < b.N; i++ {
+				nic := failoverNIC(sc.replicas, sc.health, sc.wedgeAt, 7)
+				nic.Run(1_000_000)
+				plainServed = float64(nic.WireLat.Tenant(1).Count())
+				plainP99 = nic.WireLat.Tenant(1).P99()
+				encServed = float64(nic.WireLat.Tenant(2).Count())
+			}
+			b.ReportMetric(plainServed, "plain_served")
+			b.ReportMetric(plainP99, "plain_p99_cycles")
+			b.ReportMetric(encServed, "enc_served")
+			b.ReportMetric(0, "ns/op")
+		})
+	}
+}

@@ -21,12 +21,19 @@ import (
 	"github.com/panic-nic/panic/internal/baseline"
 	"github.com/panic-nic/panic/internal/core"
 	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/fault"
 	"github.com/panic-nic/panic/internal/packet"
 	"github.com/panic-nic/panic/internal/stats"
 	"github.com/panic-nic/panic/internal/workload"
 )
 
-var tiles *bool
+var (
+	tiles         *bool
+	faultPlanPath *string
+	health        *bool
+	ipsecReplicas *int
+	dmaReplicas   *int
+)
 
 func main() {
 	arch := flag.String("arch", "panic", "architecture: panic, pipeline, manycore, rmt")
@@ -45,6 +52,10 @@ func main() {
 	cores := flag.Int("cores", 8, "embedded cores (manycore only)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	tiles = flag.Bool("tiles", false, "print per-tile statistics (panic only)")
+	faultPlanPath = flag.String("faultplan", "", "fault-plan file to arm (panic only; see internal/fault)")
+	health = flag.Bool("health", false, "enable the self-healing health monitor (panic only)")
+	ipsecReplicas = flag.Int("ipsec-replicas", 0, "total IPSec engine instances (panic only)")
+	dmaReplicas = flag.Int("dma-replicas", 0, "total RX-DMA engine instances (panic only)")
 	flag.Parse()
 
 	src := workload.NewKVSStream(workload.KVSTenantConfig{
@@ -77,6 +88,29 @@ func runPanic(cycles uint64, freq, line float64, meshK, width, pipelines int, wa
 	cfg.Mesh.FlitWidthBits = width
 	cfg.RMTPipelines = pipelines
 	cfg.Seed = seed
+	if *ipsecReplicas > 5 || *dmaReplicas > 5 || *ipsecReplicas < 0 || *dmaReplicas < 0 {
+		fmt.Fprintf(os.Stderr, "replica counts must be 0..5 (got ipsec=%d dma=%d)\n", *ipsecReplicas, *dmaReplicas)
+		os.Exit(2)
+	}
+	cfg.IPSecReplicas = *ipsecReplicas
+	cfg.DMAReplicas = *dmaReplicas
+	if *health {
+		cfg.Health = core.DefaultHealthConfig()
+	}
+	if *faultPlanPath != "" {
+		f, err := os.Open(*faultPlanPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultplan: %v\n", err)
+			os.Exit(2)
+		}
+		plan, err := fault.ParsePlan(f, core.EngineAddrs())
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultplan: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.FaultPlan = plan
+	}
 	nic := core.NewNIC(cfg, []engine.Source{src})
 	for k := uint64(0); k < warmKeys; k++ {
 		nic.Cache.Warm(k, cfg.HostValueBytes)
@@ -88,6 +122,13 @@ func runPanic(cycles uint64, freq, line float64, meshK, width, pipelines int, wa
 	if *tiles {
 		fmt.Println()
 		fmt.Print(nic.TileReport())
+	}
+	if events := nic.Events.Events(); len(events) > 0 {
+		fmt.Println("\nfailure events:")
+		fmt.Print(nic.Events.String())
+		if mttr, ok := nic.Events.MTTR(core.AddrIPSec); ok {
+			fmt.Printf("\nipsec MTTR: %d cycles (%.2f us)\n", mttr, float64(mttr)/freq*1e6)
+		}
 	}
 }
 

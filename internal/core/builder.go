@@ -28,8 +28,53 @@ const (
 	AddrTxDMA    packet.Addr = 37
 	AddrLSO      packet.Addr = 38
 	AddrRateLim  packet.Addr = 39
+	// Replica addresses for the self-healing control plane: IPSec replica i
+	// is AddrIPSecAlt+i, DMA replica i is AddrDMAAlt+i (up to 4 each).
+	AddrIPSecAlt packet.Addr = 40
+	AddrDMAAlt   packet.Addr = 44
 	AddrExtra    packet.Addr = 48 // first free address for extra offloads
+	// AddrPuntBase is the first alias address the health monitor binds when
+	// punting a failed engine's traffic to the host (each punt gets a fresh
+	// alias so reintegration can rewrite it back unambiguously).
+	AddrPuntBase packet.Addr = 64
 )
+
+// EngineAddrs maps canonical engine names to well-known addresses — the
+// name table for fault plans (fault.ParsePlan) and CLI flags.
+func EngineAddrs() map[string]packet.Addr {
+	m := map[string]packet.Addr{
+		"dma":       AddrDMA,
+		"pcie":      AddrPCIe,
+		"ipsec":     AddrIPSec,
+		"kvscache":  AddrKVSCache,
+		"cache":     AddrKVSCache,
+		"rdma":      AddrRDMA,
+		"txdma":     AddrTxDMA,
+		"lso":       AddrLSO,
+		"ratelimit": AddrRateLim,
+	}
+	for i := 0; i < 4; i++ {
+		m[fmt.Sprintf("rmt%d", i)] = AddrRMTBase + packet.Addr(i)
+		m[fmt.Sprintf("eth%d", i)] = AddrEthBase + packet.Addr(i)
+		m[fmt.Sprintf("ipsec-alt%d", i)] = AddrIPSecAlt + packet.Addr(i)
+		m[fmt.Sprintf("dma-alt%d", i)] = AddrDMAAlt + packet.Addr(i)
+	}
+	return m
+}
+
+// EngineName returns the canonical name for a well-known address, or its
+// decimal form when unnamed.
+func EngineName(addr packet.Addr) string {
+	if addr == packet.AddrInvalid {
+		return "-" // link faults carry no engine address
+	}
+	for name, a := range EngineAddrs() {
+		if a == addr && name != "cache" { // prefer "kvscache" for 35
+			return name
+		}
+	}
+	return fmt.Sprintf("%d", addr)
+}
 
 // Builder places engines on a mesh and wires the shared route table. It is
 // the low-level assembly API; NIC wraps it with the canonical layout.

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/fault"
 	"github.com/panic-nic/panic/internal/packet"
 	"github.com/panic-nic/panic/internal/sched"
 	"github.com/panic-nic/panic/internal/workload"
@@ -88,5 +89,72 @@ func TestConservationUnderOverload(t *testing.T) {
 	}
 	if served+dropped != 3000 {
 		t.Errorf("served %d + dropped %d != admitted 3000", served, dropped)
+	}
+}
+
+// TestPerTileDropAccountingUnderOverload: the drop-conservation law holds
+// tile by tile, not just in aggregate, and keeps holding when fault
+// injection is discarding messages too. Under DropLowestPriority overload
+// with flake faults on the cache and DMA engines, every admitted request
+// is either served on the wire or accounted to exactly one drop counter:
+// injected == served + Σ tile drops + RMT drops once the NIC drains.
+func TestPerTileDropAccountingUnderOverload(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = sched.DropLowestPriority
+	cfg.PCIeGbps = 8 // choke the host link
+	cfg.QueueCap = 16
+	// Flake windows pinned inside the ~60k-cycle injection interval: the
+	// cache sheds every 5th arrival, the DMA engine corrupts every 7th.
+	cfg.FaultPlan = (&fault.Plan{}).
+		Add(fault.Event{At: 10_000, Kind: fault.FlakeDrop, Engine: AddrKVSCache, EveryN: 5, For: 40_000}).
+		Add(fault.Event{At: 15_000, Kind: fault.FlakeCorrupt, Engine: AddrDMA, EveryN: 7, For: 30_000})
+	src := workload.NewKVSStream(workload.KVSTenantConfig{
+		Tenant: 1, Class: packet.ClassLatency,
+		RateGbps: 20, FreqHz: cfg.FreqHz, Poisson: true,
+		Keys: 64, GetRatio: 1.0, ValueBytes: 64, Count: 3000, Seed: 17,
+	})
+	nic := NewNIC(cfg, []engine.Source{src})
+	if !nic.RunQuiet(5000, 20_000_000) {
+		t.Fatal("did not drain")
+	}
+	var rx uint64
+	for _, m := range nic.MACs {
+		rx += m.RxCount()
+	}
+	if rx != 3000 {
+		t.Fatalf("rx = %d", rx)
+	}
+
+	var tileDropped, faultDropped, corrupted uint64
+	for _, tile := range nic.Builder.Tiles {
+		s := tile.Stats()
+		tileDropped += s.Dropped
+		faultDropped += s.FaultDropped
+		corrupted += s.Corrupted
+		// Fault discards are a subset of each tile's drop counter, never a
+		// separate (double-counted) pool.
+		if s.FaultDropped+s.Corrupted > s.Dropped {
+			t.Errorf("tile %s: fault drops %d + corrupted %d exceed dropped %d",
+				tile.Name(), s.FaultDropped, s.Corrupted, s.Dropped)
+		}
+	}
+	// Every tile-level drop hit the shared drop sink exactly once.
+	if tileDropped != nic.Drops.Value() {
+		t.Errorf("Σ per-tile dropped = %d but drop sink counted %d", tileDropped, nic.Drops.Value())
+	}
+	// Both injected flakes actually fired.
+	if faultDropped == 0 {
+		t.Error("cache flake-drop window discarded nothing")
+	}
+	if corrupted == 0 {
+		t.Error("DMA corruption window discarded nothing")
+	}
+	// Conservation across tiles: with the NIC drained there is no in-flight
+	// term, so served + every drop counter must equal what was admitted.
+	served := nic.WireLat.Count
+	rmtDrops := nic.RMTStats().Dropped + nic.RMTStats().QueueDropped
+	if served+tileDropped+rmtDrops != rx {
+		t.Errorf("served %d + tile drops %d + rmt drops %d != injected %d\n%s",
+			served, tileDropped, rmtDrops, rx, nic.TileReport())
 	}
 }

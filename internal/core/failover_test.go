@@ -1,0 +1,174 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/fault"
+	"github.com/panic-nic/panic/internal/workload"
+)
+
+// wanSource builds a bounded all-encrypted (WAN) GET stream for port 0.
+func wanSource(count uint64, seed uint64) *workload.KVSStream {
+	return kvsSource(count, 1.0, 1.0, seed)
+}
+
+// findEvent returns the first log event of the given kind for the engine.
+func findEvent(log *EventLog, kind string, addr uint16) (FailureEvent, bool) {
+	for _, e := range log.Events() {
+		if e.Kind == kind && uint16(e.Engine) == addr {
+			return e, true
+		}
+	}
+	return FailureEvent{}, false
+}
+
+// TestFailoverToReplica is the acceptance scenario: two IPSec instances,
+// wedge the primary at a pinned cycle, and require the control plane to
+// detect within the configured window, reroute steering to the replica,
+// resume encrypted-tenant service, and do all of it byte-identically
+// across two runs.
+func TestFailoverToReplica(t *testing.T) {
+	// The 5 Gbps stream injects a request roughly every 65 cycles, so the
+	// wedge at cycle 1000 lands mid-stream with ~25 requests still to come.
+	const (
+		count   = 40
+		wedgeAt = 1000
+		horizon = 80_000
+	)
+	run := func() (*NIC, string, string) {
+		cfg := DefaultConfig()
+		cfg.IPSecReplicas = 2
+		cfg.Health = DefaultHealthConfig()
+		cfg.FaultPlan = (&fault.Plan{}).Add(fault.Event{At: wedgeAt, Kind: fault.Wedge, Engine: AddrIPSec})
+		nic := NewNIC(cfg, []engine.Source{wanSource(count, 11)})
+		nic.Run(horizon)
+		return nic, nic.Events.String(), nic.Summary(horizon)
+	}
+	nic, events, summary := run()
+
+	// Every encrypted request was served end to end: decrypted, answered,
+	// re-encrypted, and sent on the wire — despite the dead primary.
+	if nic.WireLat.Count != count {
+		t.Fatalf("wire responses = %d, want %d\nevents:\n%s\n%s", nic.WireLat.Count, count, events, nic.TileReport())
+	}
+	if nic.Drops.Value() != 0 {
+		t.Errorf("drops = %d, want 0 (lossless failover)", nic.Drops.Value())
+	}
+	// The replica took over the crypto work.
+	if dec, enc := nic.IPSecAlts[0].Counts(); dec == 0 || enc == 0 {
+		t.Errorf("replica dec/enc = %d/%d, want both > 0", dec, enc)
+	}
+
+	// Detection within the configured window (plus a few check periods of
+	// sampling slack and the arrival gap before the stall is visible).
+	det, ok := findEvent(nic.Events, "detected", uint16(AddrIPSec))
+	if !ok {
+		t.Fatalf("no detection event:\n%s", events)
+	}
+	limit := uint64(wedgeAt) + nic.Cfg.Health.DetectWindow + 20*nic.Cfg.Health.CheckPeriod
+	if det.Cycle < wedgeAt || det.Cycle > limit {
+		t.Errorf("detected at cycle %d, want in [%d, %d]", det.Cycle, wedgeAt, limit)
+	}
+	if _, ok := findEvent(nic.Events, "rerouted", uint16(AddrIPSec)); !ok {
+		t.Errorf("no reroute event:\n%s", events)
+	}
+
+	// MTTR (fault injection -> first completion on the replica) is bounded
+	// by detection plus a small recovery tail.
+	mttr, ok := nic.Events.MTTR(AddrIPSec)
+	if !ok {
+		t.Fatalf("no completed failure episode:\n%s", events)
+	}
+	if maxMTTR := nic.Cfg.Health.DetectWindow + 4000; mttr > maxMTTR {
+		t.Errorf("MTTR = %d cycles, want <= %d\nevents:\n%s", mttr, maxMTTR, events)
+	}
+
+	// Determinism: an identical run produces byte-identical event log and
+	// summary.
+	_, events2, summary2 := run()
+	if events != events2 {
+		t.Errorf("event logs differ across identical runs:\n--- run 1\n%s--- run 2\n%s", events, events2)
+	}
+	if summary != summary2 {
+		t.Errorf("summaries differ across identical runs:\n--- run 1\n%s\n--- run 2\n%s", summary, summary2)
+	}
+}
+
+// TestPuntToHostWhenNoReplica exercises the Fig 2c degraded mode: with no
+// standby crypto engine, the monitor punts encrypted traffic to the host,
+// which decrypts in software.
+func TestPuntToHostWhenNoReplica(t *testing.T) {
+	const count = 30
+	cfg := DefaultConfig()
+	cfg.Health = DefaultHealthConfig()
+	cfg.FaultPlan = (&fault.Plan{}).Add(fault.Event{At: 500, Kind: fault.Wedge, Engine: AddrIPSec})
+	nic := NewNIC(cfg, []engine.Source{wanSource(count, 5)})
+	nic.Run(80_000)
+
+	if _, ok := findEvent(nic.Events, "punted", uint16(AddrIPSec)); !ok {
+		t.Fatalf("no punt event:\n%s", nic.Events.String())
+	}
+	// Every request reached host software: the pre-wedge ones through the
+	// normal decrypt path, the rest decrypted by the host itself.
+	if gets, _ := nic.Host.Counts(); gets != count {
+		t.Errorf("host served %d GETs, want %d\nevents:\n%s\n%s", gets, count, nic.Events.String(), nic.TileReport())
+	}
+	if nic.Host.SoftDecrypts() == 0 {
+		t.Error("host performed no software decrypts in punt mode")
+	}
+	// The degraded mode trades wire service for availability: responses to
+	// punted requests need the (dead) crypto engine and are absorbed.
+	if nic.WireLat.Count >= count {
+		t.Errorf("wire responses = %d, want < %d in degraded mode", nic.WireLat.Count, count)
+	}
+	if _, ok := nic.Events.MTTR(AddrIPSec); !ok {
+		t.Errorf("punt episode never recovered:\n%s", nic.Events.String())
+	}
+}
+
+// TestReintegrationAfterHeal wedges the primary for a fixed duration and
+// requires the monitor to restore steering to it once the fault lifts.
+func TestReintegrationAfterHeal(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IPSecReplicas = 2
+	cfg.Health = DefaultHealthConfig()
+	// Deep queues: the outage backlog (~60 requests by detection) plus the
+	// post-drain burst must fit losslessly.
+	cfg.QueueCap = 256
+	// 400 requests at ~65 cycles apart keep traffic flowing until ~26k
+	// cycles — well past the reintegration at ~14k — so the restored
+	// primary demonstrably serves again.
+	cfg.FaultPlan = (&fault.Plan{}).Add(fault.Event{At: 4000, Kind: fault.Wedge, Engine: AddrIPSec, For: 10_000})
+	nic := NewNIC(cfg, []engine.Source{wanSource(400, 23)})
+
+	nic.Run(14_500) // wedge lifted at 14000; reintegration by next check
+	if _, ok := findEvent(nic.Events, "reintegrated", uint16(AddrIPSec)); !ok {
+		t.Fatalf("no reintegration event by cycle 14500:\n%s", nic.Events.String())
+	}
+	decAtReint, _ := nic.IPSec.Counts()
+
+	nic.Run(80_000)
+	decEnd, _ := nic.IPSec.Counts()
+	if decEnd <= decAtReint {
+		t.Errorf("primary decrypts stuck at %d after reintegration\nevents:\n%s", decEnd, nic.Events.String())
+	}
+	if dec, _ := nic.IPSecAlts[0].Counts(); dec == 0 {
+		t.Error("replica never served during the outage")
+	}
+	if nic.WireLat.Count != 400 {
+		t.Errorf("wire responses = %d, want 400\nevents:\n%s\n%s", nic.WireLat.Count, nic.Events.String(), nic.TileReport())
+	}
+	// The log tells the whole story in order.
+	want := []string{"fault-injected", "detected", "rerouted", "recovered", "fault-lifted", "reintegrated"}
+	log := nic.Events.String()
+	pos := 0
+	for _, kind := range want {
+		i := strings.Index(log[pos:], kind)
+		if i < 0 {
+			t.Fatalf("event %q missing or out of order:\n%s", kind, log)
+		}
+		pos += i
+	}
+}

@@ -16,13 +16,19 @@ type KVSHost struct {
 	ServiceCycles uint64
 	// DefaultValueBytes sizes responses for keys never SET.
 	DefaultValueBytes uint32
+	// SoftCryptoCycles is the added cost of decrypting a still-encrypted
+	// request in host software — the punt-to-host degraded mode (Fig 2c)
+	// the control plane falls back to when the IPSec engine fails with no
+	// replica. NewKVSHost defaults it to 4x ServiceCycles.
+	SoftCryptoCycles uint64
 
 	store map[uint64]uint32
 	// txq holds responses waiting for the TX-DMA engine, ordered by the
 	// cycle the host software finishes producing them.
 	txq hostTxQueue
 
-	gets, sets uint64
+	gets, sets   uint64
+	softDecrypts uint64
 }
 
 type hostTxItem struct {
@@ -58,13 +64,28 @@ func NewKVSHost(serviceCycles uint64, defaultValueBytes uint32) *KVSHost {
 	return &KVSHost{
 		ServiceCycles:     serviceCycles,
 		DefaultValueBytes: defaultValueBytes,
+		SoftCryptoCycles:  4 * serviceCycles,
 		store:             make(map[uint64]uint32),
 	}
 }
 
-// Respond implements engine.HostResponder.
+// Respond implements engine.HostResponder. A request that arrives still
+// encrypted (ESP with stashed plaintext — the punt-to-host degraded mode)
+// is decrypted in host software at SoftCryptoCycles extra latency; the
+// response is sent in the clear, since the re-encryption path needs the
+// (failed) IPSec engine.
 func (h *KVSHost) Respond(msg *packet.Message, now uint64) (*packet.Message, uint64, bool) {
-	l := msg.Pkt.Layer(packet.LayerTypeKVS)
+	pkt := msg.Pkt
+	extra := uint64(0)
+	if pkt.Has(packet.LayerTypeESP) {
+		if msg.Inner == nil {
+			return nil, 0, false
+		}
+		pkt = msg.Inner
+		extra = h.SoftCryptoCycles
+		h.softDecrypts++
+	}
+	l := pkt.Layer(packet.LayerTypeKVS)
 	if l == nil {
 		return nil, 0, false
 	}
@@ -76,22 +97,23 @@ func (h *KVSHost) Respond(msg *packet.Message, now uint64) (*packet.Message, uin
 		if !ok {
 			vlen = h.DefaultValueBytes
 		}
-		return h.reply(msg, k, packet.KVSGetResp, vlen), h.ServiceCycles, true
+		return h.reply(msg, pkt, k, packet.KVSGetResp, vlen), h.ServiceCycles + extra, true
 	case packet.KVSSet:
 		h.sets++
 		h.store[k.Key] = k.ValueLen
-		return h.reply(msg, k, packet.KVSSetResp, 0), h.ServiceCycles, true
+		return h.reply(msg, pkt, k, packet.KVSSetResp, 0), h.ServiceCycles + extra, true
 	default:
 		return nil, 0, false
 	}
 }
 
 // reply builds the response packet with swapped addressing and no chain;
-// it re-enters through the RMT pipeline like any TX packet.
-func (h *KVSHost) reply(req *packet.Message, k *packet.KVS, op packet.KVSOp, vlen uint32) *packet.Message {
-	reqEth := req.Pkt.Layer(packet.LayerTypeEthernet).(*packet.Ethernet)
-	reqIP := req.Pkt.Layer(packet.LayerTypeIPv4).(*packet.IPv4)
-	reqUDP := req.Pkt.Layer(packet.LayerTypeUDP).(*packet.UDP)
+// it re-enters through the RMT pipeline like any TX packet. pkt is the
+// (possibly software-decrypted) request headers.
+func (h *KVSHost) reply(req *packet.Message, pkt *packet.Packet, k *packet.KVS, op packet.KVSOp, vlen uint32) *packet.Message {
+	reqEth := pkt.Layer(packet.LayerTypeEthernet).(*packet.Ethernet)
+	reqIP := pkt.Layer(packet.LayerTypeIPv4).(*packet.IPv4)
+	reqUDP := pkt.Layer(packet.LayerTypeUDP).(*packet.UDP)
 	return &packet.Message{
 		ID:     req.ID,
 		Tenant: req.Tenant,
@@ -140,6 +162,10 @@ func (h *KVSHost) TxBacklog() int { return len(h.txq.items) }
 
 // Counts returns (gets served, sets absorbed).
 func (h *KVSHost) Counts() (gets, sets uint64) { return h.gets, h.sets }
+
+// SoftDecrypts returns the number of requests the host had to decrypt in
+// software (punt-to-host degraded mode).
+func (h *KVSHost) SoftDecrypts() uint64 { return h.softDecrypts }
 
 // Store exposes the authoritative map size (tests).
 func (h *KVSHost) StoreLen() int { return len(h.store) }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/fault"
 	"github.com/panic-nic/panic/internal/noc"
 	"github.com/panic-nic/panic/internal/packet"
 	"github.com/panic-nic/panic/internal/rmt"
@@ -52,6 +53,18 @@ type Config struct {
 	// LSO, when set, places a TCP segmentation engine and chains
 	// host-originated TCP sends through it (sets Program.EnableLSO).
 	LSO *engine.LSOConfig
+	// IPSecReplicas and DMAReplicas are the TOTAL instance counts for the
+	// crypto and RX-DMA engines (0 or 1 = primary only, max 5). Extra
+	// instances are hot standbys at AddrIPSecAlt+i / AddrDMAAlt+i that the
+	// health monitor fails over to by rewriting RMT steering.
+	IPSecReplicas int
+	DMAReplicas   int
+	// Health configures the self-healing control plane (disabled unless
+	// Health.Enable).
+	Health HealthConfig
+	// FaultPlan, when set, is armed onto the kernel before the clock
+	// starts; its events feed the NIC's failure-event log.
+	FaultPlan *fault.Plan
 	// CompactPlacement clusters all engines into the mesh's top-left
 	// corner instead of spreading them (the placement ablation for the
 	// paper's §6 question "How should different engines be placed?").
@@ -107,6 +120,17 @@ type NIC struct {
 	Cache    *engine.KVSCacheEngine
 	RDMA     *engine.RDMAEngine
 	Host     *KVSHost
+
+	// IPSecAlts and DMAAlts are the hot-standby replica engines (empty
+	// unless Cfg.IPSecReplicas / Cfg.DMAReplicas > 1).
+	IPSecAlts []*engine.IPSecEngine
+	DMAAlts   []*engine.DMAEngine
+	// Events is the structured failure log (fault injections plus health
+	// monitor actions). Always non-nil.
+	Events *EventLog
+	// Monitor is the self-healing control plane (nil unless
+	// Cfg.Health.Enable).
+	Monitor *HealthMonitor
 
 	// HostLat histograms request latency to host delivery; WireLat
 	// histograms request-to-response latency at wire egress.
@@ -296,8 +320,86 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 		rlTile.DropSink = dropSink
 	}
 
+	// Hot-standby replicas for the failover control plane: full engine
+	// instances at their own addresses, reachable only after the health
+	// monitor rewrites RMT steering toward them.
+	if cfg.IPSecReplicas > 5 || cfg.DMAReplicas > 5 {
+		panic(fmt.Sprintf("core: replica counts %d/%d exceed the 5-instance address space",
+			cfg.IPSecReplicas, cfg.DMAReplicas))
+	}
+	for i := 1; i < cfg.IPSecReplicas; i++ {
+		alt := engine.NewIPSecEngine(cfg.IPSec)
+		n.IPSecAlts = append(n.IPSecAlts, alt)
+		x, y := b.NextFree()
+		t := b.PlaceTile(AddrIPSecAlt+packet.Addr(i-1), x, y, alt, common,
+			func(c *engine.TileConfig) { c.DefaultSpread = spread })
+		t.DropSink = dropSink
+	}
+	for i := 1; i < cfg.DMAReplicas; i++ {
+		alt := engine.NewDMAEngine(engine.DMAConfig{
+			PCIeGbps: cfg.PCIeGbps, FreqHz: cfg.FreqHz,
+			BaseLatencyCycles: cfg.DMALatency, JitterCycles: cfg.DMAJitter,
+			NotifyAddr: AddrPCIe,
+		}, hostSink, nil)
+		n.DMAAlts = append(n.DMAAlts, alt)
+		x, y := b.NextFree()
+		t := b.PlaceTile(AddrDMAAlt+packet.Addr(i-1), x, y, alt, common,
+			func(c *engine.TileConfig) { c.DefaultSpread = spread })
+		t.DropSink = dropSink
+	}
+
 	b.Routes.SetDefault(AddrRMTBase)
+
+	n.Events = &EventLog{}
+	if cfg.Health.Enable {
+		mon := NewHealthMonitor(cfg.Health, b, n.Program, n.Events)
+		ipsecGroup := []packet.Addr{AddrIPSec}
+		for i := range n.IPSecAlts {
+			ipsecGroup = append(ipsecGroup, AddrIPSecAlt+packet.Addr(i))
+		}
+		dmaGroup := []packet.Addr{AddrDMA}
+		for i := range n.DMAAlts {
+			dmaGroup = append(dmaGroup, AddrDMAAlt+packet.Addr(i))
+		}
+		for _, a := range ipsecGroup {
+			mon.SetStandbys(a, standbysFor(ipsecGroup, a))
+		}
+		for _, a := range dmaGroup {
+			mon.SetStandbys(a, standbysFor(dmaGroup, a))
+		}
+		// Registered after every tile so each check samples the cycle's
+		// final state.
+		b.Kernel.Register(mon)
+		n.Monitor = mon
+	}
+	if cfg.FaultPlan != nil {
+		err := cfg.FaultPlan.Arm(b.Kernel, fault.Hooks{
+			Tile: b.TileByAddr,
+			Mesh: b.Mesh,
+			Observe: func(e fault.Event, cycle uint64) {
+				kind := "fault-injected"
+				if e.Kind == fault.Heal || e.Kind == fault.HealLink {
+					kind = "fault-lifted"
+				}
+				n.Events.Append(FailureEvent{Cycle: cycle, Kind: kind, Engine: e.Engine, Detail: e.String()})
+			},
+		})
+		if err != nil {
+			panic(fmt.Sprintf("core: arming fault plan: %v", err))
+		}
+	}
 	return n
+}
+
+// standbysFor returns group minus self, preserving group order.
+func standbysFor(group []packet.Addr, self packet.Addr) []packet.Addr {
+	out := make([]packet.Addr, 0, len(group)-1)
+	for _, a := range group {
+		if a != self {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // Run advances the simulation by the given number of cycles.

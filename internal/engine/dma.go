@@ -56,9 +56,8 @@ type DMAEngine struct {
 // NewDMAEngine builds the engine. hostSink receives packets written to
 // host memory (nil discards); responder may be nil.
 func NewDMAEngine(cfg DMAConfig, hostSink Sink, responder HostResponder) *DMAEngine {
-	if cfg.PCIeGbps <= 0 || cfg.FreqHz <= 0 {
-		panic(fmt.Sprintf("engine: DMA with rate %v Gbps freq %v", cfg.PCIeGbps, cfg.FreqHz))
-	}
+	requirePositive("DMA PCIe rate Gbps", cfg.PCIeGbps)
+	requirePositive("DMA clock freq Hz", cfg.FreqHz)
 	if hostSink == nil {
 		hostSink = NullSink{}
 	}

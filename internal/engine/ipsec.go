@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"fmt"
 	"math"
 
 	"github.com/panic-nic/panic/internal/packet"
@@ -38,9 +37,7 @@ const ESPOverheadBytes = 40
 
 // NewIPSecEngine builds the engine.
 func NewIPSecEngine(cfg IPSecConfig) *IPSecEngine {
-	if cfg.BytesPerCycle <= 0 {
-		panic(fmt.Sprintf("engine: IPSec bytes/cycle %v", cfg.BytesPerCycle))
-	}
+	requirePositive("IPSec bytes/cycle", cfg.BytesPerCycle)
 	return &IPSecEngine{cfg: cfg}
 }
 

@@ -40,9 +40,8 @@ type EthernetMAC struct {
 // NewEthernetMAC builds a MAC. src may be nil (TX-only port); sink may be
 // nil (RX-only port, transmissions are counted and discarded).
 func NewEthernetMAC(cfg MACConfig, src Source, sink Sink) *EthernetMAC {
-	if cfg.LineRateGbps <= 0 || cfg.FreqHz <= 0 {
-		panic(fmt.Sprintf("engine: MAC with rate %v Gbps freq %v", cfg.LineRateGbps, cfg.FreqHz))
-	}
+	requirePositive("MAC line rate Gbps", cfg.LineRateGbps)
+	requirePositive("MAC clock freq Hz", cfg.FreqHz)
 	bpc := cfg.LineRateGbps * 1e9 / cfg.FreqHz
 	if sink == nil {
 		sink = NullSink{}

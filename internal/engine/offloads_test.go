@@ -1,11 +1,17 @@
 package engine
 
 import (
+	"math"
 	"testing"
 
 	"github.com/panic-nic/panic/internal/packet"
 	"github.com/panic-nic/panic/internal/sim"
 )
+
+// newValidationTile builds a throwaway tile for SetFault validation cases.
+func newValidationTile() *Tile {
+	return newRig(2, 1).place(7, 0, 0, &fixedEngine{name: "v", svc: 1})
+}
 
 func kvsGet(id uint64, tenant uint16, key uint64) *packet.Message {
 	return &packet.Message{
@@ -534,16 +540,40 @@ func TestCPUCoreOrchestrationCost(t *testing.T) {
 }
 
 func TestEngineConfigValidation(t *testing.T) {
+	nan := math.NaN()
 	for name, fn := range map[string]func(){
-		"mac rate":    func() { NewEthernetMAC(MACConfig{LineRateGbps: 0, FreqHz: 1}, nil, nil) },
-		"dma rate":    func() { NewDMAEngine(DMAConfig{PCIeGbps: 0, FreqHz: 1}, nil, nil) },
-		"ipsec rate":  func() { NewIPSecEngine(IPSecConfig{BytesPerCycle: 0}) },
-		"kvs addr":    func() { NewKVSCacheEngine(KVSCacheConfig{Capacity: 1}) },
-		"rdma addr":   func() { NewRDMAEngine(RDMAConfig{}) },
-		"pcie count":  func() { NewPCIeEngine(PCIeConfig{CoalesceCount: 0}) },
-		"lru cap":     func() { newLRUCache(0) },
-		"compression": func() { NewCompressionEngine(8, 0) },
-		"byterate":    func() { NewByteRateEngine("x", 0, 0, nil) },
+		"mac rate":          func() { NewEthernetMAC(MACConfig{LineRateGbps: 0, FreqHz: 1}, nil, nil) },
+		"mac freq":          func() { NewEthernetMAC(MACConfig{LineRateGbps: 100, FreqHz: 0}, nil, nil) },
+		"mac rate nan":      func() { NewEthernetMAC(MACConfig{LineRateGbps: nan, FreqHz: 1}, nil, nil) },
+		"dma rate":          func() { NewDMAEngine(DMAConfig{PCIeGbps: 0, FreqHz: 1}, nil, nil) },
+		"dma freq":          func() { NewDMAEngine(DMAConfig{PCIeGbps: 128, FreqHz: 0}, nil, nil) },
+		"dma rate nan":      func() { NewDMAEngine(DMAConfig{PCIeGbps: nan, FreqHz: 1}, nil, nil) },
+		"dma rate inf":      func() { NewDMAEngine(DMAConfig{PCIeGbps: math.Inf(1), FreqHz: 1}, nil, nil) },
+		"txdma rate":        func() { NewTxDMAEngine(0, 1e9, nil) },
+		"txdma freq nan":    func() { NewTxDMAEngine(128, nan, nil) },
+		"ipsec rate":        func() { NewIPSecEngine(IPSecConfig{BytesPerCycle: 0}) },
+		"ipsec rate nan":    func() { NewIPSecEngine(IPSecConfig{BytesPerCycle: nan}) },
+		"lso mss":           func() { NewLSOEngine(LSOConfig{MSS: 0, BytesPerCycle: 8}) },
+		"lso rate":          func() { NewLSOEngine(LSOConfig{MSS: 1460, BytesPerCycle: 0}) },
+		"lso rate nan":      func() { NewLSOEngine(LSOConfig{MSS: 1460, BytesPerCycle: nan}) },
+		"ratelimit freq":    func() { NewRateLimiterEngine(RateLimiterConfig{FreqHz: 0}) },
+		"ratelimit nan":     func() { NewRateLimiterEngine(RateLimiterConfig{FreqHz: nan}) },
+		"ratelimit setnan":  func() { NewRateLimiterEngine(RateLimiterConfig{FreqHz: 1e9}).SetLimit(1, nan) },
+		"kvs addr":          func() { NewKVSCacheEngine(KVSCacheConfig{Capacity: 1}) },
+		"rdma addr":         func() { NewRDMAEngine(RDMAConfig{}) },
+		"pcie count":        func() { NewPCIeEngine(PCIeConfig{CoalesceCount: 0}) },
+		"lru cap":           func() { newLRUCache(0) },
+		"compression":       func() { NewCompressionEngine(8, 0) },
+		"compression big":   func() { NewCompressionEngine(8, 1.5) },
+		"compression nan":   func() { NewCompressionEngine(8, nan) },
+		"byterate":          func() { NewByteRateEngine("x", 0, 0, nil) },
+		"byterate nan":      func() { NewByteRateEngine("x", nan, 0, nil) },
+		"regex rate":        func() { NewRegexEngine(8, -0.1) },
+		"regex rate nan":    func() { NewRegexEngine(8, nan) },
+		"cpucore perbyte":   func() { NewCPUCoreEngine("c", 1, -1, nil) },
+		"cpucore nan":       func() { NewCPUCoreEngine("c", 1, nan, nil) },
+		"tile fault factor": func() { newValidationTile().SetFault(FaultState{SlowFactor: 0.5}) },
+		"tile fault period": func() { newValidationTile().SetFault(FaultState{DropEveryN: -1}) },
 	} {
 		func() {
 			defer func() {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/panic-nic/panic/internal/packet"
 )
@@ -41,9 +42,7 @@ type tokenBucket struct {
 
 // NewRateLimiterEngine builds the engine.
 func NewRateLimiterEngine(cfg RateLimiterConfig) *RateLimiterEngine {
-	if cfg.FreqHz <= 0 {
-		panic(fmt.Sprintf("engine: rate limiter freq %v", cfg.FreqHz))
-	}
+	requirePositive("rate limiter clock freq Hz", cfg.FreqHz)
 	if cfg.BurstBytes < 1 {
 		cfg.BurstBytes = 16 * 1024
 	}
@@ -56,6 +55,9 @@ func NewRateLimiterEngine(cfg RateLimiterConfig) *RateLimiterEngine {
 
 // SetLimit installs a tenant's rate limit in Gbps (0 removes it).
 func (e *RateLimiterEngine) SetLimit(tenant uint16, gbps float64) {
+	if math.IsNaN(gbps) || math.IsInf(gbps, 0) {
+		panic(fmt.Sprintf("engine: rate limit %v Gbps for tenant %d", gbps, tenant))
+	}
 	if gbps <= 0 {
 		delete(e.limits, tenant)
 		delete(e.bucket, tenant)

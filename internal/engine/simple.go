@@ -21,9 +21,7 @@ type ByteRateEngine struct {
 // NewByteRateEngine builds a streaming engine. transform may be nil
 // (pure-delay offload).
 func NewByteRateEngine(name string, bytesPerCycle float64, setupCycles uint64, transform func(ctx *Ctx, msg *packet.Message)) *ByteRateEngine {
-	if bytesPerCycle <= 0 {
-		panic(fmt.Sprintf("engine: %s bytes/cycle %v", name, bytesPerCycle))
-	}
+	requirePositive(name+" bytes/cycle", bytesPerCycle)
 	return &ByteRateEngine{name: name, bytesPerCycle: bytesPerCycle, setupCycles: setupCycles, transform: transform}
 }
 
@@ -50,9 +48,7 @@ func (e *ByteRateEngine) Processed() uint64 { return e.processed }
 // NewCompressionEngine returns a compression offload that shrinks the
 // payload by ratio (0.5 = halve) at the given datapath width.
 func NewCompressionEngine(bytesPerCycle, ratio float64) *ByteRateEngine {
-	if ratio <= 0 || ratio > 1 {
-		panic(fmt.Sprintf("engine: compression ratio %v", ratio))
-	}
+	requireFraction("compression ratio", ratio)
 	return NewByteRateEngine("compress", bytesPerCycle, 2, func(_ *Ctx, msg *packet.Message) {
 		msg.Pkt.PayloadLen = int(float64(msg.Pkt.PayloadLen) * ratio)
 	})
@@ -79,6 +75,9 @@ type RegexEngine struct {
 // NewRegexEngine builds the engine; matchRate is the fraction of packets
 // that "match" (simulated — see DESIGN.md).
 func NewRegexEngine(bytesPerCycle float64, matchRate float64) *RegexEngine {
+	if math.IsNaN(matchRate) || matchRate < 0 || matchRate > 1 {
+		panic(fmt.Sprintf("engine: regex match rate %v (want in [0, 1])", matchRate))
+	}
 	e := &RegexEngine{}
 	e.ByteRateEngine = NewByteRateEngine("regex", bytesPerCycle, 4, func(_ *Ctx, msg *packet.Message) {
 		h := msg.ID * 0x9e3779b97f4a7c15
@@ -107,6 +106,7 @@ type CPUCoreEngine struct {
 
 // NewCPUCoreEngine builds a core. handler nil forwards along the chain.
 func NewCPUCoreEngine(name string, perPacketCycles uint64, perByteCycles float64, handler func(ctx *Ctx, msg *packet.Message) []Out) *CPUCoreEngine {
+	requireNonNegative(name+" cycles/byte", perByteCycles)
 	if perPacketCycles == 0 {
 		perPacketCycles = 1
 	}

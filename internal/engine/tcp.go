@@ -35,9 +35,7 @@ func NewLSOEngine(cfg LSOConfig) *LSOEngine {
 	if cfg.MSS < 1 {
 		panic(fmt.Sprintf("engine: LSO MSS %d", cfg.MSS))
 	}
-	if cfg.BytesPerCycle <= 0 {
-		panic(fmt.Sprintf("engine: LSO bytes/cycle %v", cfg.BytesPerCycle))
-	}
+	requirePositive("LSO bytes/cycle", cfg.BytesPerCycle)
 	return &LSOEngine{cfg: cfg}
 }
 

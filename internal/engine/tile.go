@@ -51,6 +51,14 @@ type TileStats struct {
 	// StallCycles counts cycles the tile wanted to inject but the
 	// fabric had no space.
 	StallCycles uint64
+	// FaultDropped counts arrivals discarded by an injected drop fault
+	// (included in Dropped).
+	FaultDropped uint64
+	// Corrupted counts arrivals discarded by an injected corruption fault
+	// (included in Dropped).
+	Corrupted uint64
+	// Drained counts messages evicted by a control-plane Reset.
+	Drained uint64
 }
 
 // MeanQueueWait returns the mean scheduling-queue wait in cycles.
@@ -86,6 +94,12 @@ type Tile struct {
 	stats TileStats
 	// DropSink, when set, receives messages shed by the queue.
 	DropSink Sink
+
+	// Injected fault condition (zero = healthy) and the deterministic
+	// arrival counters behind the every-Nth flake faults.
+	fault       FaultState
+	dropSeen    uint64
+	corruptSeen uint64
 }
 
 type resolvedOut struct {
@@ -148,6 +162,10 @@ func (t *Tile) QueueStats() (pushed, popped, drops, rejects uint64, highWater in
 // QueueLen returns the current scheduling-queue occupancy.
 func (t *Tile) QueueLen() int { return t.queue.Len() }
 
+// Busy reports whether a message is in service (liveness probes need this
+// to tell "wedged mid-service with an empty queue" from "idle").
+func (t *Tile) Busy() bool { return t.cur != nil }
+
 // Idle reports whether the tile has no work in flight (for drain checks).
 func (t *Tile) Idle() bool {
 	return t.cur == nil && t.queue.Len() == 0 && len(t.outbox) == 0 && len(t.pending) == 0
@@ -157,8 +175,9 @@ func (t *Tile) Idle() bool {
 func (t *Tile) Tick(cycle uint64) {
 	t.ctx.Now = cycle
 
-	// 1. Spontaneous generation (ingress MACs).
-	if g, ok := t.eng.(Generator); ok {
+	// 1. Spontaneous generation (ingress MACs). A wedged tile generates
+	// nothing.
+	if g, ok := t.eng.(Generator); ok && !t.fault.Wedged {
 		for _, out := range g.Generate(&t.ctx) {
 			t.stage(out)
 		}
@@ -189,8 +208,10 @@ func (t *Tile) Tick(cycle uint64) {
 	}
 	t.outbox = t.outbox[:copy(t.outbox, t.outbox[sent:])]
 
-	// 4. Advance service.
-	if t.cur != nil {
+	// 4. Advance service. A wedged engine freezes mid-service: the
+	// in-flight message is held and no progress counter moves — the
+	// liveness signature the health monitor keys on.
+	if t.cur != nil && !t.fault.Wedged {
 		t.stats.BusyCycles++
 		t.busyLeft--
 		if t.busyLeft == 0 {
@@ -203,8 +224,8 @@ func (t *Tile) Tick(cycle uint64) {
 		}
 	}
 
-	// 5. Start the next message.
-	if t.cur == nil {
+	// 5. Start the next message (never on a wedged engine).
+	if t.cur == nil && !t.fault.Wedged {
 		if msg, ok := t.queue.Pop(); ok {
 			t.cur = msg
 			var svc uint64
@@ -216,7 +237,7 @@ func (t *Tile) Tick(cycle uint64) {
 			if svc == 0 {
 				svc = 1
 			}
-			t.busyLeft = svc
+			t.busyLeft = t.scaleService(svc)
 			if t.cfg.TraceVisits && len(msg.Trace) > 0 {
 				msg.Trace[len(msg.Trace)-1].Started = cycle
 			}
@@ -241,6 +262,9 @@ func (t *Tile) Tick(cycle uint64) {
 
 // admit pushes an arrived message into the scheduling queue.
 func (t *Tile) admit(msg *packet.Message, cycle uint64) {
+	if t.shedFaulted(msg, cycle) {
+		return
+	}
 	slack := uint32(0)
 	if c := msg.Chain(); c != nil {
 		if hop, ok := c.Current(); ok && hop.Engine == t.cfg.Addr {

@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/sim"
+)
+
+// feed registers a ticker that injects n chain messages toward tile 1 as
+// fast as the fabric accepts them.
+func feed(r *rig, n int) {
+	src, dst := r.mesh.NodeAt(1, 0), r.mesh.NodeAt(0, 0)
+	next := 0
+	r.k.Register(sim.TickFunc(func(uint64) {
+		for next < n && r.mesh.CanInject(src, dst) {
+			r.mesh.Inject(src, dst, chainMsg(uint64(next), packet.Hop{Engine: 1}))
+			next++
+		}
+	}))
+}
+
+func TestWedgeFreezesServiceAndLiftResumes(t *testing.T) {
+	r := newRig(2, 2)
+	eng := &fixedEngine{name: "e", svc: 5}
+	tile := r.place(1, 0, 0, eng)
+	sinkEng := NewCollectorEngine("sink", 1, nil)
+	r.place(2, 1, 1, sinkEng)
+	r.routes.SetDefault(2)
+
+	tile.SetFault(FaultState{Wedged: true})
+	if tile.FaultState().Clean() {
+		t.Fatal("fault state should be dirty")
+	}
+	for i := 0; i < 4; i++ {
+		r.mesh.Inject(r.mesh.NodeAt(1, 0), r.mesh.NodeAt(0, 0), chainMsg(uint64(i), packet.Hop{Engine: 1}))
+	}
+	r.k.Run(300)
+	if got := tile.Stats().Processed; got != 0 {
+		t.Fatalf("wedged tile processed %d messages", got)
+	}
+	if tile.QueueLen() == 0 && tile.cur == nil {
+		t.Fatal("wedged tile should hold the backlog")
+	}
+
+	tile.SetFault(FaultState{})
+	if !r.k.RunUntil(func() bool { return sinkEng.Count() == 4 }, 500) {
+		t.Fatalf("backlog not served after wedge lifted (sink %d)", sinkEng.Count())
+	}
+}
+
+func TestSlowFaultStretchesService(t *testing.T) {
+	served := func(slow float64) uint64 {
+		r := newRig(2, 2)
+		eng := &fixedEngine{name: "e", svc: 30}
+		tile := r.place(1, 0, 0, eng)
+		r.place(2, 1, 1, NewCollectorEngine("sink", 1, nil))
+		r.routes.SetDefault(2)
+		if slow > 1 {
+			tile.SetFault(FaultState{SlowFactor: slow})
+		}
+		feed(r, 50)
+		r.k.Run(600)
+		return tile.Stats().Processed
+	}
+	fast, slow := served(0), served(4)
+	if slow == 0 || fast < 3*slow {
+		t.Fatalf("slow=4 served %d vs healthy %d: want ~4x fewer", slow, fast)
+	}
+}
+
+func TestFlakeFaultsAreDeterministicAndConserved(t *testing.T) {
+	r := newRig(2, 2)
+	eng := &fixedEngine{name: "e", svc: 1}
+	tile := r.place(1, 0, 0, eng)
+	r.place(2, 1, 1, NewCollectorEngine("sink", 1, nil))
+	var sunk uint64
+	tile.DropSink = SinkFunc(func(*packet.Message, uint64) { sunk++ })
+	r.routes.SetDefault(2)
+
+	tile.SetFault(FaultState{DropEveryN: 3, CorruptEveryN: 5})
+	const n = 30
+	feed(r, n)
+	r.k.Run(1000)
+
+	st := tile.Stats()
+	// Every arrival is either served or accounted as a fault discard.
+	if st.Processed+st.Dropped != n {
+		t.Fatalf("conservation: processed %d + dropped %d != %d", st.Processed, st.Dropped, n)
+	}
+	if st.Corrupted == 0 || st.FaultDropped == 0 {
+		t.Fatalf("fault counters: corrupted %d, dropped %d", st.Corrupted, st.FaultDropped)
+	}
+	if st.Dropped != st.Corrupted+st.FaultDropped {
+		t.Fatalf("Dropped %d != Corrupted %d + FaultDropped %d", st.Dropped, st.Corrupted, st.FaultDropped)
+	}
+	// Discards land in the DropSink, not the void.
+	if sunk != st.Dropped {
+		t.Fatalf("drop sink saw %d, stats dropped %d", sunk, st.Dropped)
+	}
+	// Deterministic: 30 arrivals, corrupt every 5th of those that reach the
+	// drop check... the exact split is pinned by the every-Nth counters.
+	if st.Corrupted != 6 {
+		t.Fatalf("corrupted = %d, want 6 (every 5th of 30)", st.Corrupted)
+	}
+}
+
+func TestResetDrainsToDefaultRoute(t *testing.T) {
+	r := newRig(2, 2)
+	eng := &fixedEngine{name: "e", svc: 10}
+	tile := r.place(1, 0, 0, eng)
+	rescue := NewCollectorEngine("rescue", 1, nil)
+	r.place(2, 1, 1, rescue)
+	r.routes.SetDefault(2)
+
+	tile.SetFault(FaultState{Wedged: true})
+	const n = 6
+	for i := 0; i < n; i++ {
+		r.mesh.Inject(r.mesh.NodeAt(1, 0), r.mesh.NodeAt(0, 0), chainMsg(uint64(i), packet.Hop{Engine: 1}))
+	}
+	r.k.Run(200)
+
+	drained := tile.Reset(packet.AddrInvalid)
+	if drained == 0 {
+		t.Fatal("nothing drained from a wedged tile with backlog")
+	}
+	if got := tile.Stats().Drained; got != uint64(drained) {
+		t.Fatalf("Drained stat %d != %d", got, drained)
+	}
+	// The drained messages re-enter the fabric (tile stays wedged) and land
+	// at the default route.
+	if !r.k.RunUntil(func() bool { return rescue.Count() == n }, 500) {
+		t.Fatalf("rescued %d of %d drained messages", rescue.Count(), n)
+	}
+}

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"fmt"
 	"math"
 
 	"github.com/panic-nic/panic/internal/packet"
@@ -25,9 +24,8 @@ type TxDMAEngine struct {
 // NewTxDMAEngine builds the engine. src is polled for host transmissions
 // (e.g. core.KVSHost); pcieGbps paces fetches at PCIe bandwidth.
 func NewTxDMAEngine(pcieGbps, freqHz float64, src Source) *TxDMAEngine {
-	if pcieGbps <= 0 || freqHz <= 0 {
-		panic(fmt.Sprintf("engine: TxDMA with rate %v Gbps freq %v", pcieGbps, freqHz))
-	}
+	requirePositive("TxDMA PCIe rate Gbps", pcieGbps)
+	requirePositive("TxDMA clock freq Hz", freqHz)
 	bpc := pcieGbps * 1e9 / freqHz
 	return &TxDMAEngine{src: src, bitsPerCycle: bpc, maxTokens: math.Max(bpc*4, 1538*8)}
 }

@@ -1,0 +1,30 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+)
+
+// requirePositive panics unless v is finite and strictly positive. A bare
+// `v <= 0` guard lets NaN through (every comparison with NaN is false) and
+// +Inf yields zero-cycle service times; both then surface as impossible
+// timing far from the misconfigured constructor, so reject them here.
+func requirePositive(what string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		panic(fmt.Sprintf("engine: %s %v (want finite > 0)", what, v))
+	}
+}
+
+// requireNonNegative panics unless v is finite and >= 0.
+func requireNonNegative(what string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		panic(fmt.Sprintf("engine: %s %v (want finite >= 0)", what, v))
+	}
+}
+
+// requireFraction panics unless v is a finite value in (0, 1].
+func requireFraction(what string, v float64) {
+	if math.IsNaN(v) || v <= 0 || v > 1 {
+		panic(fmt.Sprintf("engine: %s %v (want in (0, 1])", what, v))
+	}
+}

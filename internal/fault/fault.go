@@ -1,0 +1,280 @@
+// Package fault provides deterministic, cycle-pinned fault injection for
+// the PANIC fabric. A Plan is a list of timed events — wedge/slow/flake an
+// engine tile, degrade or sever a NoC link — armed onto the simulation
+// kernel before the clock starts. Injection is purely schedule-driven (no
+// randomness beyond what the plan text pins down), so a run with the same
+// seed and the same plan is bit-identical, which is what makes failover
+// behavior testable at all.
+package fault
+
+import (
+	"fmt"
+
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/noc"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/sim"
+)
+
+// Kind identifies a fault event type.
+type Kind int
+
+// Fault kinds.
+const (
+	// Wedge freezes an engine tile (no service progress) until healed.
+	Wedge Kind = iota
+	// Slow multiplies an engine's service times by Factor.
+	Slow
+	// FlakeDrop makes an engine discard every Nth arriving message.
+	FlakeDrop
+	// FlakeCorrupt makes an engine corrupt (and discard) every Nth
+	// arriving message.
+	FlakeCorrupt
+	// LinkDegrade throttles the directional mesh link From->To to one
+	// flit every N cycles.
+	LinkDegrade
+	// LinkSever blocks the directional mesh link From->To entirely.
+	LinkSever
+	// Heal clears all engine faults on the target tile.
+	Heal
+	// HealLink clears the fault on the directional link From->To.
+	HealLink
+)
+
+// String returns the plan-format keyword for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Wedge:
+		return "wedge"
+	case Slow:
+		return "slow"
+	case FlakeDrop:
+		return "drop"
+	case FlakeCorrupt:
+		return "corrupt"
+	case LinkDegrade:
+		return "degrade"
+	case LinkSever:
+		return "sever"
+	case Heal:
+		return "heal"
+	case HealLink:
+		return "heal-link"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one timed fault. Which fields are meaningful depends on Kind:
+// engine faults use Engine (plus Factor for Slow, EveryN for flakes); link
+// faults use From/To (plus EveryN for LinkDegrade).
+type Event struct {
+	// At is the cycle the event applies, at start-of-cycle before any
+	// ticker runs.
+	At uint64
+	// Kind selects the fault type.
+	Kind Kind
+	// Engine is the target tile's logical address (engine faults).
+	Engine packet.Addr
+	// Factor is the service-time multiplier for Slow (>= 1).
+	Factor float64
+	// EveryN is the flake period (>= 1) or the LinkDegrade pass period
+	// (>= 2).
+	EveryN int
+	// From and To are the link endpoints' mesh coordinates (link faults).
+	From, To noc.Coord
+	// For, when non-zero, auto-heals the fault For cycles after At.
+	For uint64
+}
+
+// String renders the event in plan format (one line, without trailing
+// newline), so a parsed plan round-trips.
+func (e Event) String() string {
+	s := fmt.Sprintf("at %d %s", e.At, e.Kind)
+	switch e.Kind {
+	case Wedge, Heal:
+		s += fmt.Sprintf(" %d", e.Engine)
+	case Slow:
+		s += fmt.Sprintf(" %d x%g", e.Engine, e.Factor)
+	case FlakeDrop, FlakeCorrupt:
+		s += fmt.Sprintf(" %d every %d", e.Engine, e.EveryN)
+	case LinkDegrade:
+		s += fmt.Sprintf(" %d,%d->%d,%d every %d", e.From.X, e.From.Y, e.To.X, e.To.Y, e.EveryN)
+	case LinkSever, HealLink:
+		s += fmt.Sprintf(" %d,%d->%d,%d", e.From.X, e.From.Y, e.To.X, e.To.Y)
+	}
+	if e.For > 0 {
+		s += fmt.Sprintf(" for %d", e.For)
+	}
+	return s
+}
+
+// isLink reports whether the event targets a mesh link.
+func (e Event) isLink() bool {
+	switch e.Kind {
+	case LinkDegrade, LinkSever, HealLink:
+		return true
+	}
+	return false
+}
+
+// validate rejects ill-formed events with an index-bearing error.
+func (e Event) validate(i int) error {
+	switch e.Kind {
+	case Wedge, Heal:
+	case Slow:
+		if !(e.Factor >= 1) { // NaN-safe
+			return fmt.Errorf("fault: event %d: slow factor %v (want >= 1)", i, e.Factor)
+		}
+	case FlakeDrop, FlakeCorrupt:
+		if e.EveryN < 1 {
+			return fmt.Errorf("fault: event %d: flake period %d (want >= 1)", i, e.EveryN)
+		}
+	case LinkDegrade:
+		if e.EveryN < 2 {
+			return fmt.Errorf("fault: event %d: degrade period %d (want >= 2)", i, e.EveryN)
+		}
+	case LinkSever, HealLink:
+	default:
+		return fmt.Errorf("fault: event %d: unknown kind %d", i, int(e.Kind))
+	}
+	if (e.Kind == Heal || e.Kind == HealLink) && e.For > 0 {
+		return fmt.Errorf("fault: event %d: heal events cannot carry a duration", i)
+	}
+	return nil
+}
+
+// Plan is an ordered list of fault events. Events at the same cycle apply
+// in plan order.
+type Plan struct {
+	Events []Event
+}
+
+// Add appends an event and returns the plan for chaining.
+func (p *Plan) Add(e Event) *Plan {
+	p.Events = append(p.Events, e)
+	return p
+}
+
+// String renders the plan in its text format.
+func (p *Plan) String() string {
+	s := ""
+	for _, e := range p.Events {
+		s += e.String() + "\n"
+	}
+	return s
+}
+
+// Validate checks every event.
+func (p *Plan) Validate() error {
+	for i, e := range p.Events {
+		if err := e.validate(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Hooks connects a plan to the simulated hardware it injects into.
+type Hooks struct {
+	// Tile resolves an engine address to its tile; returning nil makes
+	// Arm fail (the plan names an engine the NIC does not have).
+	Tile func(packet.Addr) *engine.Tile
+	// Mesh is the fabric for link faults; nil makes link events fail.
+	Mesh *noc.Mesh
+	// Observe, when set, is called as each event (including synthesized
+	// auto-heals) takes effect — the health monitor's event log taps in
+	// here.
+	Observe func(e Event, cycle uint64)
+}
+
+// Arm validates the plan and schedules every event on the kernel. It must
+// be called before the clock starts. Events with a For duration schedule
+// their own heal at At+For.
+func (p *Plan) Arm(k *sim.Kernel, h Hooks) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	// Resolve all targets up front so a bad plan fails at arm time, not
+	// mid-simulation.
+	for i, e := range p.Events {
+		if e.isLink() {
+			if h.Mesh == nil {
+				return fmt.Errorf("fault: event %d: link fault without a mesh hook", i)
+			}
+			// NodeAt panics on out-of-range coordinates; surface as error.
+			if err := checkCoord(h.Mesh, e.From); err != nil {
+				return fmt.Errorf("fault: event %d: %v", i, err)
+			}
+			if err := checkCoord(h.Mesh, e.To); err != nil {
+				return fmt.Errorf("fault: event %d: %v", i, err)
+			}
+			continue
+		}
+		if h.Tile == nil || h.Tile(e.Engine) == nil {
+			return fmt.Errorf("fault: event %d: no tile at engine address %d", i, e.Engine)
+		}
+	}
+	for _, e := range p.Events {
+		e := e
+		k.At(e.At, func() { apply(e, h, e.At) })
+		if e.For > 0 {
+			heal := healFor(e)
+			k.At(heal.At, func() { apply(heal, h, heal.At) })
+		}
+	}
+	return nil
+}
+
+// healFor returns the synthesized heal event ending a For-duration fault.
+func healFor(e Event) Event {
+	if e.isLink() {
+		return Event{At: e.At + e.For, Kind: HealLink, From: e.From, To: e.To}
+	}
+	return Event{At: e.At + e.For, Kind: Heal, Engine: e.Engine}
+}
+
+// apply takes one event's effect on the hardware.
+func apply(e Event, h Hooks, cycle uint64) {
+	if e.isLink() {
+		from := h.Mesh.NodeAt(e.From.X, e.From.Y)
+		to := h.Mesh.NodeAt(e.To.X, e.To.Y)
+		switch e.Kind {
+		case LinkDegrade:
+			h.Mesh.SetLinkFault(from, to, noc.LinkFault{PassEveryN: e.EveryN})
+		case LinkSever:
+			h.Mesh.SetLinkFault(from, to, noc.LinkFault{Severed: true})
+		case HealLink:
+			h.Mesh.SetLinkFault(from, to, noc.LinkFault{})
+		}
+	} else {
+		t := h.Tile(e.Engine)
+		f := t.FaultState()
+		switch e.Kind {
+		case Wedge:
+			f.Wedged = true
+		case Slow:
+			f.SlowFactor = e.Factor
+		case FlakeDrop:
+			f.DropEveryN = e.EveryN
+		case FlakeCorrupt:
+			f.CorruptEveryN = e.EveryN
+		case Heal:
+			f = engine.FaultState{}
+		}
+		t.SetFault(f)
+	}
+	if h.Observe != nil {
+		h.Observe(e, cycle)
+	}
+}
+
+func checkCoord(m *noc.Mesh, c noc.Coord) (err error) {
+	defer func() {
+		if recover() != nil {
+			err = fmt.Errorf("coordinate (%d,%d) outside mesh", c.X, c.Y)
+		}
+	}()
+	m.NodeAt(c.X, c.Y)
+	return nil
+}

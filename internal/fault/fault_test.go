@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/noc"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/sched"
+	"github.com/panic-nic/panic/internal/sim"
+)
+
+const samplePlan = `
+# wedge the ipsec engine at cycle 100 for 50 cycles
+at 100 wedge 34 for 50
+at 120 slow 35 x2.5
+at 130 drop 35 every 7
+at 140 corrupt 36 every 3 for 10
+at 150 degrade 1,0->0,0 every 4
+at 160 sever 0,0->1,0 for 25
+at 200 heal 35
+at 210 heal-link 1,0->0,0
+`
+
+func TestParsePlanRoundTrips(t *testing.T) {
+	p, err := ParsePlan(strings.NewReader(samplePlan), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 8 {
+		t.Fatalf("parsed %d events, want 8", len(p.Events))
+	}
+	// The canonical rendering re-parses to the same plan.
+	p2, err := ParsePlan(strings.NewReader(p.String()), nil)
+	if err != nil {
+		t.Fatalf("re-parse: %v (rendered:\n%s)", err, p.String())
+	}
+	if p2.String() != p.String() {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", p.String(), p2.String())
+	}
+	e := p.Events[0]
+	if e.At != 100 || e.Kind != Wedge || e.Engine != 34 || e.For != 50 {
+		t.Fatalf("event 0 = %+v", e)
+	}
+	if p.Events[1].Factor != 2.5 {
+		t.Fatalf("slow factor = %v", p.Events[1].Factor)
+	}
+	if p.Events[4].From != (noc.Coord{X: 1, Y: 0}) || p.Events[4].To != (noc.Coord{X: 0, Y: 0}) {
+		t.Fatalf("degrade link = %v -> %v", p.Events[4].From, p.Events[4].To)
+	}
+}
+
+func TestParsePlanNamesAndErrors(t *testing.T) {
+	names := map[string]packet.Addr{"ipsec": 34}
+	p, err := ParsePlan(strings.NewReader("at 5 wedge ipsec\n"), names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Events[0].Engine != 34 {
+		t.Fatalf("named engine resolved to %d", p.Events[0].Engine)
+	}
+	for _, bad := range []string{
+		"wedge 34",                  // missing "at"
+		"at x wedge 34",             // bad cycle
+		"at 5 wedge",                // missing engine
+		"at 5 wedge bogus",          // unknown name
+		"at 5 slow 34",              // missing factor
+		"at 5 slow 34 x0.5",         // factor < 1
+		"at 5 drop 34 every 0",      // period < 1
+		"at 5 degrade 0,0->1,0 every 1", // degrade period < 2
+		"at 5 sever 0,0-1,0",        // bad link syntax
+		"at 5 explode 34",           // unknown kind
+		"at 5 heal 34 for 10",       // heal with duration
+	} {
+		if _, err := ParsePlan(strings.NewReader(bad+"\n"), names); err == nil {
+			t.Errorf("%q: parsed without error", bad)
+		}
+	}
+}
+
+// bench builds a 2x2 mesh with one tile and arms a plan against it.
+func bench(t *testing.T, p *Plan) (*sim.Kernel, *engine.Tile, *noc.Mesh, *[]Event) {
+	t.Helper()
+	cfg := noc.DefaultMeshConfig()
+	cfg.Width, cfg.Height = 2, 2
+	m := noc.NewMesh(cfg)
+	k := sim.NewKernel(500 * sim.MHz)
+	m.RegisterWith(k)
+	routes := engine.NewRouteTable()
+	node := m.NodeAt(0, 0)
+	routes.Bind(7, node)
+	routes.SetDefault(7)
+	tile := engine.NewTile(engine.TileConfig{Addr: 7, Node: node, QueueCap: 8, Policy: sched.Backpressure},
+		engine.NewCollectorEngine("sink", 1, nil), m, routes, sim.NewRNG(1))
+	k.Register(tile)
+	seen := &[]Event{}
+	err := p.Arm(k, Hooks{
+		Tile: func(a packet.Addr) *engine.Tile {
+			if a == 7 {
+				return tile
+			}
+			return nil
+		},
+		Mesh:    m,
+		Observe: func(e Event, cycle uint64) { *seen = append(*seen, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, tile, m, seen
+}
+
+func TestArmAppliesAndAutoHeals(t *testing.T) {
+	p := (&Plan{}).Add(Event{At: 10, Kind: Wedge, Engine: 7, For: 20})
+	k, tile, _, seen := bench(t, p)
+
+	k.Run(15)
+	if !tile.FaultState().Wedged {
+		t.Fatal("tile not wedged at cycle 15")
+	}
+	k.Run(20) // now at cycle 35 > 30
+	if !tile.FaultState().Clean() {
+		t.Fatalf("tile not healed after duration: %+v", tile.FaultState())
+	}
+	if len(*seen) != 2 || (*seen)[0].Kind != Wedge || (*seen)[1].Kind != Heal {
+		t.Fatalf("observed events = %+v", *seen)
+	}
+	if (*seen)[1].At != 30 {
+		t.Fatalf("heal at cycle %d, want 30", (*seen)[1].At)
+	}
+}
+
+func TestArmLinkFaults(t *testing.T) {
+	p := (&Plan{}).
+		Add(Event{At: 5, Kind: LinkSever, From: noc.Coord{X: 0, Y: 0}, To: noc.Coord{X: 1, Y: 0}}).
+		Add(Event{At: 25, Kind: HealLink, From: noc.Coord{X: 0, Y: 0}, To: noc.Coord{X: 1, Y: 0}})
+	k, _, m, _ := bench(t, p)
+	a, b := m.NodeAt(0, 0), m.NodeAt(1, 0)
+
+	k.Run(10)
+	if !m.LinkFaultBetween(a, b).Severed {
+		t.Fatal("link not severed at cycle 10")
+	}
+	k.Run(20)
+	if !m.LinkFaultBetween(a, b).Clean() {
+		t.Fatal("link not healed at cycle 30")
+	}
+}
+
+func TestArmRejectsUnknownTargets(t *testing.T) {
+	p := (&Plan{}).Add(Event{At: 10, Kind: Wedge, Engine: 99})
+	cfg := noc.DefaultMeshConfig()
+	cfg.Width, cfg.Height = 2, 2
+	m := noc.NewMesh(cfg)
+	k := sim.NewKernel(500 * sim.MHz)
+	if err := p.Arm(k, Hooks{Tile: func(packet.Addr) *engine.Tile { return nil }, Mesh: m}); err == nil {
+		t.Fatal("arming against a missing tile did not fail")
+	}
+	p2 := (&Plan{}).Add(Event{At: 10, Kind: LinkSever, From: noc.Coord{X: 5, Y: 5}, To: noc.Coord{X: 6, Y: 5}})
+	if err := p2.Arm(k, Hooks{Mesh: m}); err == nil {
+		t.Fatal("arming an out-of-mesh link did not fail")
+	}
+}
+
+func TestFaultsCompose(t *testing.T) {
+	p := (&Plan{}).
+		Add(Event{At: 5, Kind: Slow, Engine: 7, Factor: 2}).
+		Add(Event{At: 6, Kind: FlakeDrop, Engine: 7, EveryN: 4}).
+		Add(Event{At: 20, Kind: Heal, Engine: 7})
+	k, tile, _, _ := bench(t, p)
+	k.Run(10)
+	f := tile.FaultState()
+	if f.SlowFactor != 2 || f.DropEveryN != 4 {
+		t.Fatalf("composed fault state = %+v", f)
+	}
+	k.Run(15)
+	if !tile.FaultState().Clean() {
+		t.Fatal("heal did not clear composed faults")
+	}
+}

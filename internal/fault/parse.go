@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/panic-nic/panic/internal/noc"
+	"github.com/panic-nic/panic/internal/packet"
+)
+
+// ParsePlan reads the text fault-plan format, one event per line:
+//
+//	# comments and blank lines are ignored
+//	at <cycle> wedge <engine> [for <cycles>]
+//	at <cycle> slow <engine> x<factor> [for <cycles>]
+//	at <cycle> drop <engine> every <n> [for <cycles>]
+//	at <cycle> corrupt <engine> every <n> [for <cycles>]
+//	at <cycle> degrade <x>,<y>-><x>,<y> every <n> [for <cycles>]
+//	at <cycle> sever <x>,<y>-><x>,<y> [for <cycles>]
+//	at <cycle> heal <engine>
+//	at <cycle> heal-link <x>,<y>-><x>,<y>
+//
+// <engine> is either a numeric address or a name resolved through names
+// (e.g. core.EngineAddrs()); names may be nil for numeric-only plans. A
+// "for" clause auto-heals the fault that many cycles later.
+func ParsePlan(r io.Reader, names map[string]packet.Addr) (*Plan, error) {
+	p := &Plan{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := parseLine(line, names)
+		if err != nil {
+			return nil, fmt.Errorf("fault: line %d: %v", lineNo, err)
+		}
+		p.Add(e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseLine(line string, names map[string]packet.Addr) (Event, error) {
+	f := strings.Fields(line)
+	if len(f) < 3 || f[0] != "at" {
+		return Event{}, fmt.Errorf("want %q, got %q", "at <cycle> <kind> ...", line)
+	}
+	at, err := strconv.ParseUint(f[1], 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad cycle %q", f[1])
+	}
+	e := Event{At: at}
+	rest := f[3:]
+
+	// Optional trailing "for <cycles>".
+	if len(rest) >= 2 && rest[len(rest)-2] == "for" {
+		d, err := strconv.ParseUint(rest[len(rest)-1], 10, 64)
+		if err != nil || d == 0 {
+			return Event{}, fmt.Errorf("bad duration %q", rest[len(rest)-1])
+		}
+		e.For = d
+		rest = rest[:len(rest)-2]
+	}
+
+	kind := f[2]
+	switch kind {
+	case "wedge", "heal":
+		if kind == "wedge" {
+			e.Kind = Wedge
+		} else {
+			e.Kind = Heal
+		}
+		if len(rest) != 1 {
+			return Event{}, fmt.Errorf("%s wants one engine operand", kind)
+		}
+		if e.Engine, err = parseEngine(rest[0], names); err != nil {
+			return Event{}, err
+		}
+	case "slow":
+		e.Kind = Slow
+		if len(rest) != 2 || !strings.HasPrefix(rest[1], "x") {
+			return Event{}, fmt.Errorf("slow wants %q", "<engine> x<factor>")
+		}
+		if e.Engine, err = parseEngine(rest[0], names); err != nil {
+			return Event{}, err
+		}
+		if e.Factor, err = strconv.ParseFloat(rest[1][1:], 64); err != nil {
+			return Event{}, fmt.Errorf("bad factor %q", rest[1])
+		}
+	case "drop", "corrupt":
+		if kind == "drop" {
+			e.Kind = FlakeDrop
+		} else {
+			e.Kind = FlakeCorrupt
+		}
+		if len(rest) != 3 || rest[1] != "every" {
+			return Event{}, fmt.Errorf("%s wants %q", kind, "<engine> every <n>")
+		}
+		if e.Engine, err = parseEngine(rest[0], names); err != nil {
+			return Event{}, err
+		}
+		if e.EveryN, err = strconv.Atoi(rest[2]); err != nil {
+			return Event{}, fmt.Errorf("bad period %q", rest[2])
+		}
+	case "degrade":
+		e.Kind = LinkDegrade
+		if len(rest) != 3 || rest[1] != "every" {
+			return Event{}, fmt.Errorf("degrade wants %q", "<x,y>-><x,y> every <n>")
+		}
+		if e.From, e.To, err = parseLink(rest[0]); err != nil {
+			return Event{}, err
+		}
+		if e.EveryN, err = strconv.Atoi(rest[2]); err != nil {
+			return Event{}, fmt.Errorf("bad period %q", rest[2])
+		}
+	case "sever", "heal-link":
+		if kind == "sever" {
+			e.Kind = LinkSever
+		} else {
+			e.Kind = HealLink
+		}
+		if len(rest) != 1 {
+			return Event{}, fmt.Errorf("%s wants one link operand", kind)
+		}
+		if e.From, e.To, err = parseLink(rest[0]); err != nil {
+			return Event{}, err
+		}
+	default:
+		return Event{}, fmt.Errorf("unknown fault kind %q", kind)
+	}
+	return e, nil
+}
+
+func parseEngine(tok string, names map[string]packet.Addr) (packet.Addr, error) {
+	if a, ok := names[strings.ToLower(tok)]; ok {
+		return a, nil
+	}
+	n, err := strconv.ParseUint(tok, 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("unknown engine %q", tok)
+	}
+	return packet.Addr(n), nil
+}
+
+func parseLink(tok string) (from, to noc.Coord, err error) {
+	parts := strings.Split(tok, "->")
+	if len(parts) != 2 {
+		return from, to, fmt.Errorf("bad link %q (want x,y->x,y)", tok)
+	}
+	if from, err = parseCoord(parts[0]); err != nil {
+		return from, to, err
+	}
+	to, err = parseCoord(parts[1])
+	return from, to, err
+}
+
+func parseCoord(tok string) (noc.Coord, error) {
+	parts := strings.Split(tok, ",")
+	if len(parts) != 2 {
+		return noc.Coord{}, fmt.Errorf("bad coordinate %q (want x,y)", tok)
+	}
+	x, err1 := strconv.Atoi(parts[0])
+	y, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return noc.Coord{}, fmt.Errorf("bad coordinate %q (want x,y)", tok)
+	}
+	return noc.Coord{X: x, Y: y}, nil
+}

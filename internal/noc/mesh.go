@@ -87,6 +87,33 @@ type router struct {
 	rrVC     [numPorts]int // round-robin pointer over VCs, per output
 	consumed [numPorts]bool
 	neighbor [numPorts]*router
+	// linkFault[o] is the injected fault on the outgoing link at port o
+	// (zero value = healthy). Local ports cannot fault.
+	linkFault [numPorts]LinkFault
+}
+
+// LinkFault is an injected condition on one directional mesh link. The
+// zero value means healthy.
+type LinkFault struct {
+	// Severed blocks the link entirely: no flit crosses until the fault
+	// is lifted. Under XY routing traffic for that turn wedges in place
+	// (and backpressure spreads) — exactly the failure a health monitor
+	// has to detect from the outside.
+	Severed bool
+	// PassEveryN >= 2 degrades the link to at most one flit every N
+	// cycles (a flaky SerDes running with retries). 0 or 1 = full rate.
+	PassEveryN int
+}
+
+// Clean reports whether the fault is the healthy zero state.
+func (f LinkFault) Clean() bool { return !f.Severed && f.PassEveryN < 2 }
+
+// blocks reports whether the fault gates the link shut at the given cycle.
+func (f LinkFault) blocks(now uint64) bool {
+	if f.Severed {
+		return true
+	}
+	return f.PassEveryN >= 2 && now%uint64(f.PassEveryN) != 0
 }
 
 // injector serializes queued messages into flits at the local input port.
@@ -270,6 +297,31 @@ func (m *Mesh) TryEject(node NodeID) (*packet.Message, bool) {
 	return q.Pop(), true
 }
 
+// portToward returns the output port on from's router facing the adjacent
+// node to; it panics when the nodes are not mesh neighbors (link faults
+// are per physical link, not per path).
+func (m *Mesh) portToward(from, to NodeID) int {
+	r := m.routers[from]
+	for p := portNorth; p < numPorts; p++ {
+		if nb := r.neighbor[p]; nb != nil && nb.id == to {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("noc: nodes %v and %v are not adjacent", m.CoordOf(from), m.CoordOf(to)))
+}
+
+// SetLinkFault installs (or, with the zero LinkFault, lifts) a fault on
+// the directional link from -> to. The nodes must be adjacent.
+func (m *Mesh) SetLinkFault(from, to NodeID, f LinkFault) {
+	m.routers[from].linkFault[m.portToward(from, to)] = f
+}
+
+// LinkFaultBetween returns the installed fault on the directional link
+// from -> to.
+func (m *Mesh) LinkFaultBetween(from, to NodeID) LinkFault {
+	return m.routers[from].linkFault[m.portToward(from, to)]
+}
+
 // Stats returns a copy of the accumulated statistics.
 func (m *Mesh) Stats() Stats { return m.stats }
 
@@ -371,6 +423,9 @@ func (r *router) tick() {
 	}
 	vcs := r.m.vcs
 	for o := 0; o < numPorts; o++ {
+		if o != portLocal && r.linkFault[o].blocks(r.m.now) {
+			continue
+		}
 		// One flit per output per cycle; VCs take turns (round-robin),
 		// letting packets interleave on the physical link.
 		sent := false

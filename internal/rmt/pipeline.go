@@ -23,6 +23,22 @@ func NewProgram(parser *Parser, stages ...[]*Table) *Program {
 // NumStages returns the number of match+action stages.
 func (p *Program) NumStages() int { return len(p.Stages) }
 
+// RewriteEngine repoints every chain hop targeting old at new across all
+// stages and tables, returning the number of hops rewritten. The control
+// plane uses this to fail a broken engine over to a replica (and the
+// inverse rewrite to reintegrate it) without touching in-flight packets:
+// messages already carrying a chain keep their old steering until they
+// next traverse an RMT pipeline.
+func (p *Program) RewriteEngine(old, new packet.Addr) int {
+	n := 0
+	for _, stage := range p.Stages {
+		for _, t := range stage {
+			n += t.RewriteEngine(old, new)
+		}
+	}
+	return n
+}
+
 // Split partitions the program's stages into n contiguous sub-programs for
 // chained RMT engines (§3.1.2: "Neighboring engines may be configured to
 // independently process messages or be chained to form a longer

@@ -1,0 +1,106 @@
+package rmt
+
+import (
+	"testing"
+
+	"github.com/panic-nic/panic/internal/packet"
+)
+
+// steeringFixture builds a program with chain-steering entries in every
+// match kind plus a default action, all pointing at engine `old` somewhere.
+func steeringFixture(old packet.Addr) *Program {
+	parser := StandardParser()
+	key := []FieldID{FieldMetaPort}
+
+	exact := NewTable("exact", MatchExact, key, 0, Action{})
+	exact.Add(Entry{Values: []uint64{1}, Action: NewAction("hit",
+		OpPushHop{Engine: old, SlackConst: 10},
+		OpPushHop{Engine: 99},
+	)})
+
+	lpm := NewTable("lpm", MatchLPM, key, 32, Action{})
+	lpm.Add(Entry{Values: []uint64{PrefixOf(0x0a000000, 8, 32)}, PrefixLen: 8,
+		Action: NewAction("net", OpPushHop{Engine: old})})
+
+	tern := NewTable("tern", MatchTernary, key, 0,
+		NewAction("def", OpPushHop{Engine: old, SlackConst: 7}))
+	tern.Add(Entry{Values: []uint64{2}, Masks: []uint64{0xff}, Priority: 5,
+		Action: NewAction("t", OpPushHop{Engine: old})})
+
+	return NewProgram(parser, []*Table{exact}, []*Table{lpm, tern})
+}
+
+func TestRewriteEngineCoversAllMatchKinds(t *testing.T) {
+	const old, repl = packet.Addr(34), packet.Addr(40)
+	prog := steeringFixture(old)
+
+	n := prog.RewriteEngine(old, repl)
+	if n != 4 {
+		t.Fatalf("RewriteEngine rewrote %d hops, want 4 (exact entry, lpm entry, ternary entry, ternary default)", n)
+	}
+	// No hops targeting old may remain anywhere.
+	if left := prog.RewriteEngine(old, repl); left != 0 {
+		t.Fatalf("second rewrite still found %d hops targeting old", left)
+	}
+	// The untouched hop survives.
+	if n := prog.RewriteEngine(99, 98); n != 1 {
+		t.Fatalf("unrelated hop count = %d, want 1", n)
+	}
+}
+
+func TestRewriteEngineInverseRestores(t *testing.T) {
+	const old, repl = packet.Addr(34), packet.Addr(40)
+	prog := steeringFixture(old)
+
+	fwd := prog.RewriteEngine(old, repl)
+	back := prog.RewriteEngine(repl, old)
+	if fwd != back {
+		t.Fatalf("inverse rewrite count %d != forward %d", back, fwd)
+	}
+	if n := prog.RewriteEngine(old, repl); n != fwd {
+		t.Fatalf("after restore, forward rewrite count %d, want %d", n, fwd)
+	}
+}
+
+// TestRewriteEngineChangesVerdict checks the rewrite is visible in the
+// datapath: the same packet classified before and after steers to the old
+// and new engine respectively.
+func TestRewriteEngineChangesVerdict(t *testing.T) {
+	const old, repl = packet.Addr(34), packet.Addr(40)
+	prog := steeringFixture(old)
+
+	mk := func() *packet.Message {
+		return &packet.Message{
+			Port: 1,
+			Pkt: packet.NewPacket(64,
+				&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+				&packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 2}},
+				&packet.UDP{SrcPort: 1, DstPort: 2},
+			),
+		}
+	}
+
+	before := mk()
+	if _, err := prog.Process(before, 0); err != nil {
+		t.Fatal(err)
+	}
+	c := before.Chain()
+	if c == nil || len(c.Hops) == 0 || c.Hops[0].Engine != old {
+		t.Fatalf("pre-rewrite chain = %+v, want first hop engine %d", c, old)
+	}
+
+	prog.RewriteEngine(old, repl)
+
+	after := mk()
+	if _, err := prog.Process(after, 0); err != nil {
+		t.Fatal(err)
+	}
+	c = after.Chain()
+	if c == nil || len(c.Hops) == 0 || c.Hops[0].Engine != repl {
+		t.Fatalf("post-rewrite chain = %+v, want first hop engine %d", c, repl)
+	}
+	// Slack annotations survive the rewrite untouched.
+	if c.Hops[0].Slack != 10 {
+		t.Fatalf("post-rewrite slack = %d, want 10", c.Hops[0].Slack)
+	}
+}

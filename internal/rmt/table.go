@@ -3,6 +3,8 @@ package rmt
 import (
 	"fmt"
 	"sort"
+
+	"github.com/panic-nic/panic/internal/packet"
 )
 
 // MatchKind is a table's match discipline.
@@ -177,4 +179,35 @@ func exactKey(vals []uint64) string {
 // given prefix length within width bits.
 func PrefixOf(value uint64, prefixLen, width int) uint64 {
 	return value & prefixMask(prefixLen, width)
+}
+
+// RewriteEngine replaces every OpPushHop targeting old with new across all
+// installed entries and the default action, returning the number of hops
+// rewritten. This is the control-plane primitive behind failover: steering
+// chains away from a failed engine is a table rewrite, not a datapath
+// change, exactly as a switch control plane would repoint a nexthop.
+func (t *Table) RewriteEngine(old, new packet.Addr) int {
+	n := rewriteAction(&t.Default, old, new)
+	for _, e := range t.exact {
+		n += rewriteAction(&e.Action, old, new)
+	}
+	for _, e := range t.lpm {
+		n += rewriteAction(&e.Action, old, new)
+	}
+	for _, e := range t.ternary {
+		n += rewriteAction(&e.Action, old, new)
+	}
+	return n
+}
+
+func rewriteAction(a *Action, old, new packet.Addr) int {
+	n := 0
+	for i, op := range a.Ops {
+		if ph, ok := op.(OpPushHop); ok && ph.Engine == old {
+			ph.Engine = new
+			a.Ops[i] = ph
+			n++
+		}
+	}
+	return n
 }
