@@ -11,6 +11,7 @@
 //	panicsim -arch panic -cycles 2000000 -rate 20 -wan 0.3
 //	panicsim -arch manycore -cores 16
 //	panicsim -arch panic -mesh 8 -width 128 -pipelines 2
+//	panicsim -arch panic -workers 4 -fastforward -rate 0.5
 package main
 
 import (
@@ -33,6 +34,8 @@ var (
 	health        *bool
 	ipsecReplicas *int
 	dmaReplicas   *int
+	workers       *int
+	fastForward   *bool
 )
 
 func main() {
@@ -56,6 +59,8 @@ func main() {
 	health = flag.Bool("health", false, "enable the self-healing health monitor (panic only)")
 	ipsecReplicas = flag.Int("ipsec-replicas", 0, "total IPSec engine instances (panic only)")
 	dmaReplicas = flag.Int("dma-replicas", 0, "total RX-DMA engine instances (panic only)")
+	workers = flag.Int("workers", 0, "Eval-phase worker goroutines (0 = sequential; panic only)")
+	fastForward = flag.Bool("fastforward", false, "skip provably idle cycles (panic only)")
 	flag.Parse()
 
 	src := workload.NewKVSStream(workload.KVSTenantConfig{
@@ -94,6 +99,8 @@ func runPanic(cycles uint64, freq, line float64, meshK, width, pipelines int, wa
 	}
 	cfg.IPSecReplicas = *ipsecReplicas
 	cfg.DMAReplicas = *dmaReplicas
+	cfg.Workers = *workers
+	cfg.FastForward = *fastForward
 	if *health {
 		cfg.Health = core.DefaultHealthConfig()
 	}
@@ -112,6 +119,7 @@ func runPanic(cycles uint64, freq, line float64, meshK, width, pipelines int, wa
 		cfg.FaultPlan = plan
 	}
 	nic := core.NewNIC(cfg, []engine.Source{src})
+	defer nic.Close()
 	for k := uint64(0); k < warmKeys; k++ {
 		nic.Cache.Warm(k, cfg.HostValueBytes)
 	}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/workload"
+)
+
+// benchNIC assembles the benchmark NIC: the canonical two-port
+// configuration under a saturating two-tenant mix, so the Eval phase has
+// work on every tile each cycle.
+func benchNIC(workers int, fastForward bool, load float64, pool *packet.MessagePool) *NIC {
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	cfg.FastForward = fastForward
+	srcs := []engine.Source{
+		workload.NewKVSStream(workload.KVSTenantConfig{
+			Tenant: 1, Class: packet.ClassLatency,
+			RateGbps: 100 * load, FreqHz: cfg.FreqHz,
+			Keys: 1024, GetRatio: 0.9, WANShare: 0.2, ValueBytes: 256,
+			Seed: 21,
+		}),
+		workload.NewFixedStream(workload.FixedStreamConfig{
+			FrameBytes: 256, RateGbps: 100 * load, FreqHz: cfg.FreqHz,
+			Tenant: 2, Class: packet.ClassBulk, Seed: 22, Pool: pool,
+		}),
+	}
+	return NewNIC(cfg, srcs)
+}
+
+// BenchmarkKernelThroughput measures simulated cycles per wall-second and
+// delivered messages per wall-second at several Eval worker counts over a
+// saturating workload. Run with -benchmem to see the allocation diet.
+func BenchmarkKernelThroughput(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			nic := benchNIC(workers, false, 0.9, nil)
+			defer nic.Close()
+			nic.Run(2_000) // warm caches and fill the pipeline
+			before := nic.WireLat.Count + nic.HostLat.Count
+			b.ResetTimer()
+			nic.Run(uint64(b.N))
+			b.StopTimer()
+			delivered := nic.WireLat.Count + nic.HostLat.Count - before
+			sec := b.Elapsed().Seconds()
+			if sec > 0 {
+				b.ReportMetric(float64(b.N)/sec, "simcycles/s")
+				b.ReportMetric(float64(delivered)/sec, "msgs/s")
+			}
+		})
+	}
+}
+
+// BenchmarkKernelThroughputPooled is the workers-1 saturating run with the
+// message pool wired from wire egress back to the bulk generator — the
+// -benchmem comparison point for the allocation diet.
+func BenchmarkKernelThroughputPooled(b *testing.B) {
+	pool := packet.NewMessagePool()
+	nic := benchNIC(1, false, 0.9, pool)
+	defer nic.Close()
+	recycle := func(m *packet.Message, _ uint64) {
+		if m.Tenant == 2 {
+			pool.Put(m)
+		}
+	}
+	nic.WireLat.OnDeliver = recycle
+	nic.HostLat.OnDeliver = recycle
+	nic.Run(2_000)
+	b.ResetTimer()
+	nic.Run(uint64(b.N))
+	b.StopTimer()
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "simcycles/s")
+	}
+}
+
+// BenchmarkKernelLowLoadFastForward measures the low-load latency-curve
+// case: a trickle of traffic with long idle gaps between packets. The
+// fast-forwarding kernel jumps the gaps; the stepping kernel grinds
+// through them. Simulated cycles per wall-second is the headline metric.
+func BenchmarkKernelLowLoadFastForward(b *testing.B) {
+	for _, ff := range []bool{false, true} {
+		name := "step"
+		if ff {
+			name = "fastforward"
+		}
+		b.Run(name, func(b *testing.B) {
+			nic := benchNIC(0, ff, 0.001, nil)
+			defer nic.Close()
+			b.ResetTimer()
+			nic.Run(uint64(b.N))
+			b.StopTimer()
+			sec := b.Elapsed().Seconds()
+			if sec > 0 {
+				b.ReportMetric(float64(b.N)/sec, "simcycles/s")
+				b.ReportMetric(float64(nic.Builder.Kernel.SkippedCycles()), "skipped")
+			}
+		})
+	}
+}

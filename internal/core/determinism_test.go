@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/fault"
+	"github.com/panic-nic/panic/internal/workload"
+)
+
+// fingerprint reduces a finished NIC to a byte-comparable string covering
+// everything the experiments report: collector stats (counts, bytes, and
+// full latency distributions), per-tile counters, fabric stats, the
+// health/fault event log, and the final cycle.
+func fingerprint(n *NIC) string {
+	s := fmt.Sprintf("cycle=%d\n", n.Now())
+	s += fmt.Sprintf("wire: n=%d bytes=%d mean=%.6f p50=%.1f p99=%.1f max=%.1f\n",
+		n.WireLat.Count, n.WireLat.Bytes, n.WireLat.All.Mean(),
+		n.WireLat.All.P50(), n.WireLat.All.P99(), n.WireLat.All.Max())
+	s += fmt.Sprintf("host: n=%d bytes=%d mean=%.6f p50=%.1f p99=%.1f max=%.1f\n",
+		n.HostLat.Count, n.HostLat.Bytes, n.HostLat.All.Mean(),
+		n.HostLat.All.P50(), n.HostLat.All.P99(), n.HostLat.All.Max())
+	tenants := make([]int, 0, len(n.WireLat.ByTenant))
+	for tn := range n.WireLat.ByTenant {
+		tenants = append(tenants, int(tn))
+	}
+	sort.Ints(tenants)
+	for _, tn := range tenants {
+		h := n.WireLat.ByTenant[uint16(tn)]
+		s += fmt.Sprintf("wire tenant %d: n=%d mean=%.6f\n", tn, h.Count(), h.Mean())
+	}
+	s += fmt.Sprintf("drops=%d\n", n.Drops.Value())
+	for _, tile := range n.Builder.Tiles {
+		st := tile.Stats()
+		s += fmt.Sprintf("tile %s: proc=%d busy=%d drop=%d emit=%d qwait=%d stall=%d fdrop=%d corr=%d drain=%d qlen=%d\n",
+			tile.Name(), st.Processed, st.BusyCycles, st.Dropped, st.Emitted,
+			st.QueueWaitTotal, st.StallCycles, st.FaultDropped, st.Corrupted, st.Drained, tile.QueueLen())
+	}
+	for i, r := range n.Builder.RMTs {
+		st := r.Stats()
+		s += fmt.Sprintf("rmt %d: acc=%d emit=%d drop=%d unrouted=%d stall=%d qdrop=%d\n",
+			i, st.Accepted, st.Emitted, st.Dropped, st.Unrouted, st.StallCycles, st.QueueDropped)
+	}
+	ms := n.Builder.Mesh.Stats()
+	s += fmt.Sprintf("mesh: inj=%d del=%d hops=%d lat=%d\n",
+		ms.Injected, ms.Delivered, ms.FlitHops, ms.TotalLatency)
+	for _, m := range n.MACs {
+		s += fmt.Sprintf("mac %s: rx=%d tx=%d rxbits=%d txbits=%d\n",
+			m.Name(), m.RxCount(), m.TxCount(), m.RxBits(), m.TxBits())
+	}
+	gets, sets := n.Host.Counts()
+	s += fmt.Sprintf("host kvs: gets=%d sets=%d backlog=%d\n", gets, sets, n.Host.TxBacklog())
+	s += "events:\n" + n.Events.String()
+	return s
+}
+
+// detCase is one kernel execution mode under test.
+type detCase struct {
+	name        string
+	workers     int
+	fastForward bool
+}
+
+var detCases = []detCase{
+	{"sequential", 0, false},
+	{"workers2", 2, false},
+	{"workers8", 8, false},
+	{"sequential+ff", 0, true},
+	{"workers8+ff", 8, true},
+}
+
+// detRun builds a NIC in the given mode over a seeded two-port traffic mix
+// with a fault plan and health monitoring, runs it to a fixed horizon, and
+// returns the fingerprint.
+func detRun(c detCase, horizon uint64) string {
+	cfg := DefaultConfig()
+	cfg.Workers = c.workers
+	cfg.FastForward = c.fastForward
+	cfg.IPSecReplicas = 2
+	cfg.Health = DefaultHealthConfig()
+	cfg.FaultPlan = (&fault.Plan{}).
+		Add(fault.Event{At: 1000, Kind: fault.Wedge, Engine: AddrIPSec, For: 30_000}).
+		Add(fault.Event{At: 2500, Kind: fault.FlakeDrop, Engine: AddrKVSCache, EveryN: 7, For: 20_000})
+	// Two ports: a mixed GET/SET partly-WAN stream and a latency/bulk
+	// blend, both bounded so the run drains and fast-forward has real idle
+	// tail to skip.
+	srcs := []engine.Source{
+		kvsSource(60, 0.8, 0.5, 7),
+		workload.NewMerge(
+			kvsSource(40, 1.0, 0, 11),
+			workload.NewFixedStream(workload.FixedStreamConfig{
+				FrameBytes: 256, RateGbps: 2, FreqHz: 500e6,
+				Tenant: 3, Count: 30, Seed: 13,
+			}),
+		),
+	}
+	nic := NewNIC(cfg, srcs)
+	defer nic.Close()
+	nic.Run(horizon)
+	return fingerprint(nic)
+}
+
+// TestCrossKernelDeterminism is the PR's core acceptance test: the same
+// seeded workload and fault plan must produce byte-identical statistics,
+// event logs, and final cycle counts under the sequential kernel, parallel
+// kernels, and fast-forwarding kernels.
+func TestCrossKernelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-mode NIC runs are slow")
+	}
+	const horizon = 120_000
+	want := detRun(detCases[0], horizon)
+	for _, c := range detCases[1:] {
+		got := detRun(c, horizon)
+		if got != want {
+			t.Errorf("mode %s diverged from sequential:\n%s", c.name, diffLines(want, got))
+		}
+	}
+}
+
+// TestCrossKernelDeterminismRepeatable re-runs one parallel mode to catch
+// scheduling-dependent flakiness (a racy model tends to flicker between
+// runs even when it happens to match once).
+func TestCrossKernelDeterminismRepeatable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-mode NIC runs are slow")
+	}
+	const horizon = 60_000
+	first := detRun(detCase{"workers4", 4, false}, horizon)
+	for i := 0; i < 2; i++ {
+		if again := detRun(detCase{"workers4", 4, false}, horizon); again != first {
+			t.Fatalf("workers=4 run %d diverged from its first run:\n%s", i+2, diffLines(first, again))
+		}
+	}
+}
+
+// diffLines renders the first few differing lines between two fingerprints.
+func diffLines(want, got string) string {
+	wl := splitLines(want)
+	gl := splitLines(got)
+	out := ""
+	n := 0
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			out += fmt.Sprintf("line %d:\n  sequential: %q\n  this mode:  %q\n", i+1, w, g)
+			n++
+			if n >= 8 {
+				out += "  ...\n"
+				break
+			}
+		}
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

@@ -144,10 +144,13 @@ type watch struct {
 }
 
 // HealthMonitor is the self-healing control plane. It implements
-// sim.Ticker and must be registered AFTER every tile so each check samples
-// the cycle's final state; NewNIC does this. All recovery actions go
-// through the same control interfaces real hardware exposes: RMT table
-// rewrites, route-table binds, and tile resets.
+// sim.Ticker and must be registered with RegisterSerial, after every tile:
+// each check samples the cycle's final state, and its probes and recovery
+// actions read and rewrite state owned by many tiles (steering tables,
+// queue resets), which must never run concurrently with the Eval shards;
+// NewNIC does this. All recovery actions go through the same control
+// interfaces real hardware exposes: RMT table rewrites, route-table binds,
+// and tile resets.
 type HealthMonitor struct {
 	cfg      HealthConfig
 	b        *Builder
@@ -185,6 +188,16 @@ func (m *HealthMonitor) SetStandbys(addr packet.Addr, standbys []packet.Addr) {
 		panic(fmt.Sprintf("core: SetStandbys for unwatched engine %d", addr))
 	}
 	w.standbys = standbys
+}
+
+// NextWork implements sim.Quiescer: the monitor acts only on multiples of
+// CheckPeriod, and those check cycles are never skippable — the watchdog's
+// stall clock must observe quiet periods exactly as a stepped run would.
+func (m *HealthMonitor) NextWork(now uint64) (uint64, bool) {
+	if now%m.cfg.CheckPeriod == 0 {
+		return now, false
+	}
+	return now + (m.cfg.CheckPeriod - now%m.cfg.CheckPeriod), false
 }
 
 // Tick implements sim.Ticker.

@@ -157,6 +157,22 @@ func (h *KVSHost) Poll(now uint64) *packet.Message {
 	return heap.Pop(&h.txq).(hostTxItem).msg
 }
 
+// NextArrival implements engine.ArrivalSource: the earliest cycle at which
+// Poll will return a response, which is exactly the head item's ready time
+// (the heap is ordered by it). ok is false when nothing is queued — new
+// work can only appear through Absorb or EnqueueTx, both of which run from
+// components that are themselves non-quiescent until the enqueue lands.
+func (h *KVSHost) NextArrival(now uint64) (uint64, bool) {
+	if len(h.txq.items) == 0 {
+		return 0, false
+	}
+	r := h.txq.items[0].ready
+	if r < now {
+		r = now
+	}
+	return r, true
+}
+
 // TxBacklog returns the number of responses awaiting fetch.
 func (h *KVSHost) TxBacklog() int { return len(h.txq.items) }
 

@@ -74,6 +74,13 @@ type Config struct {
 	// Trace records per-engine visits on messages.
 	Trace bool
 	Seed  uint64
+	// Workers is the kernel's Eval worker-pool size: 0 or 1 runs the
+	// classic sequential loop; N > 1 shards the Eval phase across N
+	// goroutines. The simulation result is bit-identical either way.
+	Workers int
+	// FastForward lets the kernel jump the clock over provably idle cycles
+	// (every component quiescent, no event due). Off by default.
+	FastForward bool
 }
 
 // DefaultConfig returns the canonical PANIC operating point: a two-port
@@ -172,10 +179,15 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 		Drops:   &stats.Counter{},
 	}
 	b := NewBuilder(cfg.FreqHz, cfg.Mesh, cfg.Seed)
+	b.Kernel.SetWorkers(cfg.Workers)
+	b.Kernel.SetFastForward(cfg.FastForward)
 	n.Builder = b
 	n.Program = BuildProgram(cfg.Program)
 	n.Host = NewKVSHost(cfg.HostCycles, cfg.HostValueBytes)
 
+	// The drop counter is shared by every tile but atomic: increments
+	// commute, so concurrent Eval shards reach the same final count as
+	// sequential ticking.
 	dropSink := engine.SinkFunc(func(*packet.Message, uint64) { n.Drops.Inc() })
 	common := func(c *engine.TileConfig) {
 		c.QueueCap = cfg.QueueCap
@@ -204,18 +216,24 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 		rmtY = func(i int) int { return i }
 	}
 
-	// West edge: Ethernet MACs (fabric edge, external interfaces).
+	// West edge: Ethernet MACs (fabric edge, external interfaces). The wire
+	// collector is shared by every port, so each MAC writes through its own
+	// StagedSink, registered right after its tile: deliveries buffer
+	// privately during Eval and flush at Commit in tile order, keeping the
+	// collector identical across worker counts.
 	for p := 0; p < cfg.Ports; p++ {
 		var src engine.Source
 		if p < len(sources) {
 			src = sources[p]
 		}
+		wireSink := engine.NewStagedSink(n.WireLat)
 		mac := engine.NewEthernetMAC(engine.MACConfig{
 			Port: p, LineRateGbps: cfg.LineRateGbps, FreqHz: cfg.FreqHz,
-		}, src, n.WireLat)
+		}, src, wireSink)
 		n.MACs = append(n.MACs, mac)
 		tile := b.PlaceTile(AddrEthBase+packet.Addr(p), 0, ethY(p), mac, common,
 			func(c *engine.TileConfig) { c.DefaultSpread = spread })
+		b.Kernel.Register(wireSink)
 		tile.DropSink = dropSink
 		n.macTiles = append(n.macTiles, tile)
 	}
@@ -231,22 +249,26 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 			func(c *engine.TileConfig) { c.Rank = nil }) // FIFO admission
 	}
 
-	// Right edge: DMA and PCIe (the host interface).
+	// Right edge: DMA and PCIe (the host interface). The host collector and
+	// KVS host are shared by the primary DMA and its replicas, so each
+	// instance gets its own StagedSink (same scheme as the MACs above).
 	hostSink := engine.SinkFunc(func(m *packet.Message, now uint64) {
 		n.HostLat.Deliver(m, now)
 		n.Host.Absorb(m, now)
 	})
+	dmaSink := engine.NewStagedSink(hostSink)
 	n.DMA = engine.NewDMAEngine(engine.DMAConfig{
 		PCIeGbps: cfg.PCIeGbps, FreqHz: cfg.FreqHz,
 		BaseLatencyCycles: cfg.DMALatency, JitterCycles: cfg.DMAJitter,
 		NotifyAddr: AddrPCIe,
-	}, hostSink, nil)
+	}, dmaSink, nil)
 	dmaY := clampY(midY, h)
 	if cfg.CompactPlacement {
 		dmaY = 0
 	}
 	dmaTile := b.PlaceTile(AddrDMA, w-1, dmaY, n.DMA, common,
 		func(c *engine.TileConfig) { c.DefaultSpread = spread })
+	b.Kernel.Register(dmaSink)
 	dmaTile.DropSink = dropSink
 
 	coalesce := cfg.InterruptCoalesce
@@ -336,15 +358,17 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 		t.DropSink = dropSink
 	}
 	for i := 1; i < cfg.DMAReplicas; i++ {
+		altSink := engine.NewStagedSink(hostSink)
 		alt := engine.NewDMAEngine(engine.DMAConfig{
 			PCIeGbps: cfg.PCIeGbps, FreqHz: cfg.FreqHz,
 			BaseLatencyCycles: cfg.DMALatency, JitterCycles: cfg.DMAJitter,
 			NotifyAddr: AddrPCIe,
-		}, hostSink, nil)
+		}, altSink, nil)
 		n.DMAAlts = append(n.DMAAlts, alt)
 		x, y := b.NextFree()
 		t := b.PlaceTile(AddrDMAAlt+packet.Addr(i-1), x, y, alt, common,
 			func(c *engine.TileConfig) { c.DefaultSpread = spread })
+		b.Kernel.Register(altSink)
 		t.DropSink = dropSink
 	}
 
@@ -367,9 +391,11 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 		for _, a := range dmaGroup {
 			mon.SetStandbys(a, standbysFor(dmaGroup, a))
 		}
-		// Registered after every tile so each check samples the cycle's
-		// final state.
-		b.Kernel.Register(mon)
+		// Registered serial, after every tile: each check samples the
+		// cycle's final state, and its probes and table rewrites touch
+		// state owned by many tiles, so it must never run concurrently
+		// with the Eval shards.
+		b.Kernel.RegisterSerial(mon)
 		n.Monitor = mon
 	}
 	if cfg.FaultPlan != nil {
@@ -407,6 +433,10 @@ func (n *NIC) Run(cycles uint64) { n.Builder.Kernel.Run(cycles) }
 
 // Now returns the current cycle.
 func (n *NIC) Now() uint64 { return n.Builder.Kernel.Now() }
+
+// Close releases the kernel's worker pool (a no-op for sequential runs).
+// The NIC remains usable; a later Run restarts the pool on demand.
+func (n *NIC) Close() { n.Builder.Kernel.Shutdown() }
 
 // RunQuiet runs until no message has been delivered or dropped for
 // idleWindow cycles, or until maxCycles elapse. It reports whether the NIC

@@ -73,6 +73,28 @@ type Source interface {
 	Poll(now uint64) *packet.Message
 }
 
+// ArrivalSource is an optional refinement of Source for generators that
+// know when their next packet becomes available, enabling idle-cycle
+// fast-forward. NextArrival returns the earliest cycle at which Poll may
+// return non-nil; ok == false means the source is exhausted and will never
+// produce again. The returned cycle must exactly match the first cycle at
+// which Poll succeeds: skipped polling cycles must be provable no-ops.
+type ArrivalSource interface {
+	Source
+	NextArrival(now uint64) (cycle uint64, ok bool)
+}
+
+// IdleReporter is an optional refinement of Engine with the same contract
+// as sim.Quiescer.NextWork, scoped to the engine's private state: the tile
+// combines it with its own queue and service-loop occupancy to answer the
+// kernel's quiescence query. Engines that hold no hidden time-dependent
+// state (most of the library) need not implement it; the tile then treats
+// the engine as quiescent whenever the tile itself is drained — except for
+// Generators, which are assumed always-busy unless they report otherwise.
+type IdleReporter interface {
+	NextWork(now uint64) (next uint64, idle bool)
+}
+
 // Sink receives messages leaving the simulated NIC (host delivery, wire
 // transmission). Implementations record latency and throughput.
 type Sink interface {

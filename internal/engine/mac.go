@@ -116,6 +116,33 @@ func (m *EthernetMAC) Generate(ctx *Ctx) []Out {
 	}
 }
 
+// NextWork implements IdleReporter for the RX path (the TX path is plain
+// tile service, which the tile accounts for itself). The MAC is quiescent
+// only when every Generate call would provably change nothing: no frame
+// mid-pacing, the token bucket saturated at its clamp (a refill below the
+// clamp mutates tokens, so partial buckets veto the skip), and the source
+// either exhausted or not due until a known future cycle. A source that
+// cannot report its next arrival pins the MAC busy.
+func (m *EthernetMAC) NextWork(now uint64) (uint64, bool) {
+	if m.src == nil {
+		return 0, true
+	}
+	if m.waiting != nil || m.tokens < m.maxTokens {
+		return now, false
+	}
+	if as, ok := m.src.(ArrivalSource); ok {
+		a, ok := as.NextArrival(now)
+		if !ok {
+			return 0, true
+		}
+		if a <= now {
+			return now, false
+		}
+		return a, false
+	}
+	return now, false
+}
+
 // RxCount and TxCount return packet counters; RxBits/TxBits the wire-bit
 // counters (including preamble/IFG, matching Table 2 accounting).
 func (m *EthernetMAC) RxCount() uint64 { return m.rx }

@@ -64,6 +64,7 @@ func NewRMTTile(cfg TileConfig, pipe *rmt.Pipeline, fab noc.Fabric, routes *Rout
 		routes: routes,
 		queue:  sched.NewQueue(cfg.QueueCap, cfg.Policy),
 		rank:   rank,
+		outbox: make([]resolvedOut, 0, 8),
 	}
 }
 
@@ -89,6 +90,17 @@ func (t *RMTTile) QueueLen() int { return t.queue.Len() }
 func (t *RMTTile) Idle() bool {
 	processed, _, _ := t.pipe.Stats()
 	return t.queue.Len() == 0 && len(t.outbox) == 0 && t.stats.Accepted <= processed
+}
+
+// NextWork implements sim.Quiescer: the RMT tile cannot predict gaps (the
+// pipeline advances every cycle it holds a message), so it is either busy
+// this cycle or fully idle. Pending fabric arrivals are vetoed by the
+// fabric's own NextWork.
+func (t *RMTTile) NextWork(now uint64) (uint64, bool) {
+	if t.Idle() {
+		return 0, true
+	}
+	return now, false
 }
 
 // Tick implements sim.Ticker.

@@ -136,6 +136,10 @@ func NewTile(cfg TileConfig, eng Engine, fab noc.Fabric, routes *RouteTable, rng
 		queue:  sched.NewQueue(cfg.QueueCap, cfg.Policy),
 		rank:   rank,
 		ctx:    Ctx{RNG: rng, Addr: cfg.Addr},
+		// Pre-size the send-side buffers: outbox and delay-list churn is
+		// per-message, and regrowing them is pure allocator noise.
+		outbox:  make([]resolvedOut, 0, 8),
+		pending: make([]delayedOut, 0, 8),
 	}
 }
 
@@ -169,6 +173,55 @@ func (t *Tile) Busy() bool { return t.cur != nil }
 // Idle reports whether the tile has no work in flight (for drain checks).
 func (t *Tile) Idle() bool {
 	return t.cur == nil && t.queue.Len() == 0 && len(t.outbox) == 0 && len(t.pending) == 0
+}
+
+// NextWork implements sim.Quiescer. The tile accounts only for its own
+// state: pending fabric arrivals are vetoed by the fabric's NextWork, so a
+// drained tile need not (and cannot) see them. Counters make the rules
+// strict — an outbox blocked on fabric backpressure accrues StallCycles
+// and an in-service message accrues BusyCycles, so both veto the skip.
+//
+// A wedged tile is frozen by construction: generation and service are
+// gated off and the queue is never popped, so its queued and in-service
+// messages impose no work. Its outbox and delay list still drain, though,
+// and those keep their usual rules.
+func (t *Tile) NextWork(now uint64) (uint64, bool) {
+	if len(t.outbox) > 0 {
+		return now, false
+	}
+	if !t.fault.Wedged && (t.cur != nil || t.queue.Len() > 0) {
+		return now, false
+	}
+	var next uint64
+	have := false
+	for _, d := range t.pending {
+		if d.due <= now {
+			return now, false
+		}
+		if !have || d.due < next {
+			next, have = d.due, true
+		}
+	}
+	if !t.fault.Wedged {
+		if ir, ok := t.eng.(IdleReporter); ok {
+			n, idle := ir.NextWork(now)
+			if !idle {
+				if n <= now {
+					return now, false
+				}
+				if !have || n < next {
+					next, have = n, true
+				}
+			}
+		} else if _, ok := t.eng.(Generator); ok {
+			// An opaque generator may produce any cycle: never skip it.
+			return now, false
+		}
+	}
+	if !have {
+		return 0, true
+	}
+	return next, false
 }
 
 // Tick implements sim.Ticker.

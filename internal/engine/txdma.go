@@ -75,5 +75,29 @@ func (t *TxDMAEngine) Generate(ctx *Ctx) []Out {
 	}
 }
 
+// NextWork implements IdleReporter with the same rules as the MAC RX
+// path: quiescent only with no fetch mid-pacing, the token bucket
+// saturated at its clamp, and the host source exhausted or not ready
+// until a known future cycle.
+func (t *TxDMAEngine) NextWork(now uint64) (uint64, bool) {
+	if t.src == nil {
+		return 0, true
+	}
+	if t.waiting != nil || t.tokens < t.maxTokens {
+		return now, false
+	}
+	if as, ok := t.src.(ArrivalSource); ok {
+		a, ok := as.NextArrival(now)
+		if !ok {
+			return 0, true
+		}
+		if a <= now {
+			return now, false
+		}
+		return a, false
+	}
+	return now, false
+}
+
 // Fetched returns the number of host transmissions injected.
 func (t *TxDMAEngine) Fetched() uint64 { return t.fetched }

@@ -61,17 +61,17 @@ func TestParsePlanNamesAndErrors(t *testing.T) {
 		t.Fatalf("named engine resolved to %d", p.Events[0].Engine)
 	}
 	for _, bad := range []string{
-		"wedge 34",                  // missing "at"
-		"at x wedge 34",             // bad cycle
-		"at 5 wedge",                // missing engine
-		"at 5 wedge bogus",          // unknown name
-		"at 5 slow 34",              // missing factor
-		"at 5 slow 34 x0.5",         // factor < 1
-		"at 5 drop 34 every 0",      // period < 1
+		"wedge 34",                      // missing "at"
+		"at x wedge 34",                 // bad cycle
+		"at 5 wedge",                    // missing engine
+		"at 5 wedge bogus",              // unknown name
+		"at 5 slow 34",                  // missing factor
+		"at 5 slow 34 x0.5",             // factor < 1
+		"at 5 drop 34 every 0",          // period < 1
 		"at 5 degrade 0,0->1,0 every 1", // degrade period < 2
-		"at 5 sever 0,0-1,0",        // bad link syntax
-		"at 5 explode 34",           // unknown kind
-		"at 5 heal 34 for 10",       // heal with duration
+		"at 5 sever 0,0-1,0",            // bad link syntax
+		"at 5 explode 34",               // unknown kind
+		"at 5 heal 34 for 10",           // heal with duration
 	} {
 		if _, err := ParsePlan(strings.NewReader(bad+"\n"), names); err == nil {
 			t.Errorf("%q: parsed without error", bad)

@@ -27,15 +27,21 @@ type CrossbarConfig struct {
 // Crossbar is a single monolithic switch: every input reaches every output
 // in one arbitration step. Each output accepts one message at a time,
 // serialized at flit width; each input feeds one output at a time.
+//
+// The crossbar Evals as a single unit (srcBusy couples all outputs), but
+// its callers may run in parallel: Inject touches only the caller's own
+// injection queue and per-node counter, and the cycle number is published
+// by Begin before Eval starts, so no Inject races with crossbar state.
 type Crossbar struct {
-	cfg     CrossbarConfig
-	injQ    []*sim.FIFO[injEntry]
-	ejectQ  []*sim.FIFO[*packet.Message]
-	srcBusy []bool
-	xfer    []xbarXfer
-	rrNext  []int
-	stats   Stats
-	now     uint64
+	cfg      CrossbarConfig
+	injQ     []*sim.FIFO[injEntry]
+	ejectQ   []*sim.FIFO[*packet.Message]
+	srcBusy  []bool
+	xfer     []xbarXfer
+	rrNext   []int
+	injected []uint64 // per source node; summed in Stats
+	stats    Stats
+	now      uint64
 }
 
 type xbarXfer struct {
@@ -61,12 +67,13 @@ func NewCrossbar(cfg CrossbarConfig) *Crossbar {
 		panic("noc: negative traversal latency")
 	}
 	c := &Crossbar{
-		cfg:     cfg,
-		injQ:    make([]*sim.FIFO[injEntry], cfg.Nodes),
-		ejectQ:  make([]*sim.FIFO[*packet.Message], cfg.Nodes),
-		srcBusy: make([]bool, cfg.Nodes),
-		xfer:    make([]xbarXfer, cfg.Nodes),
-		rrNext:  make([]int, cfg.Nodes),
+		cfg:      cfg,
+		injQ:     make([]*sim.FIFO[injEntry], cfg.Nodes),
+		ejectQ:   make([]*sim.FIFO[*packet.Message], cfg.Nodes),
+		srcBusy:  make([]bool, cfg.Nodes),
+		xfer:     make([]xbarXfer, cfg.Nodes),
+		rrNext:   make([]int, cfg.Nodes),
+		injected: make([]uint64, cfg.Nodes),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.injQ[i] = sim.NewFIFO[injEntry](cfg.InjectDepth)
@@ -100,7 +107,7 @@ func (c *Crossbar) Inject(src, dst NodeID, msg *packet.Message) {
 		panic(fmt.Sprintf("noc: Inject to invalid node %d", dst))
 	}
 	c.injQ[src].Push(injEntry{msg: msg, dst: dst, flits: c.FlitsFor(msg), enqued: c.now})
-	c.stats.Injected++
+	c.injected[src]++
 }
 
 // TryEject implements Fabric.
@@ -113,14 +120,48 @@ func (c *Crossbar) TryEject(node NodeID) (*packet.Message, bool) {
 }
 
 // Stats returns a copy of the accumulated statistics.
-func (c *Crossbar) Stats() Stats { return c.stats }
+func (c *Crossbar) Stats() Stats {
+	s := c.stats
+	for _, n := range c.injected {
+		s.Injected += n
+	}
+	return s
+}
 
 // ResetStats zeroes the accumulated statistics.
-func (c *Crossbar) ResetStats() { c.stats = Stats{} }
+func (c *Crossbar) ResetStats() {
+	c.stats = Stats{}
+	for i := range c.injected {
+		c.injected[i] = 0
+	}
+}
+
+// Begin implements sim.Preparer: it publishes the cycle number before Eval
+// so concurrent injectors timestamp against a stable value.
+func (c *Crossbar) Begin(cycle uint64) { c.now = cycle }
+
+// NextWork implements sim.Quiescer. The crossbar reports busy while any
+// message is anywhere inside it: a transfer in flight, an injection queue
+// holding a message, or an eject queue awaiting a tile's TryEject. The
+// eject check matters even though crossbar ticks don't drain those queues:
+// tiles cannot see pending arrivals themselves, so the fabric vetoes the
+// skip on their behalf.
+func (c *Crossbar) NextWork(now uint64) (uint64, bool) {
+	for o := range c.xfer {
+		if c.xfer[o].active {
+			return now, false
+		}
+	}
+	for i := range c.injQ {
+		if c.injQ[i].Len() > 0 || c.ejectQ[i].Len() > 0 {
+			return now, false
+		}
+	}
+	return 0, true
+}
 
 // Tick implements sim.Ticker.
 func (c *Crossbar) Tick(cycle uint64) {
-	c.now = cycle
 	for o := range c.xfer {
 		x := &c.xfer[o]
 		if x.active {

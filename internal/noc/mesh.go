@@ -49,14 +49,19 @@ func DefaultMeshConfig() MeshConfig {
 	return MeshConfig{Width: 6, Height: 6, FlitWidthBits: 64, BufferDepth: 8, VirtualChannels: 1, InjectDepth: 8, EjectDepth: 8}
 }
 
-// Mesh is a 2D mesh of wormhole routers. It implements Fabric and
-// sim.Ticker; RegisterWith attaches it and all its staged queues to a
-// kernel.
+// Mesh is a 2D mesh of wormhole routers. It implements Fabric, sim.Ticker,
+// sim.Preparer (publishing the cycle before Eval), sim.Parallelizable (one
+// shard per router, so a parallel kernel spreads the mesh across workers),
+// and sim.Quiescer (reporting idleness for fast-forward); RegisterWith
+// attaches it and all its staged queues to a kernel.
+//
+// All statistics are accumulated per router — each router's local port is
+// owned by exactly one tile, so injection/ejection counters have a single
+// writer even under a parallel kernel — and summed on demand by Stats.
 type Mesh struct {
 	cfg     MeshConfig
 	vcs     int
 	routers []*router
-	stats   Stats
 	now     uint64
 }
 
@@ -90,6 +95,22 @@ type router struct {
 	// linkFault[o] is the injected fault on the outgoing link at port o
 	// (zero value = healthy). Local ports cannot fault.
 	linkFault [numPorts]LinkFault
+	// stats are this router's counters. injected/ejected are written by
+	// the local tile (single writer); the rest by the router's own shard.
+	stats routerStats
+}
+
+// routerStats are one router's contribution to the mesh totals. occIn and
+// occOut count every message ever injected at / ejected from this router
+// and are never reset: summed over all routers their difference is the
+// in-flight message count, which the fast-forward quiescence check uses.
+type routerStats struct {
+	injected     uint64
+	occIn        uint64
+	occOut       uint64
+	delivered    uint64
+	flitHops     uint64
+	totalLatency uint64
 }
 
 // LinkFault is an injected condition on one directional mesh link. The
@@ -283,18 +304,20 @@ func (m *Mesh) Inject(src, dst NodeID, msg *packet.Message) {
 	if int(dst) < 0 || int(dst) >= len(m.routers) {
 		panic(fmt.Sprintf("noc: Inject to invalid node %d", dst))
 	}
-	inj := &m.routers[src].inj
-	inj.lanes[inj.vcFor(dst)].q.Push(injEntry{msg: msg, dst: dst, flits: m.FlitsFor(msg), enqued: m.now})
-	m.stats.Injected++
+	r := m.routers[src]
+	r.inj.lanes[r.inj.vcFor(dst)].q.Push(injEntry{msg: msg, dst: dst, flits: m.FlitsFor(msg), enqued: m.now})
+	r.stats.injected++
+	r.stats.occIn++
 }
 
 // TryEject implements Fabric.
 func (m *Mesh) TryEject(node NodeID) (*packet.Message, bool) {
-	q := m.routers[node].ejectQ
-	if !q.CanPop() {
+	r := m.routers[node]
+	if !r.ejectQ.CanPop() {
 		return nil, false
 	}
-	return q.Pop(), true
+	r.stats.occOut++
+	return r.ejectQ.Pop(), true
 }
 
 // portToward returns the output port on from's router facing the adjacent
@@ -322,12 +345,30 @@ func (m *Mesh) LinkFaultBetween(from, to NodeID) LinkFault {
 	return m.routers[from].linkFault[m.portToward(from, to)]
 }
 
-// Stats returns a copy of the accumulated statistics.
-func (m *Mesh) Stats() Stats { return m.stats }
+// Stats returns the accumulated statistics, summed over routers.
+func (m *Mesh) Stats() Stats {
+	var s Stats
+	for _, r := range m.routers {
+		s.Injected += r.stats.injected
+		s.Delivered += r.stats.delivered
+		s.FlitHops += r.stats.flitHops
+		s.TotalLatency += r.stats.totalLatency
+	}
+	return s
+}
 
 // ResetStats zeroes the accumulated statistics (for measuring steady state
-// after warmup).
-func (m *Mesh) ResetStats() { m.stats = Stats{} }
+// after warmup). The occupancy counters behind fast-forward are preserved.
+func (m *Mesh) ResetStats() {
+	for _, r := range m.routers {
+		r.stats = routerStats{occIn: r.stats.occIn, occOut: r.stats.occOut}
+	}
+}
+
+// Begin implements sim.Preparer: the cycle number is published before Eval
+// so routers and injecting tiles read a stable value however the Eval
+// phase is ordered or sharded.
+func (m *Mesh) Begin(cycle uint64) { m.now = cycle }
 
 // Tick implements sim.Ticker: one cycle of every router.
 func (m *Mesh) Tick(cycle uint64) {
@@ -335,6 +376,32 @@ func (m *Mesh) Tick(cycle uint64) {
 	for _, r := range m.routers {
 		r.tick()
 	}
+}
+
+// ParallelShards implements sim.Parallelizable: one shard per router.
+func (m *Mesh) ParallelShards() int { return len(m.routers) }
+
+// TickShard implements sim.Parallelizable. Routers only read committed
+// state from their neighbors' queues and stage writes into them, so shards
+// are order-independent (the package contract for Tickers).
+func (m *Mesh) TickShard(cycle uint64, shard int) { m.routers[shard].tick() }
+
+// NextWork implements sim.Quiescer: an empty mesh — every injected message
+// handed to the local tile, nothing buffered anywhere — has no work until
+// someone injects, and an injecting tile is never itself idle. While any
+// message is in flight (including one parked in an eject queue awaiting a
+// tile) the mesh vetoes the skip, covering tiles' blindness to pending
+// arrivals.
+func (m *Mesh) NextWork(now uint64) (uint64, bool) {
+	var in, out uint64
+	for _, r := range m.routers {
+		in += r.stats.occIn
+		out += r.stats.occOut
+	}
+	if in != out {
+		return now, false
+	}
+	return 0, true
 }
 
 // peekIn returns the head flit at (input port, vc).
@@ -378,8 +445,12 @@ func (r *router) canAccept(o int, f Flit) bool {
 	if o == portLocal {
 		if f.Head {
 			// Reserve an eject slot: other VCs mid-assembly also hold
-			// reservations.
-			free := r.ejectQ.Cap() - r.ejectQ.Len()
+			// reservations. Occupancy is the conservative Pending count —
+			// committed entries plus same-cycle pushes, blind to the local
+			// tile's same-cycle pops — so the decision is identical whether
+			// the tile has ticked yet or not (the order-independence
+			// contract; same-cycle eject credits return next cycle).
+			free := r.ejectQ.Cap() - r.ejectQ.Pending()
 			reserved := 0
 			for v := range r.assembly {
 				if v != f.VC && r.assembly[v].msg != nil {
@@ -408,13 +479,13 @@ func (r *router) deliver(o int, f Flit) {
 			msg := a.msg
 			a.msg = nil
 			r.ejectQ.Push(msg)
-			r.m.stats.Delivered++
-			r.m.stats.TotalLatency += r.m.now - a.enqued
+			r.stats.delivered++
+			r.stats.totalLatency += r.m.now - a.enqued
 		}
 		return
 	}
 	r.neighbor[o].in[oppositePort[o]][f.VC].Push(f)
-	r.m.stats.FlitHops++
+	r.stats.flitHops++
 }
 
 func (r *router) tick() {

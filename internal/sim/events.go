@@ -27,6 +27,14 @@ func (l *eventList) ready(cycle uint64) bool {
 	return len(l.h) > 0 && l.h[0].cycle <= cycle
 }
 
+// nextCycle returns the cycle of the earliest pending event.
+func (l *eventList) nextCycle() (uint64, bool) {
+	if len(l.h) == 0 {
+		return 0, false
+	}
+	return l.h[0].cycle, true
+}
+
 func (l *eventList) pop() event { return heap.Pop(&l.h).(event) }
 
 type eventHeap []event

@@ -79,7 +79,13 @@ func NewFIFO[T any](capacity int) *FIFO[T] {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("sim: NewFIFO capacity %d", capacity))
 	}
-	return &FIFO[T]{cap: capacity}
+	// Pre-size both buffers to capacity so steady-state operation never
+	// grows them: queue churn is the simulator's hottest allocation site.
+	return &FIFO[T]{
+		buf:    make([]T, 0, capacity),
+		staged: make([]T, 0, capacity),
+		cap:    capacity,
+	}
 }
 
 // Cap returns the FIFO capacity.
@@ -90,6 +96,13 @@ func (f *FIFO[T]) Len() int { return len(f.buf) - f.nPopped }
 
 // CanPush reports whether a push this cycle is within capacity.
 func (f *FIFO[T]) CanPush() bool { return len(f.buf)+len(f.staged) < f.cap }
+
+// Pending returns the conservative occupancy: committed entries plus
+// same-cycle pushes, NOT observing same-cycle pops (credits return one
+// cycle later, like CanPush). Use it — never Len — for capacity decisions
+// made during Eval by a component other than the consumer, so the answer
+// does not depend on whether the consumer ticked first.
+func (f *FIFO[T]) Pending() int { return len(f.buf) + len(f.staged) }
 
 // Push stages a value for commit. Panics when full; use CanPush.
 func (f *FIFO[T]) Push(v T) {

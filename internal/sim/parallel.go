@@ -1,0 +1,108 @@
+package sim
+
+import "sync"
+
+// workUnit is one schedulable piece of the Eval phase: a whole Ticker, or
+// one shard of a Parallelizable component.
+type workUnit struct {
+	t     Ticker
+	p     Parallelizable // nil for plain tickers
+	shard int
+}
+
+func (u workUnit) run(cycle uint64) {
+	if u.p != nil {
+		u.p.TickShard(cycle, u.shard)
+		return
+	}
+	u.t.Tick(cycle)
+}
+
+// workerPool runs the Eval phase's work units across persistent goroutines.
+// The pool is rebuilt whenever the ticker set or worker count changes.
+//
+// Scheduling is static: the unit list is split into contiguous chunks of
+// near-equal unit count, one per worker, assigned once at build time. A
+// static split keeps the per-cycle cost to one channel send and one
+// WaitGroup wait per worker and — more importantly — keeps the assignment
+// deterministic, so a data race introduced by a contract violation shows up
+// identically on every run instead of flickering. Chunk 0 runs on the
+// calling goroutine, saving one handoff.
+type workerPool struct {
+	chunks [][]workUnit
+	start  []chan uint64
+	quit   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// rebuildPool (re)creates the worker pool from the current ticker set.
+func (k *Kernel) rebuildPool() {
+	if k.pool != nil {
+		k.pool.stop()
+		k.pool = nil
+	}
+	k.poolStale = false
+	var units []workUnit
+	for _, t := range k.tickers {
+		if p, ok := t.(Parallelizable); ok {
+			n := p.ParallelShards()
+			if n < 1 {
+				n = 1
+			}
+			for s := 0; s < n; s++ {
+				units = append(units, workUnit{t: t, p: p, shard: s})
+			}
+			continue
+		}
+		units = append(units, workUnit{t: t})
+	}
+	nw := k.workers
+	if nw > len(units) {
+		nw = len(units)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	p := &workerPool{quit: make(chan struct{})}
+	for w := 0; w < nw; w++ {
+		lo, hi := w*len(units)/nw, (w+1)*len(units)/nw
+		p.chunks = append(p.chunks, units[lo:hi])
+	}
+	p.start = make([]chan uint64, len(p.chunks))
+	for w := 1; w < len(p.chunks); w++ {
+		ch := make(chan uint64, 1)
+		p.start[w] = ch
+		go p.worker(w, ch)
+	}
+	k.pool = p
+}
+
+func (p *workerPool) worker(w int, start <-chan uint64) {
+	for {
+		select {
+		case cycle := <-start:
+			for _, u := range p.chunks[w] {
+				u.run(cycle)
+			}
+			p.wg.Done()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// tick runs one Eval phase: all units, full barrier before returning.
+func (p *workerPool) tick(cycle uint64) {
+	p.wg.Add(len(p.chunks) - 1)
+	for w := 1; w < len(p.chunks); w++ {
+		p.start[w] <- cycle
+	}
+	for _, u := range p.chunks[0] {
+		u.run(cycle)
+	}
+	p.wg.Wait()
+}
+
+// stop terminates the pool's goroutines. Must not be called concurrently
+// with tick.
+func (p *workerPool) stop() { close(p.quit) }

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"testing"
+)
+
+// chainStage is a pipeline stage: it moves values from its input FIFO to
+// its output FIFO, one per cycle, counting what it forwarded. Stages obey
+// the package contract (committed reads, staged writes), so any tick order
+// — and any Eval sharding — must produce identical results.
+type chainStage struct {
+	in, out *FIFO[int]
+	moved   uint64
+	sum     uint64
+}
+
+func (s *chainStage) Tick(cycle uint64) {
+	if s.in.CanPop() && s.out.CanPush() {
+		v := s.in.Pop()
+		s.out.Push(v)
+		s.moved++
+		s.sum += uint64(v)
+	}
+}
+
+// buildChain wires nStages stages in a line feeding from a producer FIFO,
+// registering everything with the kernel, and pre-loads the first FIFO via
+// scheduled events (one value every other cycle).
+func buildChain(k *Kernel, nStages, nValues int) []*chainStage {
+	fifos := make([]*FIFO[int], nStages+1)
+	for i := range fifos {
+		fifos[i] = NewFIFO[int](4)
+		k.Register(fifos[i])
+	}
+	stages := make([]*chainStage, nStages)
+	for i := range stages {
+		stages[i] = &chainStage{in: fifos[i], out: fifos[i+1]}
+		k.Register(stages[i])
+	}
+	for v := 0; v < nValues; v++ {
+		v := v
+		k.At(uint64(1+2*v), func() {
+			if fifos[0].CanPush() {
+				fifos[0].Push(v + 1)
+			}
+		})
+	}
+	return stages
+}
+
+// runChain executes the chain under the given worker count and returns the
+// per-stage (moved, sum) fingerprint.
+func runChain(t *testing.T, workers int, cycles uint64) []uint64 {
+	t.Helper()
+	k := NewKernelWithConfig(KernelConfig{Freq: GHz, Workers: workers})
+	defer k.Shutdown()
+	stages := buildChain(k, 12, 40)
+	k.Run(cycles)
+	var fp []uint64
+	for _, s := range stages {
+		fp = append(fp, s.moved, s.sum)
+	}
+	return fp
+}
+
+// TestParallelEvalBitIdentical runs the same staged pipeline sequentially
+// and under several worker counts: every counter must match exactly.
+func TestParallelEvalBitIdentical(t *testing.T) {
+	want := runChain(t, 0, 300)
+	for _, w := range []int{2, 4, 8} {
+		got := runChain(t, w, 300)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: fingerprint length %d != %d", w, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: fingerprint[%d] = %d, sequential = %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// shardedCounter is a Parallelizable ticker: N independent cells that each
+// count their own ticks.
+type shardedCounter struct {
+	cells []uint64
+}
+
+func (c *shardedCounter) Tick(cycle uint64) {
+	for i := range c.cells {
+		c.TickShard(cycle, i)
+	}
+}
+
+func (c *shardedCounter) ParallelShards() int { return len(c.cells) }
+
+func (c *shardedCounter) TickShard(cycle uint64, shard int) { c.cells[shard]++ }
+
+// TestParallelizableShardsAllRun verifies every shard of a Parallelizable
+// component runs exactly once per cycle at any worker count, including
+// worker counts above and below the shard count.
+func TestParallelizableShardsAllRun(t *testing.T) {
+	for _, w := range []int{0, 1, 2, 3, 16} {
+		k := NewKernelWithConfig(KernelConfig{Freq: GHz, Workers: w})
+		c := &shardedCounter{cells: make([]uint64, 5)}
+		k.Register(c)
+		k.Run(50)
+		k.Shutdown()
+		for i, n := range c.cells {
+			if n != 50 {
+				t.Fatalf("workers=%d: shard %d ticked %d times, want 50", w, i, n)
+			}
+		}
+	}
+}
+
+// TestSetWorkersMidRun flips the worker count between runs and checks the
+// pool rebuild preserves results.
+func TestSetWorkersMidRun(t *testing.T) {
+	k := NewKernel(GHz)
+	defer k.Shutdown()
+	c := &shardedCounter{cells: make([]uint64, 3)}
+	k.Register(c)
+	k.Run(10)
+	k.SetWorkers(4)
+	k.Run(10)
+	k.SetWorkers(0)
+	k.Run(10)
+	for i, n := range c.cells {
+		if n != 30 {
+			t.Fatalf("shard %d ticked %d times across worker changes, want 30", i, n)
+		}
+	}
+}
+
+// TestRunUntilHonorsStop is the regression test for RunUntil ignoring
+// Stop(): a component that calls Stop mid-run must end RunUntil at that
+// cycle even though the predicate never becomes true.
+func TestRunUntilHonorsStop(t *testing.T) {
+	k := NewKernel(GHz)
+	ticks := 0
+	k.Register(TickFunc(func(cycle uint64) {
+		ticks++
+		if cycle == 7 {
+			k.Stop()
+		}
+	}))
+	ok := k.RunUntil(func() bool { return false }, 1000)
+	if ok {
+		t.Fatal("predicate never true, RunUntil returned true")
+	}
+	if ticks != 8 {
+		t.Fatalf("RunUntil ran %d cycles after Stop at cycle 7, want 8", ticks)
+	}
+	// A subsequent RunUntil must not see the stale stop flag.
+	ok = k.RunUntil(func() bool { return k.Now() >= 20 }, 1000)
+	if !ok {
+		t.Fatal("second RunUntil saw stale stopped flag")
+	}
+}
+
+// TestRunResetsStop mirrors the regression for Run: a Stop from a previous
+// window must not shorten the next one.
+func TestRunResetsStop(t *testing.T) {
+	k := NewKernel(GHz)
+	k.Register(TickFunc(func(cycle uint64) {
+		if cycle == 3 {
+			k.Stop()
+		}
+	}))
+	k.Run(100)
+	if k.Now() != 4 {
+		t.Fatalf("first Run stopped at cycle %d, want 4", k.Now())
+	}
+	k.Run(100)
+	if k.Now() != 104 {
+		t.Fatalf("second Run ended at %d, want 104", k.Now())
+	}
+}
+
+// idleTicker implements Quiescer: it works every `period` cycles and
+// records which cycles it was actually ticked at.
+type idleTicker struct {
+	period uint64
+	ticked []uint64
+	work   uint64
+}
+
+func (i *idleTicker) Tick(cycle uint64) {
+	i.ticked = append(i.ticked, cycle)
+	if cycle%i.period == 0 {
+		i.work++
+	}
+}
+
+func (i *idleTicker) NextWork(now uint64) (uint64, bool) {
+	if now%i.period == 0 {
+		return now, false
+	}
+	return now + (i.period - now%i.period), false
+}
+
+// TestFastForwardSkipsIdleCycles checks the jump lands exactly on work
+// cycles and that the end state matches a stepped run.
+func TestFastForwardSkipsIdleCycles(t *testing.T) {
+	k := NewKernelWithConfig(KernelConfig{Freq: GHz, FastForward: true})
+	it := &idleTicker{period: 10}
+	k.Register(it)
+	k.Run(100)
+	if k.Now() != 100 {
+		t.Fatalf("clock at %d after Run(100), want 100", k.Now())
+	}
+	if it.work != 10 {
+		t.Fatalf("work ran %d times, want 10 (cycles 0,10,...,90)", it.work)
+	}
+	for _, c := range it.ticked {
+		if c%10 != 0 {
+			t.Fatalf("ticked at idle cycle %d", c)
+		}
+	}
+	if k.SkippedCycles() != 100-uint64(len(it.ticked)) {
+		t.Fatalf("SkippedCycles = %d, ticked %d, want them to sum to 100",
+			k.SkippedCycles(), len(it.ticked))
+	}
+}
+
+// TestFastForwardBoundedByEvents checks a scheduled event interrupts an
+// otherwise unbounded idle jump.
+func TestFastForwardBoundedByEvents(t *testing.T) {
+	k := NewKernelWithConfig(KernelConfig{Freq: GHz, FastForward: true})
+	var tickedAt []uint64
+	q := quiescentTicker{onTick: func(c uint64) { tickedAt = append(tickedAt, c) }}
+	k.Register(&q)
+	fired := uint64(0)
+	k.At(500, func() { fired = k.Now() })
+	k.Run(1000)
+	if fired != 500 {
+		t.Fatalf("event fired at %d, want 500", fired)
+	}
+	if k.Now() != 1000 {
+		t.Fatalf("clock at %d, want 1000", k.Now())
+	}
+	// The fully idle ticker only runs at the event cycle.
+	if len(tickedAt) != 1 || tickedAt[0] != 500 {
+		t.Fatalf("idle ticker ran at %v, want exactly [500]", tickedAt)
+	}
+}
+
+// quiescentTicker is always idle.
+type quiescentTicker struct {
+	onTick func(uint64)
+}
+
+func (q *quiescentTicker) Tick(cycle uint64) { q.onTick(cycle) }
+
+func (q *quiescentTicker) NextWork(now uint64) (uint64, bool) { return 0, true }
+
+// TestFastForwardInertWithOpaqueTicker: one Ticker without NextWork makes
+// every cycle potentially live, so nothing is skipped.
+func TestFastForwardInertWithOpaqueTicker(t *testing.T) {
+	k := NewKernelWithConfig(KernelConfig{Freq: GHz, FastForward: true})
+	n := 0
+	k.Register(TickFunc(func(uint64) { n++ }))
+	k.Run(64)
+	if n != 64 {
+		t.Fatalf("opaque ticker ran %d cycles of 64: fast-forward must be inert", n)
+	}
+	if k.SkippedCycles() != 0 {
+		t.Fatalf("SkippedCycles = %d with an opaque ticker, want 0", k.SkippedCycles())
+	}
+}
+
+// TestRunUntilFastForward: the predicate still terminates the run, and the
+// clock lands exactly where stepping would have put it.
+func TestRunUntilFastForward(t *testing.T) {
+	k := NewKernelWithConfig(KernelConfig{Freq: GHz, FastForward: true})
+	it := &idleTicker{period: 100}
+	k.Register(it)
+	ok := k.RunUntil(func() bool { return it.work >= 3 }, 10000)
+	if !ok {
+		t.Fatal("RunUntil did not satisfy the predicate")
+	}
+	// work hits 3 when cycle 200 has run; the predicate is checked at the
+	// start of the next stepped cycle.
+	if it.work != 3 {
+		t.Fatalf("work = %d, want 3", it.work)
+	}
+}

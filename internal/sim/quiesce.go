@@ -1,0 +1,69 @@
+package sim
+
+// Quiescer is an optional refinement of Ticker for components that can
+// prove when their next work arrives, enabling idle-cycle fast-forward.
+//
+// NextWork reports the earliest cycle at which the component might change
+// any observable state if ticked. It is queried with the clock at `now`,
+// BEFORE cycle now has run, so the answer covers cycle now itself. The
+// contract:
+//
+//   - idle == true means the component is fully quiescent: ticking it at
+//     any cycle before some external input arrives would change nothing —
+//     no counter, no staged write, no internal countdown. The kernel may
+//     skip it indefinitely (external inputs always come from other
+//     components or scheduled events, both of which bound the jump).
+//   - idle == false means the component needs to run at cycle `next`
+//     (next >= now). Every cycle in [now, next) is guaranteed to be a
+//     no-op for this component. A component with work this cycle returns
+//     next = now, which vetoes any skip.
+//
+// "Would change nothing" is strict: statistics counters count. A tile
+// accumulating BusyCycles every in-service cycle must report now+1 while
+// busy, or fast-forwarded runs would diverge from stepped runs. The
+// determinism regression tests compare the two byte for byte.
+type Quiescer interface {
+	Ticker
+	NextWork(now uint64) (next uint64, idle bool)
+}
+
+// skipIdle advances the clock to the earliest cycle in (now, end] at which
+// any component may act: the next scheduled event, or the minimum over all
+// Quiescers' NextWork. It does nothing unless every registered Ticker
+// implements Quiescer — one opaque component makes every cycle potentially
+// live. Skipped cycles are, by construction, cycles in which Step would
+// have changed no state at all (Eval a no-op everywhere, nothing staged,
+// so Commit a no-op too); jumping the clock over them is therefore
+// bit-identical to stepping through them.
+func (k *Kernel) skipIdle(end uint64) {
+	if k.nonQuiescers > 0 || len(k.quiescers) == 0 {
+		return
+	}
+	now := k.clock.cycle
+	target := end
+	if ec, ok := k.events.nextCycle(); ok {
+		if ec <= now {
+			return // an event is due this cycle
+		}
+		if ec < target {
+			target = ec
+		}
+	}
+	for _, q := range k.quiescers {
+		next, idle := q.NextWork(now)
+		if idle {
+			continue
+		}
+		if next <= now {
+			return // work this cycle: the skip is vetoed
+		}
+		if next < target {
+			target = next
+		}
+	}
+	if target > now {
+		k.skipped += target - now
+		k.clock.cycle = target
+		k.clock.started = true
+	}
+}

@@ -1,17 +1,32 @@
 // Package sim provides a deterministic synchronous (cycle-level) simulation
 // kernel used by every hardware model in this repository.
 //
-// The kernel advances a global clock one cycle at a time. Each cycle has two
-// phases:
+// The kernel advances a global clock one cycle at a time. Each cycle has
+// these phases:
 //
-//  1. Eval: every registered Ticker observes the state committed at the end
-//     of the previous cycle and stages its outputs.
-//  2. Commit: every registered Link makes the staged writes visible.
+//  1. Events: callbacks scheduled with At/After run, in (cycle, seq) order.
+//  2. Begin: registered Preparers observe the new cycle (cheap, sequential;
+//     used to publish the cycle number to state shared read-only in Eval).
+//  3. Eval: every registered Ticker observes the state committed at the end
+//     of the previous cycle and stages its outputs. With Workers > 1 the
+//     tickers are sharded across a persistent worker pool; because Eval
+//     never observes same-cycle writes, the result is bit-identical to the
+//     sequential order by construction.
+//  4. Serial: Tickers registered with RegisterSerial run one by one in
+//     registration order — the escape hatch for control-plane components
+//     that read or rewrite state shared across many tiles (e.g. a health
+//     monitor rewriting steering tables) and therefore must not run
+//     concurrently with the Eval shards.
+//  5. Commit: every registered Committer makes the staged writes visible,
+//     in registration order.
 //
 // Because Eval never observes same-cycle writes, the result of a cycle is
 // independent of the order in which components are ticked, which makes the
 // simulation deterministic and lets hardware models be written as if all
 // components evaluated in parallel, exactly like synchronous digital logic.
+//
+// When every registered Ticker also implements Quiescer, Run and RunUntil
+// can fast-forward the clock over provably idle cycles (see Quiescer).
 package sim
 
 import (
@@ -35,24 +50,87 @@ type Committer interface {
 	Commit()
 }
 
+// Preparer is an optional component hook that runs sequentially at the start
+// of every cycle, before Eval. It exists so a component can publish the
+// cycle number (or other broadcast state) that its shards and neighboring
+// tickers then read without racing the component's own Tick.
+type Preparer interface {
+	Begin(cycle uint64)
+}
+
+// Parallelizable is an optional refinement of Ticker for components that are
+// internally a collection of independent sub-machines (e.g. a mesh of
+// routers). When the kernel runs with Workers > 1 it calls TickShard for
+// each shard instead of Tick, letting one registered component spread over
+// several workers. Shards must be mutually order-independent, exactly like
+// separate Tickers.
+type Parallelizable interface {
+	Ticker
+	// ParallelShards returns the number of independent shards (>= 1).
+	ParallelShards() int
+	// TickShard evaluates one shard for the cycle.
+	TickShard(cycle uint64, shard int)
+}
+
 // TickFunc adapts a function to the Ticker interface.
 type TickFunc func(cycle uint64)
 
 // Tick implements Ticker.
 func (f TickFunc) Tick(cycle uint64) { f(cycle) }
 
+// KernelConfig parameterizes a Kernel beyond its clock frequency.
+type KernelConfig struct {
+	// Freq is the clock frequency.
+	Freq Frequency
+	// Workers is the Eval worker-pool size. 0 or 1 runs the classic
+	// sequential loop; N > 1 shards Tickers (and Parallelizable shards)
+	// across N goroutines with a barrier before the Serial and Commit
+	// phases.
+	Workers int
+	// FastForward lets Run/RunUntil jump the clock over cycles in which no
+	// registered component has work. It only ever engages when every
+	// registered Ticker implements Quiescer; otherwise it is inert.
+	FastForward bool
+	// EventCap pre-sizes the event heap (an allocation hint; 0 is fine).
+	EventCap int
+}
+
 // Kernel drives a set of Tickers and Committers with a shared clock.
 type Kernel struct {
 	clock      Clock
 	tickers    []Ticker
+	serial     []Ticker
+	preparers  []Preparer
 	committers []Committer
-	events     eventList
-	stopped    bool
+	quiescers  []Quiescer
+	// allQuiesce tracks whether every registered Ticker (parallel and
+	// serial) implements Quiescer; fast-forward requires it.
+	nonQuiescers int
+	events       eventList
+	stopped      bool
+
+	workers     int
+	pool        *workerPool
+	poolStale   bool
+	fastForward bool
+	skipped     uint64
 }
 
-// NewKernel returns a kernel whose clock runs at the given frequency.
+// NewKernel returns a sequential kernel whose clock runs at the given
+// frequency.
 func NewKernel(freq Frequency) *Kernel {
-	return &Kernel{clock: Clock{freq: freq}}
+	return NewKernelWithConfig(KernelConfig{Freq: freq})
+}
+
+// NewKernelWithConfig returns a kernel with the given configuration.
+func NewKernelWithConfig(cfg KernelConfig) *Kernel {
+	k := &Kernel{clock: Clock{freq: cfg.Freq}}
+	k.SetWorkers(cfg.Workers)
+	k.fastForward = cfg.FastForward
+	if cfg.EventCap > 0 {
+		k.events.h = make(eventHeap, 0, cfg.EventCap)
+	}
+	return k
 }
 
 // Clock returns the kernel's clock (current cycle plus frequency).
@@ -61,23 +139,91 @@ func (k *Kernel) Clock() *Clock { return &k.clock }
 // Now returns the current cycle.
 func (k *Kernel) Now() uint64 { return k.clock.cycle }
 
+// SetWorkers sets the Eval worker count; it takes effect on the next Step.
+// 0 or 1 selects the sequential loop. Counts above 1 require every shared
+// mutation between Tickers to be staged (the package contract) — the
+// simulation result is bit-identical to the sequential order.
+func (k *Kernel) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n == k.workers {
+		return
+	}
+	k.workers = n
+	k.poolStale = true
+}
+
+// Workers returns the configured Eval worker count (0 or 1 = sequential).
+func (k *Kernel) Workers() int { return k.workers }
+
+// SetFastForward enables or disables idle-cycle fast-forward for Run and
+// RunUntil. It only ever engages when every registered Ticker implements
+// Quiescer.
+func (k *Kernel) SetFastForward(on bool) { k.fastForward = on }
+
+// FastForwardEnabled reports whether fast-forward is configured on.
+func (k *Kernel) FastForwardEnabled() bool { return k.fastForward }
+
+// SkippedCycles returns how many cycles fast-forward has jumped over. Every
+// skipped cycle is one the kernel proved no component would act in.
+func (k *Kernel) SkippedCycles() uint64 { return k.skipped }
+
+// Shutdown releases the worker pool's goroutines. It is safe to call on a
+// sequential kernel and the kernel remains usable afterwards (a later Step
+// with Workers > 1 restarts the pool).
+func (k *Kernel) Shutdown() {
+	if k.pool != nil {
+		k.pool.stop()
+		k.pool = nil
+		k.poolStale = true
+	}
+}
+
+// register adds one component to the given ticker slice (returned updated)
+// and the committer/preparer/quiescer lists.
+func (k *Kernel) register(c any, tickers []Ticker) []Ticker {
+	ok := false
+	if t, isT := c.(Ticker); isT {
+		tickers = append(tickers, t)
+		ok = true
+		if q, isQ := c.(Quiescer); isQ {
+			k.quiescers = append(k.quiescers, q)
+		} else {
+			k.nonQuiescers++
+		}
+	}
+	if p, isP := c.(Preparer); isP {
+		k.preparers = append(k.preparers, p)
+		ok = true
+	}
+	if cm, isC := c.(Committer); isC {
+		k.committers = append(k.committers, cm)
+		ok = true
+	}
+	if !ok {
+		panic(fmt.Sprintf("sim: Register(%T): neither Ticker, Preparer, nor Committer", c))
+	}
+	k.poolStale = true
+	return tickers
+}
+
 // Register adds components to the kernel. Arguments may implement Ticker,
-// Committer, or both; anything else panics, since silently ignoring a
-// component is a model bug.
+// Preparer, Committer, or any combination; anything else panics, since
+// silently ignoring a component is a model bug.
 func (k *Kernel) Register(components ...any) {
 	for _, c := range components {
-		ok := false
-		if t, isT := c.(Ticker); isT {
-			k.tickers = append(k.tickers, t)
-			ok = true
-		}
-		if cm, isC := c.(Committer); isC {
-			k.committers = append(k.committers, cm)
-			ok = true
-		}
-		if !ok {
-			panic(fmt.Sprintf("sim: Register(%T): neither Ticker nor Committer", c))
-		}
+		k.tickers = k.register(c, k.tickers)
+	}
+}
+
+// RegisterSerial adds components whose Tick must not run concurrently with
+// other Tickers: they run after the Eval phase, one by one, in registration
+// order. Use it for control-plane components that read or mutate state
+// owned by many tiles (steering tables, cross-tile health probes).
+func (k *Kernel) RegisterSerial(components ...any) {
+	for _, c := range components {
+		k.serial = k.register(c, k.serial)
 	}
 }
 
@@ -99,17 +245,31 @@ func (k *Kernel) After(d uint64, fn func()) {
 	k.events.push(event{cycle: k.clock.cycle + d, seq: k.events.nextSeq(), fn: fn})
 }
 
-// Stop makes Run return at the end of the current cycle.
+// Stop makes Run and RunUntil return at the end of the current cycle.
 func (k *Kernel) Stop() { k.stopped = true }
 
 // Step advances the simulation by exactly one cycle.
 func (k *Kernel) Step() {
 	k.clock.started = true
-	for k.events.ready(k.clock.cycle) {
+	cycle := k.clock.cycle
+	for k.events.ready(cycle) {
 		k.events.pop().fn()
 	}
-	for _, t := range k.tickers {
-		t.Tick(k.clock.cycle)
+	for _, p := range k.preparers {
+		p.Begin(cycle)
+	}
+	if k.workers > 1 {
+		if k.poolStale || k.pool == nil {
+			k.rebuildPool()
+		}
+		k.pool.tick(cycle)
+	} else {
+		for _, t := range k.tickers {
+			t.Tick(cycle)
+		}
+	}
+	for _, t := range k.serial {
+		t.Tick(cycle)
 	}
 	for _, c := range k.committers {
 		c.Commit()
@@ -117,21 +277,45 @@ func (k *Kernel) Step() {
 	k.clock.cycle++
 }
 
-// Run advances the simulation by n cycles, or until Stop is called.
+// Run advances the simulation by n cycles, or until Stop is called. With
+// fast-forward enabled, provably idle cycles inside the window are skipped
+// (they still count toward n: the clock lands exactly where sequential
+// stepping would).
 func (k *Kernel) Run(n uint64) {
 	k.stopped = false
-	for i := uint64(0); i < n && !k.stopped; i++ {
+	end := k.clock.cycle + n
+	for k.clock.cycle < end && !k.stopped {
+		if k.fastForward {
+			k.skipIdle(end)
+			if k.clock.cycle >= end {
+				return
+			}
+		}
 		k.Step()
 	}
 }
 
 // RunUntil advances the simulation until the predicate returns true at the
-// start of a cycle, or until maxCycles have elapsed. It reports whether the
-// predicate was satisfied.
+// start of a cycle, until Stop is called, or until maxCycles have elapsed.
+// It reports whether the predicate was satisfied.
+//
+// With fast-forward enabled the predicate is evaluated only at cycles the
+// kernel actually steps; skipped cycles cannot change any component state,
+// so a predicate over simulation state is unaffected. A predicate that
+// watches the raw clock value may observe it later than with sequential
+// stepping.
 func (k *Kernel) RunUntil(pred func() bool, maxCycles uint64) bool {
-	for i := uint64(0); i < maxCycles; i++ {
+	k.stopped = false
+	end := k.clock.cycle + maxCycles
+	for k.clock.cycle < end && !k.stopped {
 		if pred() {
 			return true
+		}
+		if k.fastForward {
+			k.skipIdle(end)
+			if k.clock.cycle >= end {
+				break
+			}
 		}
 		k.Step()
 	}

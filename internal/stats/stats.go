@@ -8,21 +8,26 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
-// Counter is a monotonically increasing event count.
+// Counter is a monotonically increasing event count. Increments are atomic
+// so a counter may be shared by components that Eval in parallel: addition
+// commutes, so the end-of-cycle value is identical to sequential ticking
+// regardless of increment interleaving. Reads are meant for between-cycle
+// reporting, not mid-Eval decisions.
 type Counter struct {
-	n uint64
+	n atomic.Uint64
 }
 
 // Add increments the counter by d.
-func (c *Counter) Add(d uint64) { c.n += d }
+func (c *Counter) Add(d uint64) { c.n.Add(d) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.n }
+func (c *Counter) Value() uint64 { return c.n.Load() }
 
 // Gauge tracks a running mean of sampled values (e.g. queue occupancy).
 type Gauge struct {

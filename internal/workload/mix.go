@@ -36,6 +36,34 @@ func (m *Merge) Poll(now uint64) *packet.Message {
 	return nil
 }
 
+// arrivalReporter mirrors engine.ArrivalSource locally (same import-cycle
+// dodge as Source above).
+type arrivalReporter interface {
+	NextArrival(now uint64) (uint64, bool)
+}
+
+// NextArrival implements engine.ArrivalSource as the minimum over the
+// children. A child that cannot report pins the merge to "due now", which
+// conservatively disables fast-forward rather than risking a missed poll.
+func (m *Merge) NextArrival(now uint64) (uint64, bool) {
+	var best uint64
+	have := false
+	for _, s := range m.srcs {
+		ar, ok := s.(arrivalReporter)
+		if !ok {
+			return now, true
+		}
+		a, more := ar.NextArrival(now)
+		if !more {
+			continue
+		}
+		if !have || a < best {
+			best, have = a, true
+		}
+	}
+	return best, have
+}
+
 // IsolationMix is the §3.1.3 experiment workload: a low-rate
 // latency-sensitive tenant sharing the NIC with a bulk-throughput tenant.
 type IsolationMix struct {
@@ -65,3 +93,6 @@ func NewIsolationMix(freqHz, latencyGbps, bulkGbps float64, bulkFrameBytes int, 
 
 // Poll implements engine.Source.
 func (m *IsolationMix) Poll(now uint64) *packet.Message { return m.merged.Poll(now) }
+
+// NextArrival implements engine.ArrivalSource.
+func (m *IsolationMix) NextArrival(now uint64) (uint64, bool) { return m.merged.NextArrival(now) }

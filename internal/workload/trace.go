@@ -119,6 +119,19 @@ func NewTraceSource(records []TraceRecord) *TraceSource {
 // Remaining returns the number of unreplayed records.
 func (s *TraceSource) Remaining() int { return len(s.records) - s.next }
 
+// NextArrival implements engine.ArrivalSource: the next record's cycle
+// (records are validated monotone at load time), or exhaustion.
+func (s *TraceSource) NextArrival(now uint64) (uint64, bool) {
+	if s.next >= len(s.records) {
+		return 0, false
+	}
+	at := s.records[s.next].Cycle
+	if at < now {
+		at = now
+	}
+	return at, true
+}
+
 // Poll implements engine.Source.
 func (s *TraceSource) Poll(now uint64) *packet.Message {
 	if s.next >= len(s.records) || s.records[s.next].Cycle > now {

@@ -85,6 +85,22 @@ func (b *base) due(now uint64) bool {
 // Generated returns how many messages the source has produced.
 func (b *base) Generated() uint64 { return b.count }
 
+// NextArrival implements engine.ArrivalSource for every generator built on
+// base: the first cycle at which due will fire is the first integer cycle
+// at or past the arrival clock — exactly ceil(nextAt) — so polling cycles
+// a fast-forwarding kernel skips are provably fruitless. ok is false once
+// a bounded stream is exhausted.
+func (b *base) NextArrival(now uint64) (uint64, bool) {
+	if b.limit > 0 && b.count >= b.limit {
+		return 0, false
+	}
+	at := uint64(math.Ceil(b.nextAt))
+	if at < now {
+		at = now
+	}
+	return at, true
+}
+
 // FixedStream emits fixed-size UDP packets — the minimum-size line-rate
 // workload of Table 2.
 type FixedStream struct {
@@ -93,6 +109,7 @@ type FixedStream struct {
 	tenant     uint16
 	class      packet.Class
 	dstIP      packet.IP4
+	pool       *packet.MessagePool
 }
 
 // FixedStreamConfig parameterizes a FixedStream.
@@ -110,6 +127,10 @@ type FixedStreamConfig struct {
 	// Count bounds the stream (0 = unlimited).
 	Count uint64
 	Seed  uint64
+	// Pool, when set, recycles message shells: Poll reuses shells the
+	// consumer has Put back instead of allocating. The recycled and fresh
+	// paths produce byte-identical messages.
+	Pool *packet.MessagePool
 }
 
 // NewFixedStream builds the stream.
@@ -131,6 +152,7 @@ func NewFixedStream(cfg FixedStreamConfig) *FixedStream {
 		tenant:     cfg.Tenant,
 		class:      cfg.Class,
 		dstIP:      packet.IP4{10, 0, 0, 2},
+		pool:       cfg.Pool,
 	}
 }
 
@@ -144,15 +166,53 @@ func (s *FixedStream) Poll(now uint64) *packet.Message {
 	if payload < 0 {
 		payload = 0
 	}
-	m := &packet.Message{
+	eth := packet.Ethernet{Dst: packet.MAC{2, 0, 0, 0, 0, 2}, Src: packet.MAC{2, 0, 0, 0, 0, 1}, EtherType: packet.EtherTypeIPv4}
+	ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: packet.IP4{10, 0, 0, 1}, Dst: s.dstIP}
+	udp := packet.UDP{SrcPort: uint16(4000 + s.tenant), DstPort: 9}
+	if s.pool != nil {
+		if m := s.pool.Get(); m != nil {
+			// Salvage the shell's eth/ip/udp layer structs and serialization
+			// buffer even when the pipeline left shims (e.g. a chain header)
+			// in the stack; a shell missing any of the three falls through
+			// to fresh allocation. The rebuilt message is byte-identical to
+			// the fresh path, so pooling never affects simulation results.
+			if m.Pkt != nil {
+				var re *packet.Ethernet
+				var ri *packet.IPv4
+				var ru *packet.UDP
+				for _, l := range m.Pkt.Layers {
+					switch v := l.(type) {
+					case *packet.Ethernet:
+						if re == nil {
+							re = v
+						}
+					case *packet.IPv4:
+						if ri == nil {
+							ri = v
+						}
+					case *packet.UDP:
+						if ru == nil {
+							ru = v
+						}
+					}
+				}
+				if re != nil && ri != nil && ru != nil {
+					*re, *ri, *ru = eth, ip, udp
+					m.Pkt.Layers = append(m.Pkt.Layers[:0], re, ri, ru)
+					m.Pkt.PayloadLen = payload
+					m.Pkt.Serialize()
+					m.ID = s.nextID
+					m.Tenant = s.tenant
+					m.Class = s.class
+					return m
+				}
+			}
+		}
+	}
+	return &packet.Message{
 		ID:     s.nextID,
 		Tenant: s.tenant,
 		Class:  s.class,
-		Pkt: packet.NewPacket(payload,
-			&packet.Ethernet{Dst: packet.MAC{2, 0, 0, 0, 0, 2}, Src: packet.MAC{2, 0, 0, 0, 0, 1}, EtherType: packet.EtherTypeIPv4},
-			&packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: packet.IP4{10, 0, 0, 1}, Dst: s.dstIP},
-			&packet.UDP{SrcPort: uint16(4000 + s.tenant), DstPort: 9},
-		),
+		Pkt:    packet.NewPacket(payload, &eth, &ip, &udp),
 	}
-	return m
 }
