@@ -1,0 +1,156 @@
+// Command doccheck verifies that the repository's documentation stays in
+// sync with the code: every backticked file or directory path in the
+// checked markdown files must exist, and every backticked command flag
+// must be defined by the command it belongs to. CI runs it so drift like a
+// renamed flag or a deleted file fails the build instead of rotting in the
+// docs.
+//
+// Usage:
+//
+//	doccheck [-root dir] [file.md ...]
+//
+// With no file arguments it checks the default set: README.md, DESIGN.md,
+// OBSERVABILITY.md, EXPERIMENTS.md, ROADMAP.md, and ISSUE.md.
+//
+// Checked tokens, all inside backticks:
+//
+//   - A single-word token containing a "/" (or ending in ".md") is a path
+//     and must exist relative to the repo root. Wildcards ("..."), URLs,
+//     and placeholders ("<file>") are skipped.
+//   - A token starting with "-", or any "-flag" word inside a token whose
+//     first word names a command in cmd/, must match a flag.X("name", ...)
+//     declaration in that command's sources (or any command's, for bare
+//     "-flag" tokens).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var (
+	backtickRe = regexp.MustCompile("`([^`]+)`")
+	flagDeclRe = regexp.MustCompile(`flag\.[A-Za-z0-9]+\(\s*"([^"]+)"`)
+	flagWordRe = regexp.MustCompile(`^-[a-z][a-z0-9-]*$`)
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) == 0 {
+		files = []string{"README.md", "DESIGN.md", "OBSERVABILITY.md", "EXPERIMENTS.md", "ROADMAP.md", "ISSUE.md"}
+	}
+
+	cmdFlags, err := collectFlags(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(1)
+	}
+	allFlags := make(map[string]bool)
+	for _, set := range cmdFlags {
+		for f := range set {
+			allFlags[f] = true
+		}
+	}
+
+	bad := 0
+	for _, md := range files {
+		data, err := os.ReadFile(filepath.Join(*root, md))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			bad++
+			continue
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range backtickRe.FindAllStringSubmatch(line, -1) {
+				for _, problem := range checkToken(*root, m[1], cmdFlags, allFlags) {
+					fmt.Fprintf(os.Stderr, "%s:%d: %s\n", md, i+1, problem)
+					bad++
+				}
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// collectFlags maps each command under cmd/ to the set of flag names its
+// sources declare.
+func collectFlags(root string) (map[string]map[string]bool, error) {
+	out := make(map[string]map[string]bool)
+	entries, err := os.ReadDir(filepath.Join(root, "cmd"))
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		set := make(map[string]bool)
+		srcs, _ := filepath.Glob(filepath.Join(root, "cmd", e.Name(), "*.go"))
+		for _, src := range srcs {
+			data, err := os.ReadFile(src)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range flagDeclRe.FindAllStringSubmatch(string(data), -1) {
+				set[m[1]] = true
+			}
+		}
+		out[e.Name()] = set
+	}
+	return out, nil
+}
+
+// checkToken validates one backticked token and returns the problems found.
+func checkToken(root, tok string, cmdFlags map[string]map[string]bool, allFlags map[string]bool) []string {
+	var problems []string
+	words := strings.Fields(tok)
+	if len(words) == 0 {
+		return nil
+	}
+
+	// Path check: single-word tokens that look like repo paths. Absolute
+	// paths point outside the repository and are not checked.
+	if len(words) == 1 {
+		w := words[0]
+		isPath := (strings.Contains(w, "/") || strings.HasSuffix(w, ".md")) &&
+			!strings.HasPrefix(w, "/") &&
+			!strings.Contains(w, "...") && !strings.Contains(w, "://") &&
+			!strings.ContainsAny(w, "<>*|$")
+		if isPath {
+			if _, err := os.Stat(filepath.Join(root, w)); err != nil {
+				problems = append(problems, fmt.Sprintf("path `%s` does not exist", w))
+			}
+			return problems
+		}
+	}
+
+	// Flag check: bare `-flag` tokens check against every command's flags;
+	// `-flag` words inside a `somecmd ...` token check that command's.
+	scope := allFlags
+	scopeName := "any command"
+	if set, ok := cmdFlags[words[0]]; ok {
+		scope = set
+		scopeName = "cmd/" + words[0]
+	} else if !strings.HasPrefix(words[0], "-") {
+		return problems // not a flag context (e.g. `go vet ./...`)
+	}
+	for _, w := range words {
+		if !flagWordRe.MatchString(w) {
+			continue
+		}
+		if !scope[strings.TrimPrefix(w, "-")] {
+			problems = append(problems, fmt.Sprintf("flag `%s` not defined by %s", w, scopeName))
+		}
+	}
+	return problems
+}

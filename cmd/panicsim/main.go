@@ -25,6 +25,7 @@ import (
 	"github.com/panic-nic/panic/internal/fault"
 	"github.com/panic-nic/panic/internal/packet"
 	"github.com/panic-nic/panic/internal/stats"
+	"github.com/panic-nic/panic/internal/trace"
 	"github.com/panic-nic/panic/internal/workload"
 )
 
@@ -36,6 +37,8 @@ var (
 	dmaReplicas   *int
 	workers       *int
 	fastForward   *bool
+	tracePath     *string
+	traceSample   *int
 )
 
 func main() {
@@ -61,6 +64,8 @@ func main() {
 	dmaReplicas = flag.Int("dma-replicas", 0, "total RX-DMA engine instances (panic only)")
 	workers = flag.Int("workers", 0, "Eval-phase worker goroutines (0 = sequential; panic only)")
 	fastForward = flag.Bool("fastforward", false, "skip provably idle cycles (panic only)")
+	tracePath = flag.String("trace", "", "write a Chrome trace_event / Perfetto JSON trace to this file (panic only)")
+	traceSample = flag.Int("trace-sample", 1, "trace one message in N (1 = all; panic only)")
 	flag.Parse()
 
 	src := workload.NewKVSStream(workload.KVSTenantConfig{
@@ -104,6 +109,15 @@ func runPanic(cycles uint64, freq, line float64, meshK, width, pipelines int, wa
 	if *health {
 		cfg.Health = core.DefaultHealthConfig()
 	}
+	var tracer *trace.Tracer
+	if *tracePath != "" {
+		if *traceSample < 1 {
+			fmt.Fprintf(os.Stderr, "-trace-sample must be >= 1 (got %d)\n", *traceSample)
+			os.Exit(2)
+		}
+		tracer = trace.New(trace.Options{FreqHz: freq, Sample: uint64(*traceSample)})
+		cfg.Tracer = tracer
+	}
 	if *faultPlanPath != "" {
 		f, err := os.Open(*faultPlanPath)
 		if err != nil {
@@ -137,6 +151,25 @@ func runPanic(cycles uint64, freq, line float64, meshK, width, pipelines int, wa
 		if mttr, ok := nic.Events.MTTR(core.AddrIPSec); ok {
 			fmt.Printf("\nipsec MTTR: %d cycles (%.2f us)\n", mttr, float64(mttr)/freq*1e6)
 		}
+	}
+	if tracer != nil {
+		set := tracer.Set()
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		werr := set.WriteChrome(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "trace: writing %s: %v\n", *tracePath, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace: %d spans -> %s (load in https://ui.perfetto.dev)\n", len(set.Spans), *tracePath)
+		fmt.Println()
+		fmt.Print(set.SummaryText())
 	}
 }
 

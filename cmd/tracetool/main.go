@@ -1,0 +1,118 @@
+// Command tracetool inspects trace files written by panicsim -trace
+// (Chrome trace_event / Perfetto JSON with exact cycle values embedded in
+// event args).
+//
+// Usage:
+//
+//	tracetool [flags] trace.json
+//
+// With no flags it prints the summary report (end-to-end latency plus the
+// per-stage breakdown). Other views:
+//
+//	tracetool -list trace.json           list traced message IDs
+//	tracetool -msg 281474976710659 t.json  one message's cycle timeline
+//	tracetool -loc kvscache trace.json   summary restricted to one location
+//	tracetool -flame trace.json          collapsed flamegraph stacks
+//	tracetool -top 10 trace.json         the 10 slowest messages end to end
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/panic-nic/panic/internal/trace"
+)
+
+func main() {
+	msgID := flag.Uint64("msg", 0, "print the cycle timeline for one trace ID")
+	loc := flag.String("loc", "", "restrict the summary to spans at this location name (e.g. kvscache, rmt0)")
+	flame := flag.Bool("flame", false, "print collapsed flamegraph stacks (feed to flamegraph.pl)")
+	top := flag.Int("top", 0, "print the N slowest messages end to end")
+	list := flag.Bool("list", false, "list traced message IDs")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracetool [flags] trace.json")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracetool: %v\n", err)
+		os.Exit(1)
+	}
+	set, err := trace.ReadChrome(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracetool: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *msgID != 0:
+		fmt.Print(set.Timeline(*msgID))
+	case *flame:
+		fmt.Print(set.Flame())
+	case *list:
+		for _, id := range set.Messages() {
+			fmt.Println(id)
+		}
+	case *top > 0:
+		printTop(set, *top)
+	case *loc != "":
+		filtered := set.Filter(func(sp trace.Span) bool {
+			return set.LocName(sp.LocKind, sp.Loc) == *loc
+		})
+		if len(filtered.Spans) == 0 {
+			fmt.Fprintf(os.Stderr, "tracetool: no spans at location %q\n", *loc)
+			os.Exit(1)
+		}
+		fmt.Print(filtered.SummaryText())
+	default:
+		fmt.Print(set.SummaryText())
+	}
+}
+
+// printTop lists the n messages with the widest span footprint.
+func printTop(set *trace.Set, n int) {
+	type e2e struct {
+		id     uint64
+		lo, hi uint64
+	}
+	byMsg := make(map[uint64]*e2e)
+	for _, sp := range set.Spans {
+		if sp.Msg == 0 {
+			continue
+		}
+		w, ok := byMsg[sp.Msg]
+		if !ok {
+			byMsg[sp.Msg] = &e2e{id: sp.Msg, lo: sp.Start, hi: sp.End}
+			continue
+		}
+		if sp.Start < w.lo {
+			w.lo = sp.Start
+		}
+		if sp.End > w.hi {
+			w.hi = sp.End
+		}
+	}
+	rows := make([]*e2e, 0, len(byMsg))
+	for _, w := range byMsg {
+		rows = append(rows, w)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		di, dj := rows[i].hi-rows[i].lo, rows[j].hi-rows[j].lo
+		if di != dj {
+			return di > dj
+		}
+		return rows[i].id < rows[j].id
+	})
+	if n > len(rows) {
+		n = len(rows)
+	}
+	for _, w := range rows[:n] {
+		fmt.Printf("%-20d %8d cycles  (%d..%d)\n", w.id, w.hi-w.lo, w.lo, w.hi)
+	}
+}

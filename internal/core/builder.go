@@ -13,6 +13,7 @@ import (
 	"github.com/panic-nic/panic/internal/packet"
 	"github.com/panic-nic/panic/internal/rmt"
 	"github.com/panic-nic/panic/internal/sim"
+	"github.com/panic-nic/panic/internal/trace"
 )
 
 // Well-known engine addresses used by the canonical PANIC assembly and its
@@ -85,6 +86,10 @@ type Builder struct {
 	rng    *sim.RNG
 	used   map[noc.NodeID]bool
 
+	// Tracer, when set before placements, gives every placed tile a
+	// private trace buffer (nil = tracing off, zero cost).
+	Tracer *trace.Tracer
+
 	Tiles []*engine.Tile
 	RMTs  []*engine.RMTTile
 }
@@ -136,6 +141,7 @@ func (b *Builder) PlaceTile(addr packet.Addr, x, y int, eng engine.Engine, opts 
 	for _, o := range opts {
 		o(&cfg)
 	}
+	cfg.Trace = b.traceBuf(addr)
 	t := engine.NewTile(cfg, eng, b.Mesh, b.Routes, b.rng.Fork())
 	b.Kernel.Register(t)
 	b.Tiles = append(b.Tiles, t)
@@ -150,10 +156,23 @@ func (b *Builder) PlaceRMT(addr packet.Addr, x, y int, pipe *rmt.Pipeline, opts 
 	for _, o := range opts {
 		o(&cfg)
 	}
+	cfg.Trace = b.traceBuf(addr)
 	t := engine.NewRMTTile(cfg, pipe, b.Mesh, b.Routes)
 	b.Kernel.Register(t)
 	b.RMTs = append(b.RMTs, t)
 	return t
+}
+
+// traceBuf names the placed engine's trace location and allocates its
+// private span buffer. Placement order fixes buffer-creation order, which
+// fixes the trace stream's drain order (the determinism contract).
+func (b *Builder) traceBuf(addr packet.Addr) *trace.Buffer {
+	if b.Tracer == nil {
+		return nil
+	}
+	name := EngineName(addr)
+	b.Tracer.NameLoc(trace.LocEngine, uint32(addr), name)
+	return b.Tracer.Buffer(name)
 }
 
 // TileByAddr returns the placed tile with the given address, or nil.

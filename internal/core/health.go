@@ -7,6 +7,7 @@ import (
 	"github.com/panic-nic/panic/internal/engine"
 	"github.com/panic-nic/panic/internal/packet"
 	"github.com/panic-nic/panic/internal/rmt"
+	"github.com/panic-nic/panic/internal/trace"
 )
 
 // HealthConfig parameterizes the self-healing control plane: a periodic
@@ -71,10 +72,49 @@ type FailureEvent struct {
 // byte-identical String() output.
 type EventLog struct {
 	events []FailureEvent
+	tb     *trace.Buffer
+}
+
+// ctlCodes maps failure-event kinds to KindControl span location codes
+// (trace.LocControl). Code 0 is reserved for unknown kinds.
+var ctlCodes = map[string]uint32{
+	"fault-injected": 1,
+	"fault-lifted":   2,
+	"detected":       3,
+	"rerouted":       4,
+	"punted":         5,
+	"drained":        6,
+	"recovered":      7,
+	"reintegrated":   8,
+	"unrecoverable":  9,
+}
+
+// AttachTracer mirrors the log into the trace as control spans on a
+// dedicated buffer. Events are appended only from the sequential event and
+// serial phases (fault plans and the health monitor), so one shared buffer
+// keeps the single-writer rule.
+func (l *EventLog) AttachTracer(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	tr.NameLoc(trace.LocControl, 0, "control")
+	for kind, code := range ctlCodes {
+		tr.NameLoc(trace.LocControl, code, kind)
+	}
+	l.tb = tr.Buffer("control")
 }
 
 // Append records an event.
-func (l *EventLog) Append(e FailureEvent) { l.events = append(l.events, e) }
+func (l *EventLog) Append(e FailureEvent) {
+	l.events = append(l.events, e)
+	if l.tb != nil {
+		l.tb.Emit(trace.Span{
+			Kind: trace.KindControl, LocKind: trace.LocControl,
+			Loc: ctlCodes[e.Kind], Start: e.Cycle, End: e.Cycle,
+			A: uint64(e.Engine),
+		})
+	}
+}
 
 // Events returns the recorded events.
 func (l *EventLog) Events() []FailureEvent { return l.events }

@@ -115,11 +115,12 @@ func (h *KVSHost) reply(req *packet.Message, pkt *packet.Packet, k *packet.KVS, 
 	reqIP := pkt.Layer(packet.LayerTypeIPv4).(*packet.IPv4)
 	reqUDP := pkt.Layer(packet.LayerTypeUDP).(*packet.UDP)
 	return &packet.Message{
-		ID:     req.ID,
-		Tenant: req.Tenant,
-		Class:  req.Class,
-		Inject: req.Inject,
-		Port:   req.Port,
+		ID:      req.ID,
+		TraceID: req.TraceID,
+		Tenant:  req.Tenant,
+		Class:   req.Class,
+		Inject:  req.Inject,
+		Port:    req.Port,
 		Pkt: packet.NewPacket(int(vlen),
 			&packet.Ethernet{Dst: reqEth.Src, Src: reqEth.Dst, EtherType: packet.EtherTypeIPv4},
 			&packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: reqIP.Dst, Dst: reqIP.Src},

@@ -11,6 +11,7 @@ import (
 	"github.com/panic-nic/panic/internal/rmt"
 	"github.com/panic-nic/panic/internal/sched"
 	"github.com/panic-nic/panic/internal/stats"
+	"github.com/panic-nic/panic/internal/trace"
 )
 
 // Config parameterizes a PANIC NIC.
@@ -73,7 +74,13 @@ type Config struct {
 	CompactPlacement bool
 	// Trace records per-engine visits on messages.
 	Trace bool
-	Seed  uint64
+	// Tracer, when non-nil, enables cycle-accurate span tracing: every
+	// placed tile, every mesh router, the terminal sinks, and the failure
+	// log get private trace buffers, and the tracer is registered on the
+	// kernel as the LAST committer so each cycle's spans drain after all
+	// staged sinks flush. Nil costs nothing on the hot path.
+	Tracer *trace.Tracer
+	Seed   uint64
 	// Workers is the kernel's Eval worker-pool size: 0 or 1 runs the
 	// classic sequential loop; N > 1 shards the Eval phase across N
 	// goroutines. The simulation result is bit-identical either way.
@@ -181,6 +188,8 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 	b := NewBuilder(cfg.FreqHz, cfg.Mesh, cfg.Seed)
 	b.Kernel.SetWorkers(cfg.Workers)
 	b.Kernel.SetFastForward(cfg.FastForward)
+	b.Tracer = cfg.Tracer
+	b.Mesh.AttachTracer(cfg.Tracer)
 	n.Builder = b
 	n.Program = BuildProgram(cfg.Program)
 	n.Host = NewKVSHost(cfg.HostCycles, cfg.HostValueBytes)
@@ -189,6 +198,20 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 	// commute, so concurrent Eval shards reach the same final count as
 	// sequential ticking.
 	dropSink := engine.SinkFunc(func(*packet.Message, uint64) { n.Drops.Inc() })
+	// Terminal-sink Deliver spans share one buffer: StagedSink targets run
+	// during the sequential Commit phase, so the single writer rule holds.
+	var sinksBuf *trace.Buffer
+	if cfg.Tracer != nil {
+		cfg.Tracer.NameLoc(trace.LocSink, sinkHost, "host")
+		cfg.Tracer.NameLoc(trace.LocSink, sinkWire, "wire")
+		sinksBuf = cfg.Tracer.Buffer("sinks")
+	}
+	wrapSink := func(inner engine.Sink, loc uint32) engine.Sink {
+		if sinksBuf == nil {
+			return inner
+		}
+		return tracedSink{inner: inner, buf: sinksBuf, loc: loc}
+	}
 	common := func(c *engine.TileConfig) {
 		c.QueueCap = cfg.QueueCap
 		c.Policy = cfg.Policy
@@ -226,7 +249,7 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 		if p < len(sources) {
 			src = sources[p]
 		}
-		wireSink := engine.NewStagedSink(n.WireLat)
+		wireSink := engine.NewStagedSink(wrapSink(n.WireLat, sinkWire))
 		mac := engine.NewEthernetMAC(engine.MACConfig{
 			Port: p, LineRateGbps: cfg.LineRateGbps, FreqHz: cfg.FreqHz,
 		}, src, wireSink)
@@ -256,7 +279,7 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 		n.HostLat.Deliver(m, now)
 		n.Host.Absorb(m, now)
 	})
-	dmaSink := engine.NewStagedSink(hostSink)
+	dmaSink := engine.NewStagedSink(wrapSink(hostSink, sinkHost))
 	n.DMA = engine.NewDMAEngine(engine.DMAConfig{
 		PCIeGbps: cfg.PCIeGbps, FreqHz: cfg.FreqHz,
 		BaseLatencyCycles: cfg.DMALatency, JitterCycles: cfg.DMAJitter,
@@ -358,7 +381,7 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 		t.DropSink = dropSink
 	}
 	for i := 1; i < cfg.DMAReplicas; i++ {
-		altSink := engine.NewStagedSink(hostSink)
+		altSink := engine.NewStagedSink(wrapSink(hostSink, sinkHost))
 		alt := engine.NewDMAEngine(engine.DMAConfig{
 			PCIeGbps: cfg.PCIeGbps, FreqHz: cfg.FreqHz,
 			BaseLatencyCycles: cfg.DMALatency, JitterCycles: cfg.DMAJitter,
@@ -375,6 +398,7 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 	b.Routes.SetDefault(AddrRMTBase)
 
 	n.Events = &EventLog{}
+	n.Events.AttachTracer(cfg.Tracer)
 	if cfg.Health.Enable {
 		mon := NewHealthMonitor(cfg.Health, b, n.Program, n.Events)
 		ipsecGroup := []packet.Addr{AddrIPSec}
@@ -414,7 +438,40 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 			panic(fmt.Sprintf("core: arming fault plan: %v", err))
 		}
 	}
+	// The tracer commits LAST: every staged sink registered above flushes
+	// its deliveries (and their Deliver spans) before the tracer drains the
+	// buffers, so a cycle's trace is complete when it reaches the stream.
+	if cfg.Tracer != nil {
+		b.Kernel.Register(cfg.Tracer)
+	}
 	return n
+}
+
+// Terminal sink indices for LocSink span locations.
+const (
+	sinkHost uint32 = 0
+	sinkWire uint32 = 1
+)
+
+// tracedSink wraps a StagedSink target with Deliver-span emission. Targets
+// run in the sequential Commit phase, so every tracedSink can share the
+// one "sinks" buffer without violating the single-writer rule.
+type tracedSink struct {
+	inner engine.Sink
+	buf   *trace.Buffer
+	loc   uint32
+}
+
+// Deliver implements engine.Sink.
+func (s tracedSink) Deliver(m *packet.Message, now uint64) {
+	if s.buf.Want(m.TraceID) {
+		s.buf.Emit(trace.Span{
+			Msg: m.TraceID, Kind: trace.KindDeliver,
+			LocKind: trace.LocSink, Loc: s.loc,
+			Start: now, End: now, B: uint64(m.WireLen()),
+		})
+	}
+	s.inner.Deliver(m, now)
 }
 
 // standbysFor returns group minus self, preserving group order.

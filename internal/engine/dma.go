@@ -98,11 +98,12 @@ func (d *DMAEngine) Process(ctx *Ctx, msg *packet.Message) []Out {
 		case packet.DMARead:
 			d.reads++
 			compl := &packet.Message{
-				ID:     msg.ID,
-				Tenant: msg.Tenant,
-				Class:  packet.ClassControl,
-				Port:   -1,
-				Inject: ctx.Now,
+				ID:      msg.ID,
+				TraceID: msg.TraceID,
+				Tenant:  msg.Tenant,
+				Class:   packet.ClassControl,
+				Port:    -1,
+				Inject:  ctx.Now,
 				Pkt: packet.NewPacket(int(req.Len),
 					&packet.Ethernet{EtherType: packet.EtherTypeDMA},
 					&packet.DMA{Op: packet.DMAReadCompl, Requester: req.Requester,
@@ -116,11 +117,12 @@ func (d *DMAEngine) Process(ctx *Ctx, msg *packet.Message) []Out {
 				return nil
 			}
 			ack := &packet.Message{
-				ID:     msg.ID,
-				Tenant: msg.Tenant,
-				Class:  packet.ClassControl,
-				Port:   -1,
-				Inject: ctx.Now,
+				ID:      msg.ID,
+				TraceID: msg.TraceID,
+				Tenant:  msg.Tenant,
+				Class:   packet.ClassControl,
+				Port:    -1,
+				Inject:  ctx.Now,
 				Pkt: packet.NewPacket(0,
 					&packet.Ethernet{EtherType: packet.EtherTypeDMA},
 					&packet.DMA{Op: packet.DMAWriteCompl, Requester: req.Requester,
@@ -144,11 +146,12 @@ func (d *DMAEngine) Process(ctx *Ctx, msg *packet.Message) []Out {
 	var outs []Out
 	if d.cfg.NotifyAddr != packet.AddrInvalid {
 		notify := &packet.Message{
-			ID:     msg.ID,
-			Tenant: msg.Tenant,
-			Class:  packet.ClassControl,
-			Port:   -1,
-			Inject: ctx.Now,
+			ID:      msg.ID,
+			TraceID: msg.TraceID,
+			Tenant:  msg.Tenant,
+			Class:   packet.ClassControl,
+			Port:    -1,
+			Inject:  ctx.Now,
 			Pkt: packet.NewPacket(0,
 				&packet.Ethernet{EtherType: packet.EtherTypeDMA},
 				&packet.DMA{Op: packet.DMAWriteCompl, Requester: d.cfg.NotifyAddr,

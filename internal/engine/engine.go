@@ -8,6 +8,14 @@
 // paper discusses: Ethernet MACs, DMA and PCIe engines, IPSec,
 // an on-NIC key-value cache, RDMA, compression, checksum, regex, and
 // embedded-CPU engines.
+//
+// Every tile is an instrumentation point for internal/trace: with a trace
+// buffer in its TileConfig it emits spans for queue enqueue/dequeue (with
+// depth and slack), service occupancy, fabric injection, and drops; the
+// RMT tile additionally reconstructs per-stage pipeline spans. A nil
+// buffer costs one branch and zero allocations per point — the ingress MAC
+// stamps TraceIDs unconditionally so enabling tracing never perturbs the
+// simulation.
 package engine
 
 import (

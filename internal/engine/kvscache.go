@@ -176,11 +176,12 @@ func (e *RDMAEngine) Process(ctx *Ctx, msg *packet.Message) []Out {
 	e.pending[tag] = msg
 	e.issued++
 	read := &packet.Message{
-		ID:     msg.ID,
-		Tenant: msg.Tenant,
-		Class:  packet.ClassControl,
-		Port:   -1,
-		Inject: ctx.Now,
+		ID:      msg.ID,
+		TraceID: msg.TraceID,
+		Tenant:  msg.Tenant,
+		Class:   packet.ClassControl,
+		Port:    -1,
+		Inject:  ctx.Now,
 		Pkt: packet.NewPacket(0,
 			&packet.Ethernet{EtherType: packet.EtherTypeDMA},
 			&packet.DMA{Op: packet.DMARead, Requester: ctx.Addr, Len: k.ValueLen, HostAddr: tag},
@@ -199,11 +200,12 @@ func (e *RDMAEngine) buildReply(ctx *Ctx, req *packet.Message, valueLen uint32) 
 	reqUDP := req.Pkt.Layer(packet.LayerTypeUDP).(*packet.UDP)
 	reqKVS := req.Pkt.Layer(packet.LayerTypeKVS).(*packet.KVS)
 	resp := &packet.Message{
-		ID:     req.ID,
-		Tenant: req.Tenant,
-		Class:  req.Class,
-		Port:   req.Port, // reply leaves through the arrival port
-		Inject: req.Inject,
+		ID:      req.ID,
+		TraceID: req.TraceID,
+		Tenant:  req.Tenant,
+		Class:   req.Class,
+		Port:    req.Port, // reply leaves through the arrival port
+		Inject:  req.Inject,
 		Pkt: packet.NewPacket(int(valueLen),
 			&packet.Ethernet{Dst: reqEth.Src, Src: reqEth.Dst, EtherType: packet.EtherTypeIPv4},
 			&packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: reqIP.Dst, Dst: reqIP.Src},

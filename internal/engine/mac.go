@@ -30,6 +30,7 @@ type EthernetMAC struct {
 	tokens       float64
 	maxTokens    float64
 	waiting      *packet.Message
+	traceSeq     uint64
 
 	rx, tx       uint64
 	rxBits       uint64
@@ -98,6 +99,15 @@ func (m *EthernetMAC) Generate(ctx *Ctx) []Out {
 			}
 			m.waiting.Port = m.cfg.Port
 			m.waiting.Inject = ctx.Now
+			if m.waiting.TraceID == 0 {
+				// Stamp a globally unique trace ID: workload message IDs
+				// are per-source and collide across ports. Stamping is
+				// unconditional (not gated on a tracer) so pooled and
+				// fresh shells stay byte-identical and sampling decisions
+				// are a pure function of arrival order.
+				m.traceSeq++
+				m.waiting.TraceID = uint64(m.cfg.Port+1)<<48 | m.traceSeq
+			}
 		}
 		bits := wireBits(m.waiting)
 		need := bits

@@ -7,6 +7,7 @@ import (
 	"github.com/panic-nic/panic/internal/packet"
 	"github.com/panic-nic/panic/internal/rmt"
 	"github.com/panic-nic/panic/internal/sched"
+	"github.com/panic-nic/panic/internal/trace"
 )
 
 // RMTTile is an RMT engine (Figure 3b): a timed match+action pipeline
@@ -112,6 +113,14 @@ func (t *RMTTile) Tick(cycle uint64) {
 			break
 		}
 		t.fab.Inject(t.cfg.Node, o.dst, o.msg)
+		if t.cfg.Trace.Want(o.msg.TraceID) {
+			t.cfg.Trace.Emit(trace.Span{
+				Msg: o.msg.TraceID, Kind: trace.KindInject,
+				LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
+				Start: cycle, End: cycle,
+				A: uint64(o.dst), B: uint64(t.fab.FlitsFor(o.msg)),
+			})
+		}
 		t.stats.Emitted++
 		sent++
 	}
@@ -120,11 +129,33 @@ func (t *RMTTile) Tick(cycle uint64) {
 	// 2. Advance the pipeline unless backpressured.
 	if len(t.outbox) == 0 {
 		if res, ok := t.pipe.Tick(); ok {
+			t.emitRMT(res, cycle)
 			t.route(res.Msg)
+		} else if res.Msg != nil && res.Drop {
+			t.emitRMT(res, cycle)
+			if t.cfg.Trace.Want(res.Msg.TraceID) {
+				t.cfg.Trace.Emit(trace.Span{
+					Msg: res.Msg.TraceID, Kind: trace.KindDrop,
+					LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
+					Start: cycle, End: cycle, A: trace.DropRMT,
+				})
+			}
 		}
 		// 3. Admit one message per cycle.
 		if t.pipe.CanAccept() {
+			depth := 0
+			if t.cfg.Trace != nil {
+				depth = t.queue.Len()
+			}
 			if msg, ok := t.queue.Pop(); ok {
+				if t.cfg.Trace.Want(msg.TraceID) {
+					t.cfg.Trace.Emit(trace.Span{
+						Msg: msg.TraceID, Kind: trace.KindWait,
+						LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
+						Start: msg.EnqueuedAt, End: cycle,
+						A: uint64(depth), B: uint64(chainSlack(msg, t.cfg.Addr)),
+					})
+				}
 				t.pipe.Accept(msg, cycle)
 				t.stats.Accepted++
 			}
@@ -154,10 +185,64 @@ func (t *RMTTile) Tick(cycle uint64) {
 		if t.cfg.TraceVisits {
 			msg.Trace = append(msg.Trace, packet.Visit{Engine: t.cfg.Addr, Enqueued: cycle})
 		}
-		res := t.queue.Push(msg, t.rank(msg, slack, cycle))
+		rank := t.rank(msg, slack, cycle)
+		res := t.queue.Push(msg, rank)
+		if res.Accepted && res.Dropped != msg && t.cfg.Trace.Want(msg.TraceID) {
+			t.cfg.Trace.Emit(trace.Span{
+				Msg: msg.TraceID, Kind: trace.KindEnq,
+				LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
+				Start: cycle, End: cycle,
+				A: rank, B: uint64(t.queue.Len()),
+			})
+		}
 		if res.Dropped != nil {
 			t.stats.QueueDropped++
+			if t.cfg.Trace.Want(res.Dropped.TraceID) {
+				t.cfg.Trace.Emit(trace.Span{
+					Msg: res.Dropped.TraceID, Kind: trace.KindDrop,
+					LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
+					Start: cycle, End: cycle, A: trace.DropQueueShed,
+				})
+			}
 		}
+	}
+}
+
+// emitRMT synthesizes the pipeline-phase spans for a message exiting the
+// RMT pipeline at cycle. The timed pipeline is a shift register, so the
+// phase boundaries are reconstructed from the accept cycle (res.Enq) and
+// the fixed phase lengths; an exit later than Enq + Latency means fabric
+// backpressure froze the pipeline, which becomes an explicit stall span.
+func (t *RMTTile) emitRMT(res rmt.Result, cycle uint64) {
+	if res.Msg == nil || !t.cfg.Trace.Want(res.Msg.TraceID) {
+		return
+	}
+	id := res.Msg.TraceID
+	loc := uint32(t.cfg.Addr)
+	pc := uint64(t.pipe.ParserCycles())
+	dc := uint64(t.pipe.DeparserCycles())
+	lat := uint64(t.pipe.Latency())
+	stages := lat - pc - dc
+	enq := res.Enq
+	t.cfg.Trace.Emit(trace.Span{
+		Msg: id, Kind: trace.KindRMTParse, LocKind: trace.LocEngine, Loc: loc,
+		Start: enq, End: enq + pc,
+	})
+	for i := uint64(0); i < stages; i++ {
+		t.cfg.Trace.Emit(trace.Span{
+			Msg: id, Kind: trace.KindRMTStage, LocKind: trace.LocEngine, Loc: loc,
+			Start: enq + pc + i, End: enq + pc + i + 1, A: i,
+		})
+	}
+	t.cfg.Trace.Emit(trace.Span{
+		Msg: id, Kind: trace.KindRMTDeparse, LocKind: trace.LocEngine, Loc: loc,
+		Start: enq + pc + stages, End: enq + lat,
+	})
+	if cycle > enq+lat {
+		t.cfg.Trace.Emit(trace.Span{
+			Msg: id, Kind: trace.KindRMTStall, LocKind: trace.LocEngine, Loc: loc,
+			Start: enq + lat, End: cycle,
+		})
 	}
 }
 

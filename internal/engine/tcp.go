@@ -81,11 +81,12 @@ func (e *LSOEngine) Process(ctx *Ctx, msg *packet.Message) []Out {
 		segIP.ID = ip.ID + uint16(off/e.cfg.MSS)
 		segIP.Checksum = segIP.ComputeChecksum()
 		seg := &packet.Message{
-			ID:     msg.ID,
-			Tenant: msg.Tenant,
-			Class:  msg.Class,
-			Port:   msg.Port,
-			Inject: msg.Inject,
+			ID:      msg.ID,
+			TraceID: msg.TraceID,
+			Tenant:  msg.Tenant,
+			Class:   msg.Class,
+			Port:    msg.Port,
+			Inject:  msg.Inject,
 			Pkt: packet.NewPacket(size,
 				&packet.Ethernet{Dst: eth.Dst, Src: eth.Src, EtherType: packet.EtherTypeIPv4},
 				&segIP,

@@ -7,6 +7,7 @@ import (
 	"github.com/panic-nic/panic/internal/packet"
 	"github.com/panic-nic/panic/internal/sched"
 	"github.com/panic-nic/panic/internal/sim"
+	"github.com/panic-nic/panic/internal/trace"
 )
 
 // TileConfig parameterizes a tile.
@@ -34,6 +35,11 @@ type TileConfig struct {
 	// TraceVisits records per-engine Visit entries on messages (tests
 	// and examples; costs an append per hop).
 	TraceVisits bool
+	// Trace, when non-nil, receives cycle-stamped span records for
+	// sampled messages (see internal/trace): queue enqueue/dequeue with
+	// depth and slack, service occupancy, fabric injections, and drops.
+	// Nil disables tracing at zero cost on the hot path.
+	Trace *trace.Buffer
 }
 
 // TileStats are one tile's counters.
@@ -84,6 +90,7 @@ type Tile struct {
 	// Service state.
 	cur      *packet.Message
 	busyLeft uint64
+	curStart uint64
 
 	// Send state: resolved messages awaiting fabric space, plus delayed
 	// emissions ordered by due cycle.
@@ -232,6 +239,13 @@ func (t *Tile) Tick(cycle uint64) {
 	// nothing.
 	if g, ok := t.eng.(Generator); ok && !t.fault.Wedged {
 		for _, out := range g.Generate(&t.ctx) {
+			if t.cfg.Trace.Want(out.Msg.TraceID) {
+				t.cfg.Trace.Emit(trace.Span{
+					Msg: out.Msg.TraceID, Kind: trace.KindGen,
+					LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
+					Start: cycle, End: cycle, B: uint64(out.Msg.WireLen()),
+				})
+			}
 			t.stage(out)
 		}
 	}
@@ -256,6 +270,14 @@ func (t *Tile) Tick(cycle uint64) {
 			break
 		}
 		t.fab.Inject(t.cfg.Node, o.dst, o.msg)
+		if t.cfg.Trace.Want(o.msg.TraceID) {
+			t.cfg.Trace.Emit(trace.Span{
+				Msg: o.msg.TraceID, Kind: trace.KindInject,
+				LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
+				Start: cycle, End: cycle,
+				A: uint64(o.dst), B: uint64(t.fab.FlitsFor(o.msg)),
+			})
+		}
 		t.stats.Emitted++
 		sent++
 	}
@@ -271,6 +293,13 @@ func (t *Tile) Tick(cycle uint64) {
 			msg := t.cur
 			t.cur = nil
 			t.stats.Processed++
+			if t.cfg.Trace.Want(msg.TraceID) {
+				t.cfg.Trace.Emit(trace.Span{
+					Msg: msg.TraceID, Kind: trace.KindService,
+					LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
+					Start: t.curStart, End: cycle,
+				})
+			}
 			for _, out := range t.eng.Process(&t.ctx, msg) {
 				t.stage(out)
 			}
@@ -279,8 +308,21 @@ func (t *Tile) Tick(cycle uint64) {
 
 	// 5. Start the next message (never on a wedged engine).
 	if t.cur == nil && !t.fault.Wedged {
+		depth := 0
+		if t.cfg.Trace != nil {
+			depth = t.queue.Len()
+		}
 		if msg, ok := t.queue.Pop(); ok {
+			if t.cfg.Trace.Want(msg.TraceID) {
+				t.cfg.Trace.Emit(trace.Span{
+					Msg: msg.TraceID, Kind: trace.KindWait,
+					LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
+					Start: msg.EnqueuedAt, End: cycle,
+					A: uint64(depth), B: uint64(chainSlack(msg, t.cfg.Addr)),
+				})
+			}
 			t.cur = msg
+			t.curStart = cycle
 			var svc uint64
 			if te, ok := t.eng.(TimedEngine); ok {
 				svc = te.ServiceCyclesAt(&t.ctx, msg)
@@ -318,23 +360,45 @@ func (t *Tile) admit(msg *packet.Message, cycle uint64) {
 	if t.shedFaulted(msg, cycle) {
 		return
 	}
-	slack := uint32(0)
-	if c := msg.Chain(); c != nil {
-		if hop, ok := c.Current(); ok && hop.Engine == t.cfg.Addr {
-			slack = hop.Slack
-		}
-	}
+	slack := chainSlack(msg, t.cfg.Addr)
 	msg.EnqueuedAt = cycle
 	if t.cfg.TraceVisits {
 		msg.Trace = append(msg.Trace, packet.Visit{Engine: t.cfg.Addr, Enqueued: cycle})
 	}
-	res := t.queue.Push(msg, t.rank(msg, slack, cycle))
+	rank := t.rank(msg, slack, cycle)
+	res := t.queue.Push(msg, rank)
+	if res.Accepted && res.Dropped != msg && t.cfg.Trace.Want(msg.TraceID) {
+		t.cfg.Trace.Emit(trace.Span{
+			Msg: msg.TraceID, Kind: trace.KindEnq,
+			LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
+			Start: cycle, End: cycle,
+			A: rank, B: uint64(t.queue.Len()),
+		})
+	}
 	if res.Dropped != nil {
 		t.stats.Dropped++
+		if t.cfg.Trace.Want(res.Dropped.TraceID) {
+			t.cfg.Trace.Emit(trace.Span{
+				Msg: res.Dropped.TraceID, Kind: trace.KindDrop,
+				LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
+				Start: cycle, End: cycle, A: trace.DropQueueShed,
+			})
+		}
 		if t.DropSink != nil {
 			t.DropSink.Deliver(res.Dropped, cycle)
 		}
 	}
+}
+
+// chainSlack returns the slack the RMT program stamped for this engine's
+// hop, or 0 when the message has no chain positioned here.
+func chainSlack(msg *packet.Message, addr packet.Addr) uint32 {
+	if c := msg.Chain(); c != nil {
+		if hop, ok := c.Current(); ok && hop.Engine == addr {
+			return hop.Slack
+		}
+	}
+	return 0
 }
 
 // stage routes an Out and places it in the outbox (or the delay list).

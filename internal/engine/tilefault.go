@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/trace"
 )
 
 // FaultState is the injectable fault condition on a tile. The zero value
@@ -69,6 +70,7 @@ func (t *Tile) Reset(drainTo packet.Addr) int {
 	}
 	n := 0
 	if t.cur != nil {
+		t.traceDrained(t.cur)
 		t.outbox = append(t.outbox, resolvedOut{msg: t.cur, dst: t.routes.Lookup(dst)})
 		t.cur = nil
 		t.busyLeft = 0
@@ -79,11 +81,24 @@ func (t *Tile) Reset(drainTo packet.Addr) int {
 		if !ok {
 			break
 		}
+		t.traceDrained(msg)
 		t.outbox = append(t.outbox, resolvedOut{msg: msg, dst: t.routes.Lookup(dst)})
 		n++
 	}
 	t.stats.Drained += uint64(n)
 	return n
+}
+
+// traceDrained marks a message evicted by a control-plane drain. Reset
+// runs from the serial phase, so the cycle is the tile's last Tick time.
+func (t *Tile) traceDrained(msg *packet.Message) {
+	if t.cfg.Trace.Want(msg.TraceID) {
+		t.cfg.Trace.Emit(trace.Span{
+			Msg: msg.TraceID, Kind: trace.KindDrop,
+			LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
+			Start: t.ctx.Now, End: t.ctx.Now, A: trace.DropDrained,
+		})
+	}
 }
 
 // shedFaulted applies the flake faults to an arriving message; it reports
@@ -94,6 +109,7 @@ func (t *Tile) shedFaulted(msg *packet.Message, cycle uint64) bool {
 		if t.corruptSeen%uint64(n) == 0 {
 			t.stats.Corrupted++
 			t.stats.Dropped++
+			t.traceShed(msg, cycle, trace.DropCorrupt)
 			if t.DropSink != nil {
 				t.DropSink.Deliver(msg, cycle)
 			}
@@ -105,6 +121,7 @@ func (t *Tile) shedFaulted(msg *packet.Message, cycle uint64) bool {
 		if t.dropSeen%uint64(n) == 0 {
 			t.stats.FaultDropped++
 			t.stats.Dropped++
+			t.traceShed(msg, cycle, trace.DropFault)
 			if t.DropSink != nil {
 				t.DropSink.Deliver(msg, cycle)
 			}
@@ -112,6 +129,17 @@ func (t *Tile) shedFaulted(msg *packet.Message, cycle uint64) bool {
 		}
 	}
 	return false
+}
+
+// traceShed marks a fault-injected discard.
+func (t *Tile) traceShed(msg *packet.Message, cycle uint64, reason uint64) {
+	if t.cfg.Trace.Want(msg.TraceID) {
+		t.cfg.Trace.Emit(trace.Span{
+			Msg: msg.TraceID, Kind: trace.KindDrop,
+			LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
+			Start: cycle, End: cycle, A: reason,
+		})
+	}
 }
 
 // scaleService applies the slow-factor fault to a service time.

@@ -5,6 +5,7 @@ import (
 
 	"github.com/panic-nic/panic/internal/packet"
 	"github.com/panic-nic/panic/internal/sim"
+	"github.com/panic-nic/panic/internal/trace"
 )
 
 // Port directions on a mesh router. Local is the tile attachment.
@@ -98,6 +99,10 @@ type router struct {
 	// stats are this router's counters. injected/ejected are written by
 	// the local tile (single writer); the rest by the router's own shard.
 	stats routerStats
+	// tb is this router's trace buffer (nil when tracing is off). One
+	// buffer per router keeps span emission single-writer under the
+	// parallel kernel's one-shard-per-router partitioning.
+	tb *trace.Buffer
 }
 
 // routerStats are one router's contribution to the mesh totals. occIn and
@@ -266,6 +271,21 @@ func (m *Mesh) RegisterWith(k *sim.Kernel) {
 			k.Register(r.inj.lanes[v].q)
 		}
 		k.Register(r.ejectQ)
+	}
+}
+
+// AttachTracer gives every router its own trace buffer, so hop and
+// transit spans can be emitted from the parallel Eval phase without
+// cross-shard writes. Buffers are created in router-ID order, which fixes
+// their drain order at commit and keeps trace output deterministic.
+func (m *Mesh) AttachTracer(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	for _, r := range m.routers {
+		name := "router" + m.CoordOf(r.id).String()
+		tr.NameLoc(trace.LocNode, uint32(r.id), name)
+		r.tb = tr.Buffer(name)
 	}
 }
 
@@ -481,8 +501,25 @@ func (r *router) deliver(o int, f Flit) {
 			r.ejectQ.Push(msg)
 			r.stats.delivered++
 			r.stats.totalLatency += r.m.now - a.enqued
+			if r.tb.Want(msg.TraceID) {
+				// One mesh-transit span per message, from injection-queue
+				// entry to tail-flit ejection at the destination router.
+				r.tb.Emit(trace.Span{
+					Msg: msg.TraceID, Kind: trace.KindEject,
+					LocKind: trace.LocNode, Loc: uint32(r.id),
+					Start: a.enqued, End: r.m.now,
+				})
+			}
 		}
 		return
+	}
+	if f.Head && f.Msg != nil && r.tb.Want(f.Msg.TraceID) {
+		r.tb.Emit(trace.Span{
+			Msg: f.Msg.TraceID, Kind: trace.KindHop,
+			LocKind: trace.LocNode, Loc: uint32(r.id),
+			Start: r.m.now, End: r.m.now,
+			A: uint64(o), B: uint64(f.Dst),
+		})
 	}
 	r.neighbor[o].in[oppositePort[o]][f.VC].Push(f)
 	r.stats.flitHops++

@@ -16,6 +16,11 @@
 // credit-based — an upstream router forwards a flit only when the
 // downstream input buffer has space. Drops, when policy requires them,
 // happen in the logical scheduler (internal/sched), never here.
+//
+// With a tracer attached (Mesh.AttachTracer), every router owns a private
+// span buffer and emits hop instants for forwarded head flits plus one
+// mesh-transit span per delivered message (injection enqueue to tail-flit
+// ejection) — see internal/trace for the determinism and cost contracts.
 package noc
 
 import (

@@ -32,6 +32,14 @@ func (c Class) String() string {
 type Message struct {
 	// ID is unique per simulation for tracing.
 	ID uint64
+	// TraceID identifies the message to the tracing subsystem
+	// (internal/trace). Workload IDs are per-source and collide across
+	// ports, so the ingress MAC stamps a globally unique, deterministic
+	// TraceID — (port+1)<<48 | per-port sequence — on every fresh
+	// arrival; engines that derive new messages (DMA completions, host
+	// responses, LSO segments) copy the parent's TraceID so a request
+	// and everything it spawns share one trace. 0 means untraced.
+	TraceID uint64
 	// Pkt is the wire representation.
 	Pkt *Packet
 	// Inject is the cycle the message entered the NIC (or was created by

@@ -53,6 +53,7 @@ func (p *MessagePool) Put(m *Message) {
 		return
 	}
 	m.ID = 0
+	m.TraceID = 0
 	m.Inject = 0
 	m.Done = 0
 	m.Deadline = 0

@@ -71,6 +71,11 @@ type Result struct {
 	// Queue is the descriptor queue selected by the program (value of
 	// meta.queue at deparse time).
 	Queue uint64
+	// Enq is the cycle the timed Pipeline accepted the message (set by
+	// Accept, zero for bare Program.Process calls). Tracing reconstructs
+	// per-stage spans from it: exit later than Enq + Latency means the
+	// pipeline was frozen by fabric backpressure for the difference.
+	Enq uint64
 }
 
 // Process runs one message through the program combinationally (parse →
@@ -131,6 +136,8 @@ func (p *Program) deparse(msg *packet.Message, ctx *Ctx) {
 type Pipeline struct {
 	prog    *Program
 	slots   []pipeSlot // slots[0] is the entry stage
+	parserC int
+	depC    int
 	dropped uint64
 	errs    uint64
 	done    uint64
@@ -151,11 +158,17 @@ func NewPipeline(prog *Program, parserCycles, deparserCycles int) *Pipeline {
 		deparserCycles = 1
 	}
 	latency := parserCycles + prog.NumStages() + deparserCycles
-	return &Pipeline{prog: prog, slots: make([]pipeSlot, latency)}
+	return &Pipeline{prog: prog, slots: make([]pipeSlot, latency), parserC: parserCycles, depC: deparserCycles}
 }
 
 // Latency returns the pipeline depth in cycles.
 func (p *Pipeline) Latency() int { return len(p.slots) }
+
+// ParserCycles returns the parser phase length in cycles.
+func (p *Pipeline) ParserCycles() int { return p.parserC }
+
+// DeparserCycles returns the deparser phase length in cycles.
+func (p *Pipeline) DeparserCycles() int { return p.depC }
 
 // CanAccept reports whether the entry stage is free this cycle.
 func (p *Pipeline) CanAccept() bool { return !p.slots[0].full }
@@ -174,11 +187,14 @@ func (p *Pipeline) Accept(msg *packet.Message, now uint64) {
 		p.errs++
 		res = Result{Msg: msg, Drop: true}
 	}
+	res.Enq = now
 	p.slots[0] = pipeSlot{res: res, full: true}
 }
 
 // Tick advances the pipeline one cycle and returns the message exiting
-// this cycle, if any. Dropped packets are counted and not returned.
+// this cycle, if any. Dropped packets are counted and returned with
+// ok == false (so tracing callers can observe the drop; the zero Result
+// with ok == false means nothing exited at all).
 func (p *Pipeline) Tick() (Result, bool) {
 	last := len(p.slots) - 1
 	out := p.slots[last]
@@ -190,7 +206,7 @@ func (p *Pipeline) Tick() (Result, bool) {
 	p.done++
 	if out.res.Drop {
 		p.dropped++
-		return Result{}, false
+		return out.res, false
 	}
 	return out.res, true
 }

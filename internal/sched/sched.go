@@ -16,6 +16,12 @@
 // DropLowestPriority sheds the worst-ranked droppable message on overflow,
 // never dropping messages marked lossless (descriptor DMA and other
 // control traffic).
+//
+// Scheduling decisions are observable through internal/trace: the owning
+// tile records the rank and queue depth at every accepted push (enqueue
+// spans), the depth and slack at every pop (queue-wait spans), and each
+// overflow eviction (drop spans), so a trace shows exactly how the PIFO
+// ordered competing messages.
 package sched
 
 import (

@@ -27,6 +27,13 @@
 //
 // When every registered Ticker also implements Quiescer, Run and RunUntil
 // can fast-forward the clock over provably idle cycles (see Quiescer).
+//
+// Observability rides on the same phase structure: internal/trace's Tracer
+// is a Committer registered last, so per-component span buffers filled
+// during Eval (single writer each) drain into one deterministic stream
+// after every other commit of the cycle — byte-identical across worker
+// counts and with fast-forward on or off, because skipped cycles run no
+// phases and so can emit nothing.
 package sim
 
 import (

@@ -1,0 +1,53 @@
+package stats
+
+import "fmt"
+
+// Breakdown is an ordered collection of named histograms: one row per
+// pipeline stage (or any other label), answering "where do the cycles
+// go?" with p50/p99/p999 summaries per stage. Rows keep first-Observe
+// order, so a journey-shaped insertion (parse, stages, queueing, service,
+// transit, delivery) renders as a journey-shaped table.
+type Breakdown struct {
+	order []string
+	hists map[string]*Histogram
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{hists: make(map[string]*Histogram)}
+}
+
+// Observe records one sample under the given stage label.
+func (b *Breakdown) Observe(stage string, v float64) {
+	h, ok := b.hists[stage]
+	if !ok {
+		h = NewHistogram()
+		b.hists[stage] = h
+		b.order = append(b.order, stage)
+	}
+	h.Observe(v)
+}
+
+// Stages returns the labels in first-Observe order.
+func (b *Breakdown) Stages() []string { return b.order }
+
+// Hist returns the histogram for a stage, or nil.
+func (b *Breakdown) Hist(stage string) *Histogram { return b.hists[stage] }
+
+// Len returns the number of stages.
+func (b *Breakdown) Len() int { return len(b.order) }
+
+// Table renders the breakdown with count, mean, p50, p99, p999, and max
+// columns. unit labels the value columns (e.g. "cycles", "ns").
+func (b *Breakdown) Table(unit string) *Table {
+	t := NewTable("stage", "n",
+		fmt.Sprintf("mean (%s)", unit), fmt.Sprintf("p50 (%s)", unit),
+		fmt.Sprintf("p99 (%s)", unit), fmt.Sprintf("p999 (%s)", unit),
+		fmt.Sprintf("max (%s)", unit))
+	for _, stage := range b.order {
+		h := b.hists[stage]
+		t.AddRow(stage, h.Count(),
+			fmt.Sprintf("%.1f", h.Mean()), h.P50(), h.P99(), h.P999(), h.Max())
+	}
+	return t
+}

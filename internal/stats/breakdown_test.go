@@ -1,0 +1,39 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBreakdownOrderAndStats(t *testing.T) {
+	b := NewBreakdown()
+	b.Observe("parse", 1)
+	b.Observe("service", 10)
+	b.Observe("parse", 3)
+	b.Observe("transit", 8)
+
+	if got := b.Stages(); len(got) != 3 || got[0] != "parse" || got[1] != "service" || got[2] != "transit" {
+		t.Errorf("Stages() = %v, want first-observe order [parse service transit]", got)
+	}
+	if b.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", b.Len())
+	}
+	h := b.Hist("parse")
+	if h == nil || h.Count() != 2 || h.Mean() != 2 {
+		t.Errorf("parse hist = %+v, want n=2 mean=2", h)
+	}
+	if b.Hist("missing") != nil {
+		t.Error("Hist on an unknown stage must return nil")
+	}
+
+	out := b.Table("cycles").String()
+	for _, want := range []string{"stage", "p999 (cycles)", "parse", "service", "transit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Rows render in first-observe order.
+	if strings.Index(out, "parse") > strings.Index(out, "service") {
+		t.Errorf("table rows out of order:\n%s", out)
+	}
+}

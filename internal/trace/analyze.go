@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/panic-nic/panic/internal/stats"
+)
+
+// stageLabel maps a span to its per-stage breakdown row, or "" for kinds
+// that carry no duration worth aggregating.
+func (s *Set) stageLabel(sp Span) string {
+	switch sp.Kind {
+	case KindWait:
+		return "queue-wait@" + s.LocName(sp.LocKind, sp.Loc)
+	case KindService:
+		return "service@" + s.LocName(sp.LocKind, sp.Loc)
+	case KindRMTParse:
+		return "rmt-parse@" + s.LocName(sp.LocKind, sp.Loc)
+	case KindRMTStage:
+		return "rmt-stages@" + s.LocName(sp.LocKind, sp.Loc)
+	case KindRMTDeparse:
+		return "rmt-deparse@" + s.LocName(sp.LocKind, sp.Loc)
+	case KindRMTStall:
+		return "rmt-stall@" + s.LocName(sp.LocKind, sp.Loc)
+	case KindEject:
+		return "mesh-transit"
+	}
+	return ""
+}
+
+// Breakdown aggregates per-stage durations (cycles) into an ordered set
+// of histograms: one row per engine queue, engine service, RMT phase, and
+// mesh transit overall. Row order is first appearance in the stream.
+// KindRMTStage spans are summed per (message, location) so the row
+// reflects total match+action occupancy, not single one-cycle stages.
+func (s *Set) Breakdown() *stats.Breakdown {
+	b := stats.NewBreakdown()
+	type stageKey struct {
+		msg uint64
+		loc uint32
+	}
+	stageSum := make(map[stageKey]uint64)
+	var stageOrder []stageKey
+	for _, sp := range s.Spans {
+		label := s.stageLabel(sp)
+		if label == "" {
+			continue
+		}
+		if sp.Kind == KindRMTStage {
+			k := stageKey{sp.Msg, sp.Loc}
+			if _, seen := stageSum[k]; !seen {
+				stageOrder = append(stageOrder, k)
+			}
+			stageSum[k] += sp.Dur()
+			continue
+		}
+		b.Observe(label, float64(sp.Dur()))
+	}
+	for _, k := range stageOrder {
+		b.Observe("rmt-stages@"+s.LocName(LocEngine, k.loc), float64(stageSum[k]))
+	}
+	return b
+}
+
+// EndToEnd histograms each message's span footprint: earliest Start to
+// latest End over all its spans (including the possibly-future host
+// delivery cycle), in cycles.
+func (s *Set) EndToEnd() *stats.Histogram {
+	type window struct {
+		lo, hi uint64
+	}
+	spansByMsg := make(map[uint64]window)
+	for _, sp := range s.Spans {
+		if sp.Msg == 0 {
+			continue
+		}
+		w, ok := spansByMsg[sp.Msg]
+		if !ok {
+			w = window{lo: sp.Start, hi: sp.End}
+		} else {
+			if sp.Start < w.lo {
+				w.lo = sp.Start
+			}
+			if sp.End > w.hi {
+				w.hi = sp.End
+			}
+		}
+		spansByMsg[sp.Msg] = w
+	}
+	ids := make([]uint64, 0, len(spansByMsg))
+	for id := range spansByMsg {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	h := stats.NewHistogram()
+	for _, id := range ids {
+		w := spansByMsg[id]
+		h.Observe(float64(w.hi - w.lo))
+	}
+	return h
+}
+
+// SummaryText renders the end-to-end histogram and the per-stage
+// breakdown as the text report printed by panicsim -trace and
+// tracetool -summary.
+func (s *Set) SummaryText() string {
+	var sb strings.Builder
+	e2e := s.EndToEnd()
+	fmt.Fprintf(&sb, "end-to-end (cycles): n=%d mean=%.1f p50=%.0f p99=%.0f p999=%.0f max=%.0f\n",
+		e2e.Count(), e2e.Mean(), e2e.P50(), e2e.P99(), e2e.P999(), e2e.Max())
+	if s.Dropped > 0 {
+		fmt.Fprintf(&sb, "WARNING: %d spans dropped at the MaxSpans cap; aggregates are partial\n", s.Dropped)
+	}
+	sb.WriteString("\nper-stage latency:\n")
+	sb.WriteString(s.Breakdown().Table("cycles").String())
+	return sb.String()
+}
+
+// Flame renders collapsed flamegraph stacks: one line per distinct
+// message path ("eth0;rmt0;mesh;kvscache;... <cycles>"), weighted by the
+// total cycles messages spent on that path's stages, aggregated over all
+// messages and sorted by weight (heaviest first, ties by path). The
+// output feeds flamegraph.pl or any collapsed-stack viewer directly.
+func (s *Set) Flame() string {
+	type frame struct {
+		start uint64
+		seq   int
+		name  string
+		dur   uint64
+	}
+	frames := make(map[uint64][]frame)
+	for i, sp := range s.Spans {
+		if sp.Msg == 0 {
+			continue
+		}
+		var name string
+		switch sp.Kind {
+		case KindWait, KindService, KindRMTParse, KindRMTStage, KindRMTDeparse, KindRMTStall:
+			name = s.LocName(sp.LocKind, sp.Loc)
+		case KindEject:
+			name = "mesh"
+		default:
+			continue
+		}
+		frames[sp.Msg] = append(frames[sp.Msg], frame{start: sp.Start, seq: i, name: name, dur: sp.Dur()})
+	}
+	type pathWeight struct {
+		path   string
+		cycles uint64
+		msgs   uint64
+	}
+	weights := make(map[string]*pathWeight)
+	for _, fs := range frames {
+		sort.Slice(fs, func(i, j int) bool {
+			if fs[i].start != fs[j].start {
+				return fs[i].start < fs[j].start
+			}
+			return fs[i].seq < fs[j].seq
+		})
+		var path []string
+		var cycles uint64
+		for _, f := range fs {
+			if len(path) == 0 || path[len(path)-1] != f.name {
+				path = append(path, f.name)
+			}
+			cycles += f.dur
+		}
+		key := strings.Join(path, ";")
+		w, ok := weights[key]
+		if !ok {
+			w = &pathWeight{path: key}
+			weights[key] = w
+		}
+		w.cycles += cycles
+		w.msgs++
+	}
+	rows := make([]*pathWeight, 0, len(weights))
+	for _, w := range weights {
+		rows = append(rows, w)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].cycles != rows[j].cycles {
+			return rows[i].cycles > rows[j].cycles
+		}
+		return rows[i].path < rows[j].path
+	})
+	var sb strings.Builder
+	for _, w := range rows {
+		fmt.Fprintf(&sb, "%s %d\n", w.path, w.cycles)
+	}
+	return sb.String()
+}
+
+// Timeline renders one message's spans as a chronological table — the
+// hop-by-hop journey used in OBSERVABILITY.md's worked example.
+func (s *Set) Timeline(id uint64) string {
+	var spans []Span
+	var order []int
+	for i, sp := range s.Spans {
+		if sp.Msg == id {
+			spans = append(spans, sp)
+			order = append(order, i)
+		}
+	}
+	if len(spans) == 0 {
+		return fmt.Sprintf("no spans for trace ID %d\n", id)
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return order[i] < order[j]
+	})
+	t := stats.NewTable("cycle", "dur", "event", "where", "detail")
+	for _, sp := range spans {
+		cycle := fmt.Sprintf("%d", sp.Start)
+		dur := "-"
+		if !sp.Kind.Instant() {
+			cycle = fmt.Sprintf("%d..%d", sp.Start, sp.End)
+			dur = fmt.Sprintf("%d", sp.Dur())
+		}
+		t.AddRow(cycle, dur, sp.Kind.String(), s.LocName(sp.LocKind, sp.Loc), s.detail(sp))
+	}
+	return t.String()
+}
+
+// detail renders a span's kind-specific A/B fields for timelines.
+func (s *Set) detail(sp Span) string {
+	switch sp.Kind {
+	case KindGen:
+		return fmt.Sprintf("%dB", sp.B)
+	case KindEnq:
+		return fmt.Sprintf("rank=%d depth=%d", sp.A, sp.B)
+	case KindWait:
+		return fmt.Sprintf("depth=%d slack=%d", sp.A, sp.B)
+	case KindRMTStage:
+		return fmt.Sprintf("stage=%d", sp.A)
+	case KindInject:
+		return fmt.Sprintf("dst=%s flits=%d", s.LocName(LocNode, uint32(sp.A)), sp.B)
+	case KindHop:
+		return fmt.Sprintf("out=%s dst=%s", PortName(sp.A), s.LocName(LocNode, uint32(sp.B)))
+	case KindDeliver:
+		return fmt.Sprintf("%dB", sp.B)
+	case KindDrop:
+		return DropReason(sp.A)
+	case KindControl:
+		return fmt.Sprintf("engine=%d", sp.A)
+	}
+	return ""
+}

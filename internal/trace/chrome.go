@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteChrome renders the set in the Chrome trace_event JSON format
+// (loadable in Perfetto and chrome://tracing). Each span location becomes
+// a named thread track; interval kinds become complete ("X") events,
+// instant kinds become instant ("i") events. Timestamps are microseconds
+// (the format's unit) derived from cycles at FreqHz; the exact cycle
+// values ride along in each event's args so ReadChrome round-trips
+// losslessly and the determinism tests can compare output byte for byte.
+//
+// The output is deterministic: events appear in span-stream order, tracks
+// are numbered by sorted location, and floats are formatted with
+// strconv.FormatFloat's shortest representation.
+func (s *Set) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	tids := s.assignTracks()
+
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"tool\":\"panicsim\",\"freqHz\":%q,\"spans\":\"%d\",\"droppedSpans\":\"%d\"},\"traceEvents\":[\n",
+		formatFloat(s.FreqHz), len(s.Spans), s.Dropped)
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+	}
+
+	sep()
+	bw.WriteString(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"panicsim"}}`)
+	// Track metadata, in tid order. lk/loc in the args let ReadChrome
+	// rebuild the location table.
+	keys := make([]locKey, 0, len(tids))
+	for k := range tids {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return tids[keys[i]] < tids[keys[j]] })
+	for _, k := range keys {
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s,"lk":%d,"loc":%d}}`,
+			tids[k], quote(s.LocName(k.kind, k.id)), k.kind, k.id)
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","pid":1,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
+			tids[k], tids[k])
+	}
+
+	usPerCycle := 1e6 / s.FreqHz
+	for _, sp := range s.Spans {
+		sep()
+		tid := tids[locKey{sp.LocKind, sp.Loc}]
+		ts := float64(sp.Start) * usPerCycle
+		args := fmt.Sprintf(`{"msg":%d,"lk":%d,"loc":%d,"s":%d,"e":%d,"a":%d,"b":%d}`,
+			sp.Msg, sp.LocKind, sp.Loc, sp.Start, sp.End, sp.A, sp.B)
+		if sp.Kind.Instant() {
+			fmt.Fprintf(bw, `{"ph":"i","pid":1,"tid":%d,"ts":%s,"s":"t","name":%q,"args":%s}`,
+				tid, formatFloat(ts), sp.Kind.String(), args)
+		} else {
+			dur := float64(sp.Dur()) * usPerCycle
+			fmt.Fprintf(bw, `{"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s,"name":%q,"args":%s}`,
+				tid, formatFloat(ts), formatFloat(dur), sp.Kind.String(), args)
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// assignTracks numbers every location appearing in the name table or the
+// span stream, ordered by (LocKind, Loc), starting at tid 1.
+func (s *Set) assignTracks() map[locKey]int {
+	present := make(map[locKey]bool)
+	for k := range s.names {
+		present[k] = true
+	}
+	for _, sp := range s.Spans {
+		present[locKey{sp.LocKind, sp.Loc}] = true
+	}
+	keys := make([]locKey, 0, len(present))
+	for k := range present {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].kind != keys[j].kind {
+			return keys[i].kind < keys[j].kind
+		}
+		return keys[i].id < keys[j].id
+	})
+	tids := make(map[locKey]int, len(keys))
+	for i, k := range keys {
+		tids[k] = i + 1
+	}
+	return tids
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+func quote(s string) string { return strconv.Quote(s) }
+
+// chromeFile mirrors the exported JSON for reading.
+type chromeFile struct {
+	OtherData   map[string]string `json:"otherData"`
+	TraceEvents []chromeEvent     `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Ph   string          `json:"ph"`
+	Name string          `json:"name"`
+	Args json.RawMessage `json:"args"`
+}
+
+type chromeSpanArgs struct {
+	Msg uint64 `json:"msg"`
+	LK  uint8  `json:"lk"`
+	Loc uint32 `json:"loc"`
+	S   uint64 `json:"s"`
+	E   uint64 `json:"e"`
+	A   uint64 `json:"a"`
+	B   uint64 `json:"b"`
+}
+
+type chromeMetaArgs struct {
+	Name string  `json:"name"`
+	LK   *uint8  `json:"lk"`
+	Loc  *uint32 `json:"loc"`
+}
+
+// ReadChrome parses a file written by WriteChrome back into a Set, using
+// the exact cycle values embedded in event args (the microsecond
+// timestamps are ignored). Events written by other tools are skipped when
+// they lack the embedded args.
+func ReadChrome(r io.Reader) (*Set, error) {
+	var f chromeFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: parsing chrome JSON: %w", err)
+	}
+	s := &Set{FreqHz: 500e6}
+	if v, ok := f.OtherData["freqHz"]; ok {
+		if hz, err := strconv.ParseFloat(v, 64); err == nil && hz > 0 {
+			s.FreqHz = hz
+		}
+	}
+	if v, ok := f.OtherData["droppedSpans"]; ok {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			s.Dropped = n
+		}
+	}
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "thread_name" {
+				continue
+			}
+			var m chromeMetaArgs
+			if err := json.Unmarshal(ev.Args, &m); err != nil || m.LK == nil || m.Loc == nil {
+				continue
+			}
+			s.setName(LocKind(*m.LK), *m.Loc, m.Name)
+		case "X", "i":
+			kind, ok := kindByName[ev.Name]
+			if !ok {
+				continue
+			}
+			var a chromeSpanArgs
+			if err := json.Unmarshal(ev.Args, &a); err != nil {
+				continue
+			}
+			s.Spans = append(s.Spans, Span{
+				Msg: a.Msg, Start: a.S, End: a.E, A: a.A, B: a.B,
+				Kind: kind, LocKind: LocKind(a.LK), Loc: a.Loc,
+			})
+		}
+	}
+	return s, nil
+}

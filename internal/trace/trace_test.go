@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// emit fills a tracer with a small, hand-built two-message journey.
+func emit(tr *Tracer) {
+	eng := tr.Buffer("eng")
+	node := tr.Buffer("node")
+	tr.NameLoc(LocEngine, 7, "kvscache")
+	tr.NameLoc(LocNode, 3, "router(1,0)")
+	tr.NameLoc(LocSink, 1, "wire")
+	eng.Emit(Span{Msg: 10, Kind: KindGen, LocKind: LocEngine, Loc: 7, Start: 5, End: 5, B: 64})
+	eng.Emit(Span{Msg: 10, Kind: KindWait, LocKind: LocEngine, Loc: 7, Start: 5, End: 9, A: 2, B: 30})
+	eng.Emit(Span{Msg: 10, Kind: KindService, LocKind: LocEngine, Loc: 7, Start: 9, End: 14})
+	node.Emit(Span{Msg: 10, Kind: KindHop, LocKind: LocNode, Loc: 3, Start: 15, End: 15, A: 2, B: 9})
+	node.Emit(Span{Msg: 10, Kind: KindEject, LocKind: LocNode, Loc: 3, Start: 14, End: 20})
+	eng.Emit(Span{Msg: 20, Kind: KindDrop, LocKind: LocEngine, Loc: 7, Start: 8, End: 8, A: DropQueueShed})
+	eng.Emit(Span{Msg: 10, Kind: KindDeliver, LocKind: LocSink, Loc: 1, Start: 22, End: 22, B: 64})
+	tr.Commit()
+}
+
+func TestWantSampling(t *testing.T) {
+	var nilTr *Tracer
+	if nilTr.Want(5) {
+		t.Error("nil tracer must trace nothing")
+	}
+	all := New(Options{})
+	if !all.Want(3) || !all.Want(1<<52) {
+		t.Error("Sample 0 must trace every stamped message")
+	}
+	if all.Want(0) {
+		t.Error("trace ID 0 (never stamped) must not be traced")
+	}
+	s4 := New(Options{Sample: 4})
+	for id := uint64(1); id < 100; id++ {
+		if got, want := s4.Want(id), id%4 == 0; got != want {
+			t.Fatalf("Want(%d) with Sample 4 = %v, want %v", id, got, want)
+		}
+	}
+	var nilBuf *Buffer
+	if nilBuf.Want(12) {
+		t.Error("nil buffer must trace nothing")
+	}
+}
+
+func TestCommitDrainsInCreationOrder(t *testing.T) {
+	tr := New(Options{})
+	b2 := tr.Buffer("second-created")
+	b1 := tr.Buffer("first-used")
+	// Emission order is b1 then b2, but creation order is b2 then b1: the
+	// stream must follow creation order.
+	b1.Emit(Span{Msg: 2, Kind: KindGen})
+	b2.Emit(Span{Msg: 1, Kind: KindGen})
+	tr.Commit()
+	set := tr.Set()
+	if len(set.Spans) != 2 || set.Spans[0].Msg != 1 || set.Spans[1].Msg != 2 {
+		t.Fatalf("spans drained out of creation order: %+v", set.Spans)
+	}
+}
+
+func TestMaxSpansCap(t *testing.T) {
+	tr := New(Options{MaxSpans: 3})
+	b := tr.Buffer("b")
+	for i := 0; i < 5; i++ {
+		b.Emit(Span{Msg: uint64(i + 1), Kind: KindGen})
+	}
+	tr.Commit()
+	set := tr.Set()
+	if len(set.Spans) != 3 {
+		t.Errorf("kept %d spans, want 3", len(set.Spans))
+	}
+	if set.Dropped != 2 {
+		t.Errorf("Dropped = %d, want 2", set.Dropped)
+	}
+	if !strings.Contains(set.SummaryText(), "2 spans dropped") {
+		t.Error("summary does not surface the dropped-span count")
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	tr := New(Options{FreqHz: 500e6})
+	emit(tr)
+	want := tr.Set()
+
+	var sb strings.Builder
+	if err := want.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChrome(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FreqHz != want.FreqHz {
+		t.Errorf("FreqHz = %v, want %v", got.FreqHz, want.FreqHz)
+	}
+	if len(got.Spans) != len(want.Spans) {
+		t.Fatalf("round trip kept %d of %d spans", len(got.Spans), len(want.Spans))
+	}
+	for i, sp := range want.Spans {
+		if got.Spans[i] != sp {
+			t.Errorf("span %d: %+v != %+v", i, got.Spans[i], sp)
+		}
+	}
+	for _, loc := range []struct {
+		k    LocKind
+		id   uint32
+		name string
+	}{{LocEngine, 7, "kvscache"}, {LocNode, 3, "router(1,0)"}, {LocSink, 1, "wire"}} {
+		if got.LocName(loc.k, loc.id) != loc.name {
+			t.Errorf("LocName(%v,%d) = %q, want %q", loc.k, loc.id, got.LocName(loc.k, loc.id), loc.name)
+		}
+	}
+	// Writing the re-read set must reproduce the file byte for byte.
+	var sb2 strings.Builder
+	if err := got.WriteChrome(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != sb.String() {
+		t.Error("write -> read -> write is not byte-identical")
+	}
+}
+
+func TestLocNameFallback(t *testing.T) {
+	s := &Set{}
+	if got := s.LocName(LocEngine, 34); got != "engine34" {
+		t.Errorf("fallback = %q, want engine34", got)
+	}
+	if got := s.LocName(LocNode, 9); got != "node9" {
+		t.Errorf("fallback = %q, want node9", got)
+	}
+}
+
+func TestAnalysisViews(t *testing.T) {
+	tr := New(Options{})
+	emit(tr)
+	set := tr.Set()
+
+	b := set.Breakdown()
+	for _, stage := range []string{"queue-wait@kvscache", "service@kvscache", "mesh-transit"} {
+		if b.Hist(stage) == nil {
+			t.Errorf("breakdown missing stage %q (have %v)", stage, b.Stages())
+		}
+	}
+	if h := b.Hist("service@kvscache"); h != nil && h.Mean() != 5 {
+		t.Errorf("service mean = %v, want 5", h.Mean())
+	}
+
+	e2e := set.EndToEnd()
+	// msg 10 spans cycles 5..22, msg 20 is a point drop at 8.
+	if e2e.Count() != 2 || e2e.Max() != 17 {
+		t.Errorf("end-to-end n=%d max=%v, want n=2 max=17", e2e.Count(), e2e.Max())
+	}
+
+	flame := set.Flame()
+	if !strings.Contains(flame, "kvscache;mesh ") {
+		t.Errorf("flame output missing kvscache;mesh path:\n%s", flame)
+	}
+
+	tl := set.Timeline(10)
+	for _, want := range []string{"gen", "queue-wait", "service", "mesh-transit", "deliver", "depth=2 slack=30"} {
+		if !strings.Contains(tl, want) {
+			t.Errorf("timeline missing %q:\n%s", want, tl)
+		}
+	}
+	if !strings.Contains(set.Timeline(20), DropReason(DropQueueShed)) {
+		t.Error("drop timeline missing the drop reason")
+	}
+
+	msgs := set.Messages()
+	if len(msgs) != 2 || msgs[0] != 10 || msgs[1] != 20 {
+		t.Errorf("Messages() = %v, want [10 20]", msgs)
+	}
+
+	only := set.Filter(func(sp Span) bool { return sp.Msg == 20 })
+	if len(only.Spans) != 1 || only.Spans[0].Kind != KindDrop {
+		t.Errorf("filter kept %+v", only.Spans)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		name := k.String()
+		if strings.HasPrefix(name, "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if kindByName[name] != k {
+			t.Errorf("kind name %q does not round-trip", name)
+		}
+	}
+	if PortName(2) != "east" {
+		t.Errorf("PortName(2) = %q", PortName(2))
+	}
+	if DropReason(DropFault) != "fault-drop" {
+		t.Errorf("DropReason(DropFault) = %q", DropReason(DropFault))
+	}
+}
