@@ -56,6 +56,70 @@ func BenchmarkSchedulerIsolation(b *testing.B) {
 	})
 }
 
+// BenchmarkTenantIsolation — the multi-tenant acceptance experiment: a
+// 1 Gbps latency-sensitive victim shares a 16 Gbps host link with a
+// 24 Gbps bulk aggressor, so a standing queue forms at the DMA tile.
+// Reports the victim's p99 host-delivery latency inflation (contended /
+// solo baseline) under FIFO admission, plain LSTF, and weighted LSTF at
+// equal weights with per-tenant deficit credits. The matching correctness
+// bound (weighted LSTF <= 2x) is TestTenantIsolationVictimP99Bounded in
+// internal/core.
+func BenchmarkTenantIsolation(b *testing.B) {
+	type variant struct {
+		name     string
+		rank     sched.RankFunc
+		weights  map[uint16]uint64
+		aggClass packet.Class
+	}
+	equal := map[uint16]uint64{1: 1, 2: 1}
+	variants := []variant{
+		{"fifo", sched.RankFIFO, nil, packet.ClassBulk},
+		{"lstf", nil, nil, packet.ClassBulk},
+		// A slack-gaming aggressor declares itself latency class, so plain
+		// LSTF ranks it level with the victim; only the per-tenant rate
+		// credits can tell them apart.
+		{"lstf-gamed-slack", nil, nil, packet.ClassLatency},
+		{"wlstf-1to1", nil, equal, packet.ClassBulk},
+		{"wlstf-1to1-gamed-slack", nil, equal, packet.ClassLatency},
+	}
+	run := func(v variant, aggressor bool) float64 {
+		cfg := core.DefaultConfig()
+		cfg.Rank = v.rank
+		cfg.PCIeGbps = 16
+		cfg.QueueCap = 128
+		cfg.DMAJitter = 100
+		cfg.Tenants = []uint16{1, 2}
+		cfg.TenantWeights = v.weights
+		cfg.TenantQuantumBytes = 128
+		var src engine.Source
+		if aggressor {
+			src = workload.NewTenantMix(cfg.FreqHz, []workload.TenantSpec{
+				workload.VictimSpec(1),
+				{Tenant: 2, Class: v.aggClass, RateGbps: 24, Bulk: true, FrameBytes: 512},
+			}, 21)
+		} else {
+			src = workload.NewTenantMix(cfg.FreqHz, []workload.TenantSpec{workload.VictimSpec(1)}, 21)
+		}
+		nic := core.NewNIC(cfg, []engine.Source{src})
+		defer nic.Close()
+		nic.Run(300_000)
+		return nic.HostLat.Tenant(1).P99()
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			var solo, cont float64
+			for i := 0; i < b.N; i++ {
+				solo = run(v, false)
+				cont = run(v, true)
+			}
+			b.ReportMetric(solo/freq*1e6, "solo_p99_us")
+			b.ReportMetric(cont/freq*1e6, "contended_p99_us")
+			b.ReportMetric(cont/solo, "p99_inflation_x")
+		})
+	}
+}
+
 // BenchmarkRMTPerHopVsLightweight — §4.2/§3.1.2: if the heavyweight RMT
 // pipeline had to switch the packet between every pair of offloads
 // (instead of the lightweight per-engine tables following the chain

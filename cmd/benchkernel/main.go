@@ -6,11 +6,14 @@
 //     reporting simulated cycles/s, delivered msgs/s, and speedup vs one
 //     worker;
 //   - a low-load latency-curve run with idle-cycle fast-forward off and on,
-//     reporting effective simulated cycles/s and the skip ratio.
+//     reporting effective simulated cycles/s and the skip ratio;
+//   - the zero-alloc hot paths' steady-state allocations per operation.
 //
 // The host's CPU count and GOMAXPROCS are recorded alongside the numbers:
 // parallel-Eval speedup requires real cores, while the fast-forward speedup
 // is algorithmic and shows up even on one core.
+//
+// The committed output is the baseline cmd/benchgate compares against.
 //
 // Usage:
 //
@@ -18,64 +21,12 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"time"
 
-	"github.com/panic-nic/panic/internal/core"
-	"github.com/panic-nic/panic/internal/engine"
-	"github.com/panic-nic/panic/internal/packet"
-	"github.com/panic-nic/panic/internal/workload"
+	"github.com/panic-nic/panic/internal/benchmeas"
 )
-
-type workerResult struct {
-	Workers    int     `json:"workers"`
-	SimCycles  uint64  `json:"sim_cycles"`
-	WallSec    float64 `json:"wall_sec"`
-	CyclesPerS float64 `json:"sim_cycles_per_sec"`
-	MsgsPerS   float64 `json:"msgs_per_sec"`
-	Speedup    float64 `json:"speedup_vs_1_worker"`
-}
-
-type ffResult struct {
-	FastForward bool    `json:"fast_forward"`
-	SimCycles   uint64  `json:"sim_cycles"`
-	Skipped     uint64  `json:"skipped_cycles"`
-	WallSec     float64 `json:"wall_sec"`
-	CyclesPerS  float64 `json:"sim_cycles_per_sec"`
-	Speedup     float64 `json:"speedup_vs_stepping"`
-}
-
-type report struct {
-	NumCPU        int            `json:"num_cpu"`
-	GOMAXPROCS    int            `json:"gomaxprocs"`
-	Note          string         `json:"note"`
-	Saturating    []workerResult `json:"saturating_worker_sweep"`
-	LowLoad       []ffResult     `json:"low_load_fast_forward"`
-	BestFFSpeedup float64        `json:"best_ff_speedup"`
-}
-
-func buildNIC(workers int, fastForward bool, load float64) *core.NIC {
-	cfg := core.DefaultConfig()
-	cfg.Workers = workers
-	cfg.FastForward = fastForward
-	srcs := []engine.Source{
-		workload.NewKVSStream(workload.KVSTenantConfig{
-			Tenant: 1, Class: packet.ClassLatency,
-			RateGbps: 100 * load, FreqHz: cfg.FreqHz,
-			Keys: 1024, GetRatio: 0.9, WANShare: 0.2, ValueBytes: 256,
-			Seed: 21,
-		}),
-		workload.NewFixedStream(workload.FixedStreamConfig{
-			FrameBytes: 256, RateGbps: 100 * load, FreqHz: cfg.FreqHz,
-			Tenant: 2, Class: packet.ClassBulk, Seed: 22,
-		}),
-	}
-	return core.NewNIC(cfg, srcs)
-}
 
 func main() {
 	cycles := flag.Uint64("cycles", 300_000, "simulated cycles per saturating run")
@@ -83,75 +34,12 @@ func main() {
 	out := flag.String("o", "BENCH_kernel.json", "output JSON path")
 	flag.Parse()
 
-	rep := report{
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Note: "parallel-Eval speedup scales with physical cores " +
-			"(workers>1 on a single-core host only adds synchronization " +
-			"overhead); fast-forward speedup is algorithmic and " +
-			"core-count independent",
-	}
-
-	var base float64
-	for _, w := range []int{1, 2, 4, 8} {
-		nic := buildNIC(w, false, 0.9)
-		nic.Run(2_000) // warm-up: fill the pipeline
-		before := nic.WireLat.Count + nic.HostLat.Count
-		start := time.Now()
-		nic.Run(*cycles)
-		wall := time.Since(start).Seconds()
-		delivered := nic.WireLat.Count + nic.HostLat.Count - before
-		nic.Close()
-		r := workerResult{
-			Workers:    w,
-			SimCycles:  *cycles,
-			WallSec:    wall,
-			CyclesPerS: float64(*cycles) / wall,
-			MsgsPerS:   float64(delivered) / wall,
-		}
-		if w == 1 {
-			base = r.CyclesPerS
-		}
-		r.Speedup = r.CyclesPerS / base
-		rep.Saturating = append(rep.Saturating, r)
-		fmt.Printf("saturating workers=%d: %.0f simcycles/s, %.0f msgs/s (%.2fx)\n",
-			w, r.CyclesPerS, r.MsgsPerS, r.Speedup)
-	}
-
-	var stepRate float64
-	for _, ff := range []bool{false, true} {
-		nic := buildNIC(0, ff, 0.001)
-		start := time.Now()
-		nic.Run(*lowCycles)
-		wall := time.Since(start).Seconds()
-		skipped := nic.Builder.Kernel.SkippedCycles()
-		nic.Close()
-		r := ffResult{
-			FastForward: ff,
-			SimCycles:   *lowCycles,
-			Skipped:     skipped,
-			WallSec:     wall,
-			CyclesPerS:  float64(*lowCycles) / wall,
-		}
-		if !ff {
-			stepRate = r.CyclesPerS
-		}
-		r.Speedup = r.CyclesPerS / stepRate
-		rep.LowLoad = append(rep.LowLoad, r)
-		if r.Speedup > rep.BestFFSpeedup {
-			rep.BestFFSpeedup = r.Speedup
-		}
-		fmt.Printf("low-load fastforward=%v: %.0f simcycles/s, %d skipped (%.2fx)\n",
-			ff, r.CyclesPerS, skipped, r.Speedup)
-	}
-
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	rep := benchmeas.Measure(benchmeas.Config{
+		Cycles:        *cycles,
+		LowLoadCycles: *lowCycles,
+		Log:           os.Stdout,
+	})
+	if err := rep.WriteFile(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "write %s: %v\n", *out, err)
 		os.Exit(1)
 	}

@@ -21,6 +21,11 @@
 //     first word names a command in cmd/, must match a flag.X("name", ...)
 //     declaration in that command's sources (or any command's, for bare
 //     "-flag" tokens).
+//
+// The check also runs in reverse for the main simulator binary: every
+// flag cmd/panicsim declares must appear backticked somewhere in
+// README.md, so adding a flag without documenting it fails CI the same
+// way documenting a removed flag does.
 package main
 
 import (
@@ -36,6 +41,14 @@ var (
 	backtickRe = regexp.MustCompile("`([^`]+)`")
 	flagDeclRe = regexp.MustCompile(`flag\.[A-Za-z0-9]+\(\s*"([^"]+)"`)
 	flagWordRe = regexp.MustCompile(`^-[a-z][a-z0-9-]*$`)
+
+	// goToolFlags are flags of the go tool itself (`go test -race`, ...)
+	// that legitimately appear backticked in the docs but are not declared
+	// by any command in cmd/.
+	goToolFlags = map[string]bool{
+		"race": true, "short": true, "bench": true, "benchmem": true,
+		"benchtime": true, "run": true, "v": true, "cover": true,
+	}
 )
 
 func main() {
@@ -60,6 +73,7 @@ func main() {
 	}
 
 	bad := 0
+	readmeFlags := make(map[string]bool)
 	for _, md := range files {
 		data, err := os.ReadFile(filepath.Join(*root, md))
 		if err != nil {
@@ -69,6 +83,13 @@ func main() {
 		}
 		for i, line := range strings.Split(string(data), "\n") {
 			for _, m := range backtickRe.FindAllStringSubmatch(line, -1) {
+				if md == "README.md" {
+					for _, w := range strings.Fields(m[1]) {
+						if flagWordRe.MatchString(w) {
+							readmeFlags[strings.TrimPrefix(w, "-")] = true
+						}
+					}
+				}
 				for _, problem := range checkToken(*root, m[1], cmdFlags, allFlags) {
 					fmt.Fprintf(os.Stderr, "%s:%d: %s\n", md, i+1, problem)
 					bad++
@@ -76,10 +97,31 @@ func main() {
 			}
 		}
 	}
+
+	// Reverse check: every flag the main simulator declares must be
+	// documented (backticked) somewhere in README.md.
+	if checksFile(files, "README.md") {
+		for f := range cmdFlags["panicsim"] {
+			if !readmeFlags[f] {
+				fmt.Fprintf(os.Stderr, "README.md: cmd/panicsim flag `-%s` is not documented\n", f)
+				bad++
+			}
+		}
+	}
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", bad)
 		os.Exit(1)
 	}
+}
+
+// checksFile reports whether name is in the checked-file list.
+func checksFile(files []string, name string) bool {
+	for _, f := range files {
+		if f == name {
+			return true
+		}
+	}
+	return false
 }
 
 // collectFlags maps each command under cmd/ to the set of flag names its
@@ -148,9 +190,14 @@ func checkToken(root, tok string, cmdFlags map[string]map[string]bool, allFlags 
 		if !flagWordRe.MatchString(w) {
 			continue
 		}
-		if !scope[strings.TrimPrefix(w, "-")] {
-			problems = append(problems, fmt.Sprintf("flag `%s` not defined by %s", w, scopeName))
+		name := strings.TrimPrefix(w, "-")
+		if scope[name] {
+			continue
 		}
+		if scopeName == "any command" && goToolFlags[name] {
+			continue // `go test -race` etc., not a cmd/ flag
+		}
+		problems = append(problems, fmt.Sprintf("flag `%s` not defined by %s", w, scopeName))
 	}
 	return problems
 }

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"github.com/panic-nic/panic/internal/baseline"
 	"github.com/panic-nic/panic/internal/core"
@@ -39,6 +41,8 @@ var (
 	fastForward   *bool
 	tracePath     *string
 	traceSample   *int
+	tenantsN      *int
+	tenantWeights *string
 )
 
 func main() {
@@ -66,14 +70,34 @@ func main() {
 	fastForward = flag.Bool("fastforward", false, "skip provably idle cycles (panic only)")
 	tracePath = flag.String("trace", "", "write a Chrome trace_event / Perfetto JSON trace to this file (panic only)")
 	traceSample = flag.Int("trace-sample", 1, "trace one message in N (1 = all; panic only)")
+	tenantsN = flag.Int("tenants", 1, "number of tenants in the generated mix; -rate is split evenly across them")
+	tenantWeights = flag.String("tenant-weights", "", "comma-separated scheduler weights for tenants 1..N, e.g. 4,1 (enables weighted-LSTF; panic only)")
 	flag.Parse()
 
-	src := workload.NewKVSStream(workload.KVSTenantConfig{
-		Tenant: 1, Class: packet.ClassLatency,
-		RateGbps: *rate, FreqHz: *freq, Poisson: true,
-		Keys: *keys, GetRatio: *getRatio, WANShare: *wan,
-		ValueBytes: uint32(*valueBytes), Seed: *seed,
-	})
+	if *tenantsN < 1 {
+		fmt.Fprintf(os.Stderr, "-tenants must be >= 1 (got %d)\n", *tenantsN)
+		os.Exit(2)
+	}
+	var src engine.Source
+	if *tenantsN > 1 {
+		specs := make([]workload.TenantSpec, *tenantsN)
+		for i := range specs {
+			specs[i] = workload.TenantSpec{
+				Tenant: uint16(i + 1), Class: packet.ClassLatency,
+				RateGbps: *rate / float64(*tenantsN),
+				GetRatio: *getRatio, WANShare: *wan,
+				ValueBytes: uint32(*valueBytes), Keys: *keys,
+			}
+		}
+		src = workload.NewTenantMix(*freq, specs, *seed)
+	} else {
+		src = workload.NewKVSStream(workload.KVSTenantConfig{
+			Tenant: 1, Class: packet.ClassLatency,
+			RateGbps: *rate, FreqHz: *freq, Poisson: true,
+			Keys: *keys, GetRatio: *getRatio, WANShare: *wan,
+			ValueBytes: uint32(*valueBytes), Seed: *seed,
+		})
+	}
 
 	switch *arch {
 	case "panic":
@@ -106,6 +130,19 @@ func runPanic(cycles uint64, freq, line float64, meshK, width, pipelines int, wa
 	cfg.DMAReplicas = *dmaReplicas
 	cfg.Workers = *workers
 	cfg.FastForward = *fastForward
+	if *tenantsN > 1 {
+		for i := 0; i < *tenantsN; i++ {
+			cfg.Tenants = append(cfg.Tenants, uint16(i+1))
+		}
+	}
+	if *tenantWeights != "" {
+		weights, err := parseWeights(*tenantWeights, *tenantsN)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tenant-weights: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.TenantWeights = weights
+	}
 	if *health {
 		cfg.Health = core.DefaultHealthConfig()
 	}
@@ -141,6 +178,10 @@ func runPanic(cycles uint64, freq, line float64, meshK, width, pipelines int, wa
 	fmt.Printf("PANIC: %dx%d mesh, %d-bit channels, %d RMT pipelines, %d ports @ %.0fG\n\n",
 		meshK, meshK, width, pipelines, cfg.Ports, line)
 	fmt.Print(nic.Summary(cycles))
+	if len(cfg.Tenants) > 0 || len(cfg.TenantWeights) > 0 {
+		fmt.Println()
+		fmt.Print(nic.TenantReport())
+	}
 	if *tiles {
 		fmt.Println()
 		fmt.Print(nic.TileReport())
@@ -171,6 +212,24 @@ func runPanic(cycles uint64, freq, line float64, meshK, width, pipelines int, wa
 		fmt.Println()
 		fmt.Print(set.SummaryText())
 	}
+}
+
+// parseWeights parses "w1,w2,..." into tenant IDs 1..n; the count must
+// match -tenants so every generated tenant has an explicit weight.
+func parseWeights(s string, n int) (map[uint16]uint64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("%d weights for %d tenants", len(parts), n)
+	}
+	out := make(map[uint16]uint64, len(parts))
+	for i, p := range parts {
+		w, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil || w == 0 {
+			return nil, fmt.Errorf("bad weight %q (want a positive integer)", p)
+		}
+		out[uint16(i+1)] = w
+	}
+	return out, nil
 }
 
 func report(name string, cycles uint64, freq float64, lat *core.LatencyCollector, extra func(t *stats.Table)) {

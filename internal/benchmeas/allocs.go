@@ -1,0 +1,121 @@
+package benchmeas
+
+import (
+	"runtime"
+
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/noc"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/sched"
+	"github.com/panic-nic/panic/internal/sim"
+	"github.com/panic-nic/panic/internal/trace"
+)
+
+// loopFabric is a single-node fabric stub: everything injected comes
+// straight back out of TryEject, so one tile churns a message through its
+// full hot path (eject -> enqueue -> dequeue -> service -> inject) forever
+// with no allocations of its own. It mirrors the harness behind the
+// engine package's zero-alloc unit test so the committed baseline and the
+// unit test guard the same contract.
+type loopFabric struct {
+	msg *packet.Message
+}
+
+func (f *loopFabric) Nodes() int                         { return 1 }
+func (f *loopFabric) CanInject(src, dst noc.NodeID) bool { return f.msg == nil }
+func (f *loopFabric) Inject(_, _ noc.NodeID, m *packet.Message) {
+	if f.msg != nil {
+		panic("benchmeas: inject while occupied")
+	}
+	f.msg = m
+}
+func (f *loopFabric) TryEject(noc.NodeID) (*packet.Message, bool) {
+	m := f.msg
+	f.msg = nil
+	return m, m != nil
+}
+func (f *loopFabric) FlitsFor(*packet.Message) int { return 1 }
+
+// echoEngine bounces every message back to its own tile through a reused
+// Out slice, so Process itself is allocation-free.
+type echoEngine struct {
+	outs []engine.Out
+}
+
+func (e *echoEngine) Name() string                         { return "echo" }
+func (e *echoEngine) ServiceCycles(*packet.Message) uint64 { return 1 }
+func (e *echoEngine) Process(_ *engine.Ctx, m *packet.Message) []engine.Out {
+	e.outs[0] = engine.Out{Msg: m, To: 1}
+	return e.outs
+}
+
+// allocTile builds the loopback harness with the given trace buffer and
+// primes it past its warm-up allocations (queue heap growth, outbox
+// growth) so the steady state is measurable.
+func allocTile(buf *trace.Buffer, traceID uint64) (*engine.Tile, *uint64) {
+	fab := &loopFabric{}
+	routes := engine.NewRouteTable()
+	routes.Bind(1, 0)
+	cfg := engine.TileConfig{
+		Addr: 1, Node: 0, QueueCap: 16, Policy: sched.Backpressure,
+		Trace: buf,
+	}
+	tile := engine.NewTile(cfg, &echoEngine{outs: make([]engine.Out, 1)}, fab, routes, sim.NewRNG(1).Fork())
+	fab.msg = &packet.Message{
+		ID:      1,
+		TraceID: traceID,
+		Pkt: packet.NewPacket(64,
+			&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+			&packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP},
+			&packet.UDP{SrcPort: 1, DstPort: 2},
+		),
+	}
+	cycle := new(uint64)
+	for ; *cycle < 64; *cycle++ {
+		tile.Tick(*cycle)
+	}
+	return tile, cycle
+}
+
+// allocsPerOp measures steady-state heap allocations per call of fn with
+// the same semantics as testing.AllocsPerRun — GOMAXPROCS pinned to 1 and
+// the average truncated to an integer — so the committed baseline enforces
+// exactly the contract the engine package's zero-alloc unit test does.
+func allocsPerOp(runs int, fn func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	fn() // settle any first-call growth
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64((after.Mallocs - before.Mallocs) / uint64(runs))
+}
+
+// MeasureAllocs samples the tile hot path's allocation rate with tracing
+// disabled — the configurations whose cost contract is zero allocations
+// per processed message.
+func MeasureAllocs() []AllocResult {
+	cases := []struct {
+		name    string
+		buf     func() *trace.Buffer
+		traceID uint64
+	}{
+		{"tile-hot-path-untraced", func() *trace.Buffer { return nil }, 5},
+		{"tile-hot-path-sampled-out", func() *trace.Buffer {
+			tr := trace.New(trace.Options{Sample: 2})
+			return tr.Buffer("echo")
+		}, 5}, // 5 % 2 != 0: the sampling filter rejects every span
+	}
+	out := make([]AllocResult, 0, len(cases))
+	for _, c := range cases {
+		tile, cycle := allocTile(c.buf(), c.traceID)
+		a := allocsPerOp(512, func() {
+			tile.Tick(*cycle)
+			*cycle++
+		})
+		out = append(out, AllocResult{Name: c.name, AllocsPerOp: a})
+	}
+	return out
+}

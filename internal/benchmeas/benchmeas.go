@@ -1,0 +1,262 @@
+// Package benchmeas measures the simulation kernel's performance and
+// compares measurement reports. It is the shared core of cmd/benchkernel
+// (measure and write the committed baseline) and cmd/benchgate (measure a
+// fresh run and fail on regressions against that baseline).
+package benchmeas
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/panic-nic/panic/internal/core"
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/workload"
+)
+
+// WorkerResult is one saturating-load run at a fixed worker count.
+type WorkerResult struct {
+	Workers    int     `json:"workers"`
+	SimCycles  uint64  `json:"sim_cycles"`
+	WallSec    float64 `json:"wall_sec"`
+	CyclesPerS float64 `json:"sim_cycles_per_sec"`
+	MsgsPerS   float64 `json:"msgs_per_sec"`
+	Speedup    float64 `json:"speedup_vs_1_worker"`
+}
+
+// FFResult is one low-load run with fast-forward off or on.
+type FFResult struct {
+	FastForward bool    `json:"fast_forward"`
+	SimCycles   uint64  `json:"sim_cycles"`
+	Skipped     uint64  `json:"skipped_cycles"`
+	WallSec     float64 `json:"wall_sec"`
+	CyclesPerS  float64 `json:"sim_cycles_per_sec"`
+	Speedup     float64 `json:"speedup_vs_stepping"`
+}
+
+// AllocResult is the steady-state allocation rate of one hot path that is
+// contractually allocation-free.
+type AllocResult struct {
+	Name        string  `json:"name"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Report is the full measurement set, serialized to BENCH_kernel.json.
+type Report struct {
+	NumCPU        int            `json:"num_cpu"`
+	GOMAXPROCS    int            `json:"gomaxprocs"`
+	Note          string         `json:"note"`
+	Saturating    []WorkerResult `json:"saturating_worker_sweep"`
+	LowLoad       []FFResult     `json:"low_load_fast_forward"`
+	BestFFSpeedup float64        `json:"best_ff_speedup"`
+	ZeroAlloc     []AllocResult  `json:"zero_alloc_paths,omitempty"`
+}
+
+// Config parameterizes Measure.
+type Config struct {
+	// Cycles is the simulated horizon of each saturating worker-sweep run.
+	Cycles uint64
+	// LowLoadCycles is the horizon of each fast-forward run.
+	LowLoadCycles uint64
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format, args...)
+	}
+}
+
+// buildNIC assembles the canonical two-tenant benchmark NIC at the given
+// fraction of line rate per source.
+func buildNIC(workers int, fastForward bool, load float64) *core.NIC {
+	cfg := core.DefaultConfig()
+	cfg.Workers = workers
+	cfg.FastForward = fastForward
+	srcs := []engine.Source{
+		workload.NewKVSStream(workload.KVSTenantConfig{
+			Tenant: 1, Class: packet.ClassLatency,
+			RateGbps: 100 * load, FreqHz: cfg.FreqHz,
+			Keys: 1024, GetRatio: 0.9, WANShare: 0.2, ValueBytes: 256,
+			Seed: 21,
+		}),
+		workload.NewFixedStream(workload.FixedStreamConfig{
+			FrameBytes: 256, RateGbps: 100 * load, FreqHz: cfg.FreqHz,
+			Tenant: 2, Class: packet.ClassBulk, Seed: 22,
+		}),
+	}
+	return core.NewNIC(cfg, srcs)
+}
+
+// Measure runs the full benchmark suite: the saturating worker sweep, the
+// low-load fast-forward pair, and the zero-alloc hot-path checks.
+func Measure(cfg Config) Report {
+	rep := Report{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "parallel-Eval speedup scales with physical cores " +
+			"(workers>1 on a single-core host only adds synchronization " +
+			"overhead); fast-forward speedup is algorithmic and " +
+			"core-count independent",
+	}
+
+	var base float64
+	for _, w := range []int{1, 2, 4, 8} {
+		nic := buildNIC(w, false, 0.9)
+		nic.Run(2_000) // warm-up: fill the pipeline
+		before := nic.WireLat.Count + nic.HostLat.Count
+		start := time.Now()
+		nic.Run(cfg.Cycles)
+		wall := time.Since(start).Seconds()
+		delivered := nic.WireLat.Count + nic.HostLat.Count - before
+		nic.Close()
+		r := WorkerResult{
+			Workers:    w,
+			SimCycles:  cfg.Cycles,
+			WallSec:    wall,
+			CyclesPerS: float64(cfg.Cycles) / wall,
+			MsgsPerS:   float64(delivered) / wall,
+		}
+		if w == 1 {
+			base = r.CyclesPerS
+		}
+		r.Speedup = r.CyclesPerS / base
+		rep.Saturating = append(rep.Saturating, r)
+		cfg.logf("saturating workers=%d: %.0f simcycles/s, %.0f msgs/s (%.2fx)\n",
+			w, r.CyclesPerS, r.MsgsPerS, r.Speedup)
+	}
+
+	var stepRate float64
+	for _, ff := range []bool{false, true} {
+		nic := buildNIC(0, ff, 0.001)
+		start := time.Now()
+		nic.Run(cfg.LowLoadCycles)
+		wall := time.Since(start).Seconds()
+		skipped := nic.Builder.Kernel.SkippedCycles()
+		nic.Close()
+		r := FFResult{
+			FastForward: ff,
+			SimCycles:   cfg.LowLoadCycles,
+			Skipped:     skipped,
+			WallSec:     wall,
+			CyclesPerS:  float64(cfg.LowLoadCycles) / wall,
+		}
+		if !ff {
+			stepRate = r.CyclesPerS
+		}
+		r.Speedup = r.CyclesPerS / stepRate
+		rep.LowLoad = append(rep.LowLoad, r)
+		if r.Speedup > rep.BestFFSpeedup {
+			rep.BestFFSpeedup = r.Speedup
+		}
+		cfg.logf("low-load fastforward=%v: %.0f simcycles/s, %d skipped (%.2fx)\n",
+			ff, r.CyclesPerS, skipped, r.Speedup)
+	}
+
+	for _, a := range MeasureAllocs() {
+		rep.ZeroAlloc = append(rep.ZeroAlloc, a)
+		cfg.logf("zero-alloc path %s: %.2f allocs/op\n", a.Name, a.AllocsPerOp)
+	}
+	return rep
+}
+
+// Load reads a report from disk.
+func Load(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// WriteFile serializes the report to disk in the committed-baseline format.
+func (r Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Compare checks a fresh report against a baseline and returns one line
+// per violation (empty = gate passes):
+//
+//   - a matched saturating or fast-forward entry whose simulated-cycles/s
+//     throughput fell more than tolerance (a fraction, e.g. 0.25) below
+//     the baseline;
+//   - a matched zero-alloc path that allocated where the baseline did not;
+//   - a baseline entry with no counterpart in the fresh report (a silently
+//     dropped measurement cannot pass the gate).
+//
+// Entries present only in the fresh report are ignored: adding coverage is
+// never a regression.
+func Compare(baseline, fresh Report, tolerance float64) []string {
+	var bad []string
+	floor := 1 - tolerance
+
+	for _, b := range baseline.Saturating {
+		found := false
+		for _, f := range fresh.Saturating {
+			if f.Workers != b.Workers {
+				continue
+			}
+			found = true
+			if f.CyclesPerS < b.CyclesPerS*floor {
+				bad = append(bad, fmt.Sprintf(
+					"saturating workers=%d: %.0f simcycles/s vs baseline %.0f (-%.0f%%, tolerance %.0f%%)",
+					b.Workers, f.CyclesPerS, b.CyclesPerS,
+					100*(1-f.CyclesPerS/b.CyclesPerS), 100*tolerance))
+			}
+		}
+		if !found {
+			bad = append(bad, fmt.Sprintf("saturating workers=%d: missing from fresh run", b.Workers))
+		}
+	}
+
+	for _, b := range baseline.LowLoad {
+		found := false
+		for _, f := range fresh.LowLoad {
+			if f.FastForward != b.FastForward {
+				continue
+			}
+			found = true
+			if f.CyclesPerS < b.CyclesPerS*floor {
+				bad = append(bad, fmt.Sprintf(
+					"low-load fastforward=%v: %.0f simcycles/s vs baseline %.0f (-%.0f%%, tolerance %.0f%%)",
+					b.FastForward, f.CyclesPerS, b.CyclesPerS,
+					100*(1-f.CyclesPerS/b.CyclesPerS), 100*tolerance))
+			}
+		}
+		if !found {
+			bad = append(bad, fmt.Sprintf("low-load fastforward=%v: missing from fresh run", b.FastForward))
+		}
+	}
+
+	for _, b := range baseline.ZeroAlloc {
+		found := false
+		for _, f := range fresh.ZeroAlloc {
+			if f.Name != b.Name {
+				continue
+			}
+			found = true
+			if b.AllocsPerOp == 0 && f.AllocsPerOp > 0 {
+				bad = append(bad, fmt.Sprintf(
+					"zero-alloc path %s: %.2f allocs/op (baseline 0 — the path's cost contract is allocation-free)",
+					b.Name, f.AllocsPerOp))
+			}
+		}
+		if !found {
+			bad = append(bad, fmt.Sprintf("zero-alloc path %s: missing from fresh run", b.Name))
+		}
+	}
+	return bad
+}

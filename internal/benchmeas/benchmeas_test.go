@@ -1,0 +1,111 @@
+package benchmeas
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleReport() Report {
+	return Report{
+		NumCPU: 1, GOMAXPROCS: 1,
+		Saturating: []WorkerResult{
+			{Workers: 1, CyclesPerS: 50_000, MsgsPerS: 4000, Speedup: 1},
+			{Workers: 8, CyclesPerS: 40_000, MsgsPerS: 3200, Speedup: 0.8},
+		},
+		LowLoad: []FFResult{
+			{FastForward: false, CyclesPerS: 60_000},
+			{FastForward: true, CyclesPerS: 900_000, Speedup: 15},
+		},
+		ZeroAlloc: []AllocResult{
+			{Name: "tile-hot-path-untraced", AllocsPerOp: 0},
+		},
+	}
+}
+
+func TestCompareWithinToleranceFasterAndExtra(t *testing.T) {
+	base := sampleReport()
+	fresh := sampleReport()
+	// 20% slower on one entry, faster on another, plus an extra fresh-only
+	// measurement: all fine at 25% tolerance.
+	fresh.Saturating[0].CyclesPerS = 40_000
+	fresh.LowLoad[1].CyclesPerS = 2_000_000
+	fresh.Saturating = append(fresh.Saturating, WorkerResult{Workers: 16, CyclesPerS: 1})
+	if bad := Compare(base, fresh, 0.25); len(bad) != 0 {
+		t.Errorf("violations = %v, want none", bad)
+	}
+}
+
+func TestCompareFlagsThroughputRegression(t *testing.T) {
+	base := sampleReport()
+	fresh := sampleReport()
+	fresh.Saturating[1].CyclesPerS = 25_000 // -37.5% vs 40k baseline
+	fresh.LowLoad[1].CyclesPerS = 500_000   // -44% vs 900k baseline
+	bad := Compare(base, fresh, 0.25)
+	if len(bad) != 2 {
+		t.Fatalf("violations = %v, want 2", bad)
+	}
+	if !strings.Contains(bad[0], "workers=8") || !strings.Contains(bad[1], "fastforward=true") {
+		t.Errorf("violations = %v", bad)
+	}
+}
+
+func TestCompareFlagsNewAllocations(t *testing.T) {
+	base := sampleReport()
+	fresh := sampleReport()
+	fresh.ZeroAlloc[0].AllocsPerOp = 1.5
+	bad := Compare(base, fresh, 0.25)
+	if len(bad) != 1 || !strings.Contains(bad[0], "tile-hot-path-untraced") {
+		t.Fatalf("violations = %v, want one alloc violation", bad)
+	}
+	// The reverse — baseline allocates, fresh doesn't — is an improvement.
+	if bad := Compare(fresh, base, 0.25); len(bad) != 0 {
+		t.Errorf("improvement flagged: %v", bad)
+	}
+}
+
+func TestCompareFlagsMissingMeasurements(t *testing.T) {
+	base := sampleReport()
+	fresh := sampleReport()
+	fresh.Saturating = fresh.Saturating[:1]
+	fresh.LowLoad = fresh.LowLoad[:1]
+	fresh.ZeroAlloc = nil
+	bad := Compare(base, fresh, 0.25)
+	if len(bad) != 3 {
+		t.Fatalf("violations = %v, want 3 missing-measurement lines", bad)
+	}
+	for _, v := range bad {
+		if !strings.Contains(v, "missing") {
+			t.Errorf("violation %q does not say missing", v)
+		}
+	}
+}
+
+func TestReportRoundTripsThroughDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := sampleReport()
+	if err := want.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := Compare(want, got, 0); len(bad) != 0 {
+		t.Errorf("round-tripped report fails its own gate: %v", bad)
+	}
+	if got.Saturating[1].CyclesPerS != want.Saturating[1].CyclesPerS {
+		t.Errorf("round trip lost data: %+v", got.Saturating[1])
+	}
+}
+
+func TestMeasureAllocsZeroOnHotPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc sampling is slow-ish")
+	}
+	for _, a := range MeasureAllocs() {
+		if a.AllocsPerOp != 0 {
+			t.Errorf("%s: %.2f allocs/op, want 0", a.Name, a.AllocsPerOp)
+		}
+	}
+}

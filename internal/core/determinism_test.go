@@ -37,6 +37,17 @@ func fingerprint(n *NIC) string {
 		s += fmt.Sprintf("tile %s: proc=%d busy=%d drop=%d emit=%d qwait=%d stall=%d fdrop=%d corr=%d drain=%d qlen=%d\n",
 			tile.Name(), st.Processed, st.BusyCycles, st.Dropped, st.Emitted,
 			st.QueueWaitTotal, st.StallCycles, st.FaultDropped, st.Corrupted, st.Drained, tile.QueueLen())
+		tt := tile.TenantStats()
+		ids := make([]int, 0, len(tt))
+		for id := range tt {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			ta := tt[uint16(id)]
+			s += fmt.Sprintf("  tenant %d: enq=%d proc=%d svc=%d qwait=%d drop=%d\n",
+				id, ta.Enqueued, ta.Processed, ta.ServiceCycles, ta.QueueWaitTotal, ta.Dropped)
+		}
 	}
 	for i, r := range n.Builder.RMTs {
 		st := r.Stats()

@@ -33,6 +33,12 @@ type HealthConfig struct {
 	NoDrain bool
 	// NoReintegrate disables restoring steering to a healed tile.
 	NoReintegrate bool
+	// TenantDomains scopes failover per engine: when a listed engine fails,
+	// only the named tenants' chain entries (table entries pinning
+	// meta.tenant) are repointed, one rewrite and one log event per tenant,
+	// and shared steering keeps its target. Engines without an entry fail
+	// over globally as before. Reintegration honors the same scoping.
+	TenantDomains map[packet.Addr][]uint16
 }
 
 // DefaultHealthConfig returns the enabled defaults.
@@ -63,6 +69,10 @@ type FailureEvent struct {
 	Kind string
 	// Engine is the tile the event concerns.
 	Engine packet.Addr
+	// Tenant is the tenant a tenant-scoped action concerned, valid only
+	// when Tenanted (tenant-domain reroutes log one event per tenant).
+	Tenant   uint16
+	Tenanted bool
 	// Detail is a human-readable elaboration.
 	Detail string
 }
@@ -108,11 +118,15 @@ func (l *EventLog) AttachTracer(tr *trace.Tracer) {
 func (l *EventLog) Append(e FailureEvent) {
 	l.events = append(l.events, e)
 	if l.tb != nil {
-		l.tb.Emit(trace.Span{
+		sp := trace.Span{
 			Kind: trace.KindControl, LocKind: trace.LocControl,
 			Loc: ctlCodes[e.Kind], Start: e.Cycle, End: e.Cycle,
 			A: uint64(e.Engine),
-		})
+		}
+		if e.Tenanted {
+			sp.Tenant = e.Tenant
+		}
+		l.tb.Emit(sp)
 	}
 }
 
@@ -199,6 +213,7 @@ type HealthMonitor struct {
 	watches  []*watch
 	byAddr   map[packet.Addr]*watch
 	nextPunt packet.Addr
+	domains  map[packet.Addr][]uint16
 }
 
 // NewHealthMonitor builds a monitor watching every engine tile placed so
@@ -211,6 +226,7 @@ func NewHealthMonitor(cfg HealthConfig, b *Builder, prog *rmt.Program, log *Even
 		log:      log,
 		byAddr:   make(map[packet.Addr]*watch),
 		nextPunt: AddrPuntBase,
+		domains:  cfg.TenantDomains,
 	}
 	for _, t := range b.Tiles {
 		w := &watch{tile: t}
@@ -298,21 +314,25 @@ func (m *HealthMonitor) fail(w *watch, cycle uint64) {
 		Detail: fmt.Sprintf("stalled since cycle %d (queue=%d busy=%v)", w.stalledSince, w.tile.QueueLen(), w.tile.Busy())})
 
 	if target, ok := m.pickStandby(w); ok {
-		n := m.prog.RewriteEngine(addr, target)
 		w.reroutedTo = target
 		w.targetTile = m.b.TileByAddr(target)
 		w.targetBase = w.targetTile.Stats().Processed
 		w.punted = false
-		m.log.Append(FailureEvent{Cycle: cycle, Kind: "rerouted", Engine: addr,
-			Detail: fmt.Sprintf("steering -> %s (%d table actions rewritten)", EngineName(target), n)})
+		for _, r := range m.rewriteSteering(addr, addr, target) {
+			m.log.Append(FailureEvent{Cycle: cycle, Kind: "rerouted", Engine: addr,
+				Tenant: r.tenant, Tenanted: r.tenanted,
+				Detail: r.prefix() + fmt.Sprintf("steering -> %s (%d table actions rewritten)", EngineName(target), r.n)})
+		}
 	} else if alias, ok := m.bindPuntAlias(addr); ok {
-		n := m.prog.RewriteEngine(addr, alias)
 		w.reroutedTo = alias
 		w.targetTile = m.b.TileByAddr(AddrDMA)
 		w.targetBase = w.targetTile.Stats().Processed
 		w.punted = true
-		m.log.Append(FailureEvent{Cycle: cycle, Kind: "punted", Engine: addr,
-			Detail: fmt.Sprintf("steering -> host via DMA alias %d (%d table actions rewritten)", alias, n)})
+		for _, r := range m.rewriteSteering(addr, addr, alias) {
+			m.log.Append(FailureEvent{Cycle: cycle, Kind: "punted", Engine: addr,
+				Tenant: r.tenant, Tenanted: r.tenanted,
+				Detail: r.prefix() + fmt.Sprintf("steering -> host via DMA alias %d (%d table actions rewritten)", alias, r.n)})
+		}
 	} else {
 		w.reroutedTo = packet.AddrInvalid
 		w.targetTile = nil
@@ -320,6 +340,39 @@ func (m *HealthMonitor) fail(w *watch, cycle uint64) {
 			Detail: "no healthy standby and no DMA path to punt to"})
 	}
 	m.redrain(w, cycle)
+}
+
+// rewriteResult is one steering rewrite performed during failover or
+// reintegration: global (tenanted false) or scoped to a single tenant.
+type rewriteResult struct {
+	tenant   uint16
+	tenanted bool
+	n        int
+}
+
+// prefix returns the tenant-qualifying log-detail prefix.
+func (r rewriteResult) prefix() string {
+	if !r.tenanted {
+		return ""
+	}
+	return fmt.Sprintf("tenant %d ", r.tenant)
+}
+
+// rewriteSteering repoints chain hops from old to new. When the failed
+// engine has a tenant domain declared, each domain tenant gets its own
+// scoped rewrite (only entries pinning meta.tenant to it move) and the
+// results come back one per tenant; otherwise a single global rewrite.
+func (m *HealthMonitor) rewriteSteering(failed, old, new packet.Addr) []rewriteResult {
+	tenants := m.domains[failed]
+	if len(tenants) == 0 {
+		return []rewriteResult{{n: m.prog.RewriteEngine(old, new)}}
+	}
+	out := make([]rewriteResult, 0, len(tenants))
+	for _, t := range tenants {
+		out = append(out, rewriteResult{tenant: t, tenanted: true,
+			n: m.prog.RewriteEngineTenant(old, new, rmt.FieldMetaTenant, uint64(t))})
+	}
+	return out
 }
 
 // pickStandby returns the first standby that is watched-healthy and has no
@@ -398,9 +451,11 @@ func (m *HealthMonitor) tryReintegrate(w *watch, cycle uint64) bool {
 		return false
 	}
 	addr := w.tile.Addr()
-	n := m.prog.RewriteEngine(w.reroutedTo, addr)
-	m.log.Append(FailureEvent{Cycle: cycle, Kind: "reintegrated", Engine: addr,
-		Detail: fmt.Sprintf("steering restored from %s (%d table actions rewritten)", EngineName(w.reroutedTo), n)})
+	for _, r := range m.rewriteSteering(addr, w.reroutedTo, addr) {
+		m.log.Append(FailureEvent{Cycle: cycle, Kind: "reintegrated", Engine: addr,
+			Tenant: r.tenant, Tenanted: r.tenanted,
+			Detail: r.prefix() + fmt.Sprintf("steering restored from %s (%d table actions rewritten)", EngineName(w.reroutedTo), r.n)})
+	}
 	w.state = watchHealthy
 	w.stalled = false
 	w.lastProcessed = w.tile.Stats().Processed

@@ -33,6 +33,23 @@ type Config struct {
 	Policy sched.Policy
 	// Rank orders scheduling queues (nil = LSTF on chain slack).
 	Rank sched.RankFunc
+	// TenantWeights enables weighted-LSTF scheduling: each offload queue
+	// scales a message's slack inversely to its tenant's weight and charges
+	// deficit-style rate credits, so an aggressor tenant cannot starve a
+	// victim's slack budget. Ignored when Rank is set explicitly. Every
+	// tile gets its own rank instance (credit state is per queue, as per-
+	// engine hardware counters would be).
+	TenantWeights map[uint16]uint64
+	// Tenants lists the tenants the RMT program installs per-tenant chain
+	// entries for (classified from the wire: KVS header tenant or ESP SPI).
+	// Empty defaults to the sorted TenantWeights keys.
+	Tenants []uint16
+	// TenantQuantumBytes is the per-weight-unit byte credit each tenant
+	// earns every 64-cycle refill period (0 = the sched package default,
+	// 1024 B ≈ 64 Gbps at 500 MHz). Set it to a tenant's fair share of the
+	// bottleneck link so an over-budget aggressor exhausts its credit and
+	// ranks behind in-budget tenants even after its slack has aged away.
+	TenantQuantumBytes uint64
 	// Program configures the steering program (Ports is overridden).
 	Program ProgramConfig
 	// CacheCapacity is the on-NIC KVS cache size in keys (0 disables).
@@ -178,6 +195,13 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 		cfg.Program.RateLimitTenants = tenants
 	}
 	cfg.Program.EnableLSO = cfg.LSO != nil
+	if len(cfg.Tenants) == 0 && len(cfg.TenantWeights) > 0 {
+		for t := range cfg.TenantWeights {
+			cfg.Tenants = append(cfg.Tenants, t)
+		}
+		sort.Slice(cfg.Tenants, func(i, j int) bool { return cfg.Tenants[i] < cfg.Tenants[j] })
+	}
+	cfg.Program.Tenants = cfg.Tenants
 
 	n := &NIC{
 		Cfg:     cfg,
@@ -216,6 +240,12 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 		c.QueueCap = cfg.QueueCap
 		c.Policy = cfg.Policy
 		c.Rank = cfg.Rank
+		if c.Rank == nil && len(cfg.TenantWeights) > 0 {
+			c.Rank = sched.NewRankWeightedLSTF(sched.WLSTFConfig{
+				Weights:      cfg.TenantWeights,
+				QuantumBytes: cfg.TenantQuantumBytes,
+			})
+		}
 		c.TraceVisits = cfg.Trace
 	}
 	// Chainless traffic (fresh ingress, reinjections, host responses) is
@@ -469,6 +499,7 @@ func (s tracedSink) Deliver(m *packet.Message, now uint64) {
 			Msg: m.TraceID, Kind: trace.KindDeliver,
 			LocKind: trace.LocSink, Loc: s.loc,
 			Start: now, End: now, B: uint64(m.WireLen()),
+			Tenant: m.Tenant,
 		})
 	}
 	s.inner.Deliver(m, now)
@@ -567,6 +598,54 @@ func (n *NIC) Summary(cycles uint64) string {
 	t.AddRow("cache hits/misses", fmt.Sprintf("%d/%d", hits, misses))
 	dec, enc := n.IPSec.Counts()
 	t.AddRow("ipsec dec/enc", fmt.Sprintf("%d/%d", dec, enc))
+	return t.String()
+}
+
+// TenantTotals sums per-tenant engine tallies across every offload tile.
+func (n *NIC) TenantTotals() map[uint16]engine.TenantTally {
+	out := make(map[uint16]engine.TenantTally)
+	for _, tile := range n.Builder.Tiles {
+		for id, ta := range tile.TenantStats() {
+			sum := out[id]
+			sum.Enqueued += ta.Enqueued
+			sum.Processed += ta.Processed
+			sum.ServiceCycles += ta.ServiceCycles
+			sum.QueueWaitTotal += ta.QueueWaitTotal
+			sum.Dropped += ta.Dropped
+			out[id] = sum
+		}
+	}
+	return out
+}
+
+// TenantReport renders per-tenant wire latency and aggregate engine
+// occupancy — the isolation scoreboard: a victim's p99 and service share
+// should hold steady as an aggressor ramps.
+func (n *NIC) TenantReport() string {
+	totals := n.TenantTotals()
+	ids := make([]uint16, 0, len(totals))
+	for id := range totals {
+		ids = append(ids, id)
+	}
+	for id := range n.WireLat.ByTenant {
+		if _, ok := totals[id]; !ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	freq := n.Cfg.FreqHz
+	ns := func(c float64) float64 { return c / freq * 1e9 }
+	t := stats.NewTable("tenant", "wire count", "rtt p50 (ns)", "rtt p99 (ns)", "svc cycles", "enq", "dropped")
+	for _, id := range ids {
+		h := n.WireLat.Tenant(id)
+		ta := totals[id]
+		p50, p99 := "-", "-"
+		if h.Count() > 0 {
+			p50 = fmt.Sprintf("%.0f", ns(h.P50()))
+			p99 = fmt.Sprintf("%.0f", ns(h.P99()))
+		}
+		t.AddRow(fmt.Sprintf("%d", id), h.Count(), p50, p99, ta.ServiceCycles, ta.Enqueued, ta.Dropped)
+	}
 	return t.String()
 }
 

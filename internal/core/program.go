@@ -33,6 +33,13 @@ type ProgramConfig struct {
 	// inline enforcement; unlimited tenants bypass the shaper entirely).
 	EnableRateLimiter bool
 	RateLimitTenants  []uint16
+	// Tenants lists the known tenants. Non-empty, the program gains a
+	// per-tenant chain table: each tenant's key-value requests match its
+	// own entries (keyed on the classified meta.tenant), so the control
+	// plane can steer — and on failure, punt — one tenant's chains without
+	// touching any other tenant's. Tenants absent from the list fall back
+	// to the shared classify entries.
+	Tenants []uint16
 }
 
 // DefaultProgramConfig returns the canonical operating point.
@@ -50,13 +57,22 @@ func DefaultProgramConfig(ports int) ProgramConfig {
 // BuildProgram constructs the steering program. Stages:
 //
 //  1. acl — installable drop rules (empty by default; §6's DoS shedding).
-//  2. slack — class → slack base (scratch1) and lossless flagging.
-//  3. txroute — LPM on IP dst → egress port address (scratch0), WAN
+//  2. tenantmap — classifies the message into a tenant from wire bytes:
+//     the parsed KVS tenant for plaintext requests/responses, the ESP SPI
+//     for encrypted ones (SPI = tenant + 1), else the ingress default.
+//     The result in meta.tenant is the match key for every downstream
+//     per-tenant entry and becomes the message's accounting tenant.
+//  3. slack — class → slack base (scratch1) and lossless flagging.
+//  4. txroute — LPM on IP dst → egress port address (scratch0), WAN
 //     flagging (scratch2).
-//  4. classify — builds the offload chain: ESP → IPSec; GET/SET →
+//  5. classify — builds the offload chain: ESP → IPSec; GET/SET →
 //     cache→DMA; responses → [IPSec →] egress port; everything else →
 //     DMA (host).
-//  5. lb — flow hash → descriptor queue; per-tenant packet counters in
+//  6. tenantchain (when Tenants is set) — per-tenant chain entries: each
+//     known tenant's plaintext key-value requests rebuild their chain
+//     from the tenant's own table entries, the unit the control plane's
+//     tenant-scoped failover rewrites.
+//  7. lb — flow hash → descriptor queue; per-tenant packet counters in
 //     stateful registers.
 func BuildProgram(cfg ProgramConfig) *rmt.Program {
 	if cfg.Ports < 1 {
@@ -68,6 +84,33 @@ func BuildProgram(cfg ProgramConfig) *rmt.Program {
 
 	acl := rmt.NewTable("acl", rmt.MatchTernary,
 		[]rmt.FieldID{rmt.FieldIPSrc, rmt.FieldL4Dst}, 0, rmt.Action{})
+
+	exact := ^uint64(0)
+
+	// tenantmap derives the accounting tenant from wire bytes. The default
+	// keeps meta.tenant as set at parse time (the ingress default carried
+	// on the message) — raw streams with no tenant header stay on their
+	// configured tenant.
+	tenantmap := rmt.NewTable("tenantmap", rmt.MatchTernary,
+		[]rmt.FieldID{rmt.FieldIPProto, rmt.FieldL4Dst, rmt.FieldL4Src}, 0, rmt.Action{})
+	tenantmap.Add(rmt.Entry{ // encrypted: SPI = tenant + 1 by convention
+		Values: []uint64{packet.ProtoESP, 0, 0}, Masks: []uint64{exact, 0, 0}, Priority: 100,
+		Action: rmt.NewAction("tenant-from-spi",
+			rmt.OpCopy{Dst: rmt.FieldMetaTenant, Src: rmt.FieldESPSPI},
+			rmt.OpAdd{Field: rmt.FieldMetaTenant, Delta: -1}),
+	})
+	fromKVS := rmt.NewAction("tenant-from-kvs",
+		rmt.OpCopy{Dst: rmt.FieldMetaTenant, Src: rmt.FieldKVSTenant})
+	tenantmap.Add(rmt.Entry{ // plaintext request: tenant from the KVS header
+		Values: []uint64{packet.ProtoUDP, uint64(packet.KVSPort), 0},
+		Masks:  []uint64{exact, exact, 0}, Priority: 90,
+		Action: fromKVS,
+	})
+	tenantmap.Add(rmt.Entry{ // response: ports swapped, same header
+		Values: []uint64{packet.ProtoUDP, 0, uint64(packet.KVSPort)},
+		Masks:  []uint64{exact, 0, exact}, Priority: 90,
+		Action: fromKVS,
+	})
 
 	slack := rmt.NewTable("slack", rmt.MatchExact,
 		[]rmt.FieldID{rmt.FieldMetaClass}, 0,
@@ -109,10 +152,9 @@ func BuildProgram(cfg ProgramConfig) *rmt.Program {
 	hopFromField := rmt.OpPushHopFromField{EngineFrom: rmt.FieldMetaScratch0, SlackFrom: rmt.FieldMetaScratch1, HasSlackFrom: true}
 
 	classify := rmt.NewTable("classify", rmt.MatchTernary,
-		[]rmt.FieldID{rmt.FieldIPProto, rmt.FieldKVSOp, rmt.FieldMetaScratch2, rmt.FieldKVSTenant}, 0,
+		[]rmt.FieldID{rmt.FieldIPProto, rmt.FieldKVSOp, rmt.FieldMetaScratch2, rmt.FieldMetaTenant}, 0,
 		// Default: unclassified traffic goes to the host.
 		slackFrom(hop(AddrDMA)))
-	exact := ^uint64(0)
 	classify.Add(rmt.Entry{ // encrypted: decrypt first, then second RMT pass
 		Values: []uint64{packet.ProtoESP, 0, 0, 0}, Masks: []uint64{exact, 0, 0, 0}, Priority: 100,
 		Action: slackFrom(hop(AddrIPSec)),
@@ -150,6 +192,41 @@ func BuildProgram(cfg ProgramConfig) *rmt.Program {
 		})
 	}
 
+	// Per-tenant chain table: each known tenant's plaintext key-value
+	// requests rebuild the chain classify installed from the tenant's own
+	// entries (same hops, tenant-owned table state). Matching requires
+	// proto = UDP so encrypted requests keep their IPSec chain and come
+	// back through here after decryption. This is the rewrite unit for
+	// tenant-scoped fault domains: RewriteEngineTenant on meta.tenant
+	// touches exactly one tenant's entries.
+	var tenantStage []*rmt.Table
+	if len(cfg.Tenants) > 0 {
+		limited := make(map[uint16]bool, len(cfg.RateLimitTenants))
+		if cfg.EnableRateLimiter {
+			for _, t := range cfg.RateLimitTenants {
+				limited[t] = true
+			}
+		}
+		tenantchain := rmt.NewTable("tenantchain", rmt.MatchTernary,
+			[]rmt.FieldID{rmt.FieldMetaTenant, rmt.FieldKVSOp, rmt.FieldIPProto}, 0, rmt.Action{})
+		for _, tenant := range cfg.Tenants {
+			for _, op := range []packet.KVSOp{packet.KVSGet, packet.KVSSet} {
+				ops := []rmt.Op{rmt.OpClearChain{}}
+				if limited[tenant] {
+					ops = append(ops, hop(AddrRateLim))
+				}
+				ops = append(ops, hop(AddrKVSCache), hop(AddrDMA))
+				tenantchain.Add(rmt.Entry{
+					Values:   []uint64{uint64(tenant), uint64(op), packet.ProtoUDP},
+					Masks:    []uint64{exact, exact, exact},
+					Priority: 50,
+					Action:   rmt.NewAction(fmt.Sprintf("tenant%d-%v", tenant, op), ops...),
+				})
+			}
+		}
+		tenantStage = []*rmt.Table{tenantchain}
+	}
+
 	// Host-originated TCP (meta.port = ^uint32(0): no ingress port) goes
 	// through the segmentation engine, then the egress port the txroute
 	// stage chose. The table runs in the stage after classify so its
@@ -178,7 +255,10 @@ func BuildProgram(cfg ProgramConfig) *rmt.Program {
 			rmt.OpRegAdd{Reg: "tenant_pkts", IndexFrom: rmt.FieldMetaTenant, Delta: 1, Dst: rmt.FieldMetaHash},
 		))
 
-	stages := [][]*rmt.Table{{acl}, {slack}, {txroute}, {classify}}
+	stages := [][]*rmt.Table{{acl}, {tenantmap}, {slack}, {txroute}, {classify}}
+	if tenantStage != nil {
+		stages = append(stages, tenantStage)
+	}
 	if lsoStage != nil {
 		stages = append(stages, lsoStage)
 	}

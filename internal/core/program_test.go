@@ -156,15 +156,90 @@ func TestProgramLoadBalancesQueues(t *testing.T) {
 
 func TestProgramTenantCountersAccumulate(t *testing.T) {
 	prog := BuildProgram(DefaultProgramConfig(2))
+	// The wire header is authoritative for tenant classification: the
+	// tenantmap stage copies the KVS tenant into meta.tenant, overriding
+	// whatever ingress tenant the message arrived with.
+	pkt := func() *packet.Packet {
+		return packet.NewPacket(0,
+			&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+			&packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 255, 0, 2}},
+			&packet.UDP{SrcPort: 5001, DstPort: packet.KVSPort},
+			&packet.KVS{Op: packet.KVSGet, Tenant: 9, Key: 1},
+		)
+	}
 	for i := 0; i < 5; i++ {
-		m := progMsg(func() *packet.Packet { return getPkt(packet.IP4{10, 0, 0, 1}, 1) }, packet.ClassLatency, 9)
+		m := progMsg(pkt, packet.ClassLatency, 0)
 		if _, err := prog.Process(m, 0); err != nil {
 			t.Fatal(err)
+		}
+		if m.Tenant != 9 {
+			t.Fatalf("message tenant after classification = %d, want 9", m.Tenant)
 		}
 	}
 	if got := prog.Regs.Read("tenant_pkts", 9); got != 5 {
 		t.Errorf("tenant 9 counter = %d, want 5", got)
 	}
+}
+
+// TestProgramTenantChainRewriteScoped exercises the control-plane rewrite
+// unit behind tenant fault domains: with per-tenant chain tables built,
+// RewriteEngineTenant must repoint exactly one tenant's steering and leave
+// every other tenant's — and the shared classify fallback — untouched.
+func TestProgramTenantChainRewriteScoped(t *testing.T) {
+	cfg := DefaultProgramConfig(2)
+	cfg.Tenants = []uint16{1, 2}
+	prog := BuildProgram(cfg)
+
+	chain := func(tenant uint16) []packet.Addr {
+		m := progMsg(func() *packet.Packet {
+			return packet.NewPacket(0,
+				&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+				&packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 255, 0, 2}},
+				&packet.UDP{SrcPort: 5001, DstPort: packet.KVSPort},
+				&packet.KVS{Op: packet.KVSGet, Tenant: tenant, Key: 1},
+			)
+		}, packet.ClassLatency, 0)
+		if _, err := prog.Process(m, 0); err != nil {
+			t.Fatal(err)
+		}
+		if m.Tenant != tenant {
+			t.Fatalf("classified tenant = %d, want %d", m.Tenant, tenant)
+		}
+		return chainAddrs(m)
+	}
+	assertChain := func(tenant uint16, want []packet.Addr) {
+		t.Helper()
+		got := chain(tenant)
+		if len(got) != len(want) {
+			t.Fatalf("tenant %d chain = %v, want %v", tenant, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("tenant %d chain = %v, want %v", tenant, got, want)
+			}
+		}
+	}
+
+	normal := []packet.Addr{AddrKVSCache, AddrDMA}
+	assertChain(1, normal)
+	assertChain(2, normal)
+
+	// Punt tenant 1's cache hop to an alias. The tenantchain stage holds one
+	// GET and one SET entry per tenant, each with a single cache hop.
+	const alias = AddrPuntBase
+	if n := prog.RewriteEngineTenant(AddrKVSCache, alias, rmt.FieldMetaTenant, 1); n != 2 {
+		t.Fatalf("rewrote %d hops, want 2 (tenant 1's GET and SET entries)", n)
+	}
+	assertChain(1, []packet.Addr{alias, AddrDMA})
+	// Tenant 2 and unknown tenants (shared classify entries) keep the cache.
+	assertChain(2, normal)
+	assertChain(7, normal)
+
+	// The inverse rewrite restores tenant 1 exactly.
+	if n := prog.RewriteEngineTenant(alias, AddrKVSCache, rmt.FieldMetaTenant, 1); n != 2 {
+		t.Fatalf("inverse rewrite touched %d hops, want 2", n)
+	}
+	assertChain(1, normal)
 }
 
 func TestInstallDropRule(t *testing.T) {

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/fault"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/workload"
+)
+
+// tenantGetSource builds a bounded all-GET LAN stream for one tenant.
+func tenantGetSource(tenant uint16, count, seed uint64) *workload.KVSStream {
+	return workload.NewKVSStream(workload.KVSTenantConfig{
+		Tenant: tenant, Class: packet.ClassLatency,
+		RateGbps: 5, FreqHz: 500e6,
+		Keys: 64, GetRatio: 1.0,
+		ValueBytes: 256, Count: count, Seed: seed,
+	})
+}
+
+// TestTenantScopedFailover wedges the KVS cache with a tenant fault domain
+// declaring that only tenant 1's chains live on it. The monitor must punt
+// tenant 1's steering to the host — one tenant-tagged event, no global
+// rewrite — while tenant 2's chains keep pointing at the (wedged) cache:
+// tenant 1's service continues through the outage, tenant 2's stalls until
+// the fault lifts and tenant 1 is reintegrated, and nothing is lost.
+func TestTenantScopedFailover(t *testing.T) {
+	const (
+		count    = 40
+		wedgeAt  = 1000
+		wedgeFor = 15_000
+	)
+	cfg := DefaultConfig()
+	cfg.Tenants = []uint16{1, 2}
+	cfg.QueueCap = 256
+	cfg.Health = DefaultHealthConfig()
+	cfg.Health.TenantDomains = map[packet.Addr][]uint16{AddrKVSCache: {1}}
+	cfg.FaultPlan = (&fault.Plan{}).
+		Add(fault.Event{At: wedgeAt, Kind: fault.Wedge, Engine: AddrKVSCache, For: wedgeFor})
+	nic := NewNIC(cfg, []engine.Source{
+		tenantGetSource(1, count, 31),
+		tenantGetSource(2, count, 37),
+	})
+
+	// Mid-outage: the punt happened, was tenant-scoped, and tenant 1 is
+	// being served while tenant 2 waits on the wedged cache.
+	nic.Run(14_000)
+	punt, ok := findEvent(nic.Events, "punted", uint16(AddrKVSCache))
+	if !ok {
+		t.Fatalf("no punt event for the cache:\n%s", nic.Events.String())
+	}
+	if !punt.Tenanted || punt.Tenant != 1 {
+		t.Errorf("punt event = %+v, want tenant-scoped to tenant 1", punt)
+	}
+	for _, e := range nic.Events.Events() {
+		if e.Engine == AddrKVSCache && (e.Kind == "punted" || e.Kind == "rerouted") && !e.Tenanted {
+			t.Errorf("global steering rewrite for a tenant-domain engine: %+v", e)
+		}
+	}
+	w1, w2 := nic.WireLat.Tenant(1).Count(), nic.WireLat.Tenant(2).Count()
+	if w1 <= w2 {
+		t.Errorf("mid-outage wire responses: tenant1=%d tenant2=%d, want tenant 1 ahead (punted to host)\n%s",
+			w1, w2, nic.TenantReport())
+	}
+
+	// After the fault lifts: tenant 1 reintegrates (tenant-scoped), tenant
+	// 2's backlog drains through the healed cache, and both tenants' full
+	// request counts are answered with zero drops.
+	nic.Run(400_000)
+	reint, ok := findEvent(nic.Events, "reintegrated", uint16(AddrKVSCache))
+	if !ok {
+		t.Fatalf("no reintegration event:\n%s", nic.Events.String())
+	}
+	if !reint.Tenanted || reint.Tenant != 1 {
+		t.Errorf("reintegration event = %+v, want tenant-scoped to tenant 1", reint)
+	}
+	for tenant := uint16(1); tenant <= 2; tenant++ {
+		if n := nic.WireLat.Tenant(tenant).Count(); n != count {
+			t.Errorf("tenant %d wire responses = %d, want %d\nevents:\n%s\n%s",
+				tenant, n, count, nic.Events.String(), nic.TenantReport())
+		}
+	}
+	if nic.Drops.Value() != 0 {
+		t.Errorf("drops = %d, want 0 (tenant-scoped failover must be lossless)", nic.Drops.Value())
+	}
+}

@@ -119,6 +119,7 @@ func (t *RMTTile) Tick(cycle uint64) {
 				LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
 				Start: cycle, End: cycle,
 				A: uint64(o.dst), B: uint64(t.fab.FlitsFor(o.msg)),
+				Tenant: o.msg.Tenant,
 			})
 		}
 		t.stats.Emitted++
@@ -138,6 +139,7 @@ func (t *RMTTile) Tick(cycle uint64) {
 					Msg: res.Msg.TraceID, Kind: trace.KindDrop,
 					LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
 					Start: cycle, End: cycle, A: trace.DropRMT,
+					Tenant: res.Msg.Tenant,
 				})
 			}
 		}
@@ -154,6 +156,7 @@ func (t *RMTTile) Tick(cycle uint64) {
 						LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
 						Start: msg.EnqueuedAt, End: cycle,
 						A: uint64(depth), B: uint64(chainSlack(msg, t.cfg.Addr)),
+						Tenant: msg.Tenant,
 					})
 				}
 				t.pipe.Accept(msg, cycle)
@@ -193,6 +196,7 @@ func (t *RMTTile) Tick(cycle uint64) {
 				LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
 				Start: cycle, End: cycle,
 				A: rank, B: uint64(t.queue.Len()),
+				Tenant: msg.Tenant,
 			})
 		}
 		if res.Dropped != nil {
@@ -202,6 +206,7 @@ func (t *RMTTile) Tick(cycle uint64) {
 					Msg: res.Dropped.TraceID, Kind: trace.KindDrop,
 					LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
 					Start: cycle, End: cycle, A: trace.DropQueueShed,
+					Tenant: res.Dropped.Tenant,
 				})
 			}
 		}
@@ -218,6 +223,7 @@ func (t *RMTTile) emitRMT(res rmt.Result, cycle uint64) {
 		return
 	}
 	id := res.Msg.TraceID
+	tenant := res.Msg.Tenant
 	loc := uint32(t.cfg.Addr)
 	pc := uint64(t.pipe.ParserCycles())
 	dc := uint64(t.pipe.DeparserCycles())
@@ -226,22 +232,22 @@ func (t *RMTTile) emitRMT(res rmt.Result, cycle uint64) {
 	enq := res.Enq
 	t.cfg.Trace.Emit(trace.Span{
 		Msg: id, Kind: trace.KindRMTParse, LocKind: trace.LocEngine, Loc: loc,
-		Start: enq, End: enq + pc,
+		Start: enq, End: enq + pc, Tenant: tenant,
 	})
 	for i := uint64(0); i < stages; i++ {
 		t.cfg.Trace.Emit(trace.Span{
 			Msg: id, Kind: trace.KindRMTStage, LocKind: trace.LocEngine, Loc: loc,
-			Start: enq + pc + i, End: enq + pc + i + 1, A: i,
+			Start: enq + pc + i, End: enq + pc + i + 1, A: i, Tenant: tenant,
 		})
 	}
 	t.cfg.Trace.Emit(trace.Span{
 		Msg: id, Kind: trace.KindRMTDeparse, LocKind: trace.LocEngine, Loc: loc,
-		Start: enq + pc + stages, End: enq + lat,
+		Start: enq + pc + stages, End: enq + lat, Tenant: tenant,
 	})
 	if cycle > enq+lat {
 		t.cfg.Trace.Emit(trace.Span{
 			Msg: id, Kind: trace.KindRMTStall, LocKind: trace.LocEngine, Loc: loc,
-			Start: enq + lat, End: cycle,
+			Start: enq + lat, End: cycle, Tenant: tenant,
 		})
 	}
 }

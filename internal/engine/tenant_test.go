@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/panic-nic/panic/internal/packet"
+)
+
+// tenantMsg is chainMsg with an accounting tenant stamped on the message.
+func tenantMsg(id uint64, tenant uint16, hops ...packet.Hop) *packet.Message {
+	m := chainMsg(id, hops...)
+	m.Tenant = tenant
+	return m
+}
+
+func TestTileTenantTallies(t *testing.T) {
+	r := newRig(2, 1)
+	eng := &fixedEngine{name: "e", svc: 10}
+	sinkEng := NewCollectorEngine("sink", 1, nil)
+	tile := r.place(1, 0, 0, eng)
+	r.place(2, 1, 0, sinkEng)
+	r.routes.SetDefault(2)
+
+	// Three tenant-1 and two tenant-2 messages back to back: the 10-cycle
+	// server serializes them, so later arrivals accumulate queue wait.
+	src := r.mesh.NodeAt(1, 0)
+	for i, tenant := range []uint16{1, 2, 1, 2, 1} {
+		r.mesh.Inject(src, r.mesh.NodeAt(0, 0), tenantMsg(uint64(i+1), tenant, packet.Hop{Engine: 1}))
+	}
+	if !r.k.RunUntil(func() bool { return sinkEng.Count() == 5 }, 1000) {
+		t.Fatal("not all messages processed")
+	}
+
+	tt := tile.TenantStats()
+	t1, t2 := tt[1], tt[2]
+	if t1.Enqueued != 3 || t1.Processed != 3 || t2.Enqueued != 2 || t2.Processed != 2 {
+		t.Fatalf("tallies: tenant1=%+v tenant2=%+v", t1, t2)
+	}
+	if t1.ServiceCycles != 30 || t2.ServiceCycles != 20 {
+		t.Errorf("service cycles: tenant1=%d tenant2=%d, want 30/20", t1.ServiceCycles, t2.ServiceCycles)
+	}
+	if t1.QueueWaitTotal+t2.QueueWaitTotal == 0 {
+		t.Error("no per-tenant queue wait recorded for serialized service")
+	}
+	if t1.Dropped != 0 || t2.Dropped != 0 {
+		t.Errorf("drops: tenant1=%d tenant2=%d, want 0/0", t1.Dropped, t2.Dropped)
+	}
+	// The per-tenant tallies partition the tile totals exactly.
+	st := tile.Stats()
+	if t1.Processed+t2.Processed != st.Processed {
+		t.Errorf("tenant processed %d+%d != tile %d", t1.Processed, t2.Processed, st.Processed)
+	}
+	if t1.ServiceCycles+t2.ServiceCycles != st.BusyCycles {
+		t.Errorf("tenant service %d+%d != tile busy %d", t1.ServiceCycles, t2.ServiceCycles, st.BusyCycles)
+	}
+	if t1.QueueWaitTotal+t2.QueueWaitTotal != st.QueueWaitTotal {
+		t.Errorf("tenant qwait %d+%d != tile %d", t1.QueueWaitTotal, t2.QueueWaitTotal, st.QueueWaitTotal)
+	}
+}
+
+// TestTileTenantScopedDropFault checks the tenant-confined flake: only the
+// named tenant's arrivals are dropped, and other tenants' arrivals do not
+// advance the every-Nth counter.
+func TestTileTenantScopedDropFault(t *testing.T) {
+	r := newRig(2, 1)
+	eng := &fixedEngine{name: "e", svc: 1}
+	sinkEng := NewCollectorEngine("sink", 1, nil)
+	tile := r.place(1, 0, 0, eng)
+	r.place(2, 1, 0, sinkEng)
+	r.routes.SetDefault(2)
+	tile.SetFault(FaultState{DropEveryN: 2, DropTenantOnly: true, DropTenant: 2})
+
+	// Interleave so that, were tenant-1 arrivals counted, the drop pattern
+	// would shift: 4 tenant-2 arrivals must lose exactly every 2nd.
+	src := r.mesh.NodeAt(1, 0)
+	for i, tenant := range []uint16{1, 2, 1, 2, 2, 1, 2, 1} {
+		r.mesh.Inject(src, r.mesh.NodeAt(0, 0), tenantMsg(uint64(i+1), tenant, packet.Hop{Engine: 1}))
+	}
+	if !r.k.RunUntil(func() bool { return sinkEng.Count() == 6 }, 1000) {
+		t.Fatalf("delivered %d, want 6 (4 tenant-1 + 2 surviving tenant-2)", sinkEng.Count())
+	}
+	r.k.Run(50) // settle: nothing further may arrive
+
+	tt := tile.TenantStats()
+	if tt[1].Dropped != 0 || tt[1].Processed != 4 {
+		t.Errorf("tenant 1: %+v, want 4 processed 0 dropped", tt[1])
+	}
+	if tt[2].Dropped != 2 || tt[2].Processed != 2 {
+		t.Errorf("tenant 2: %+v, want 2 processed 2 dropped", tt[2])
+	}
+	if st := tile.Stats(); st.FaultDropped != 2 {
+		t.Errorf("FaultDropped = %d, want 2", st.FaultDropped)
+	}
+}
+
+func TestTileTenantDropFaultValidation(t *testing.T) {
+	r := newRig(1, 1)
+	tile := r.place(1, 0, 0, &fixedEngine{name: "e", svc: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("tenant-scoped drop without a period did not panic")
+		}
+	}()
+	tile.SetFault(FaultState{DropTenantOnly: true, DropTenant: 3})
+}

@@ -75,6 +75,24 @@ func (s TileStats) MeanQueueWait() float64 {
 	return float64(s.QueueWaitTotal) / float64(s.Processed)
 }
 
+// TenantTally is one tenant's share of a tile's work: how much of the
+// queue and the service pipeline that tenant consumed. The control plane
+// reads these to check isolation (an aggressor's ServiceCycles should not
+// grow at a victim's expense beyond its weight share).
+type TenantTally struct {
+	// Enqueued counts messages accepted into the scheduling queue.
+	Enqueued uint64
+	// Processed counts messages whose service completed.
+	Processed uint64
+	// ServiceCycles accumulates cycles spent serving this tenant.
+	ServiceCycles uint64
+	// QueueWaitTotal accumulates enqueue-to-service-start cycles.
+	QueueWaitTotal uint64
+	// Dropped counts messages shed by queue policy or injected faults
+	// (drains re-inject rather than discard, so they are not counted).
+	Dropped uint64
+}
+
 // Tile is an offload engine attached to the fabric: scheduling queue +
 // compute + lightweight route lookup (Figure 3a). It implements
 // sim.Ticker.
@@ -99,6 +117,9 @@ type Tile struct {
 	spreadNext int
 
 	stats TileStats
+	// tenants maps tenant ID to its tally; entries are created lazily on
+	// first sight of a tenant, so steady-state traffic never allocates.
+	tenants map[uint16]*TenantTally
 	// DropSink, when set, receives messages shed by the queue.
 	DropSink Sink
 
@@ -164,6 +185,29 @@ func (t *Tile) Engine() Engine { return t.eng }
 
 // Stats returns a copy of the tile's counters.
 func (t *Tile) Stats() TileStats { return t.stats }
+
+// TenantStats returns a copy of the per-tenant tallies. Tiles that never
+// saw traffic return an empty (possibly nil-backed) map.
+func (t *Tile) TenantStats() map[uint16]TenantTally {
+	out := make(map[uint16]TenantTally, len(t.tenants))
+	for id, ta := range t.tenants {
+		out[id] = *ta
+	}
+	return out
+}
+
+// tally returns the tenant's counter block, creating it on first use.
+func (t *Tile) tally(tenant uint16) *TenantTally {
+	if ta, ok := t.tenants[tenant]; ok {
+		return ta
+	}
+	if t.tenants == nil {
+		t.tenants = make(map[uint16]*TenantTally)
+	}
+	ta := &TenantTally{}
+	t.tenants[tenant] = ta
+	return ta
+}
 
 // QueueStats exposes the scheduling queue's counters.
 func (t *Tile) QueueStats() (pushed, popped, drops, rejects uint64, highWater int) {
@@ -244,6 +288,7 @@ func (t *Tile) Tick(cycle uint64) {
 					Msg: out.Msg.TraceID, Kind: trace.KindGen,
 					LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
 					Start: cycle, End: cycle, B: uint64(out.Msg.WireLen()),
+					Tenant: out.Msg.Tenant,
 				})
 			}
 			t.stage(out)
@@ -276,6 +321,7 @@ func (t *Tile) Tick(cycle uint64) {
 				LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
 				Start: cycle, End: cycle,
 				A: uint64(o.dst), B: uint64(t.fab.FlitsFor(o.msg)),
+				Tenant: o.msg.Tenant,
 			})
 		}
 		t.stats.Emitted++
@@ -293,11 +339,15 @@ func (t *Tile) Tick(cycle uint64) {
 			msg := t.cur
 			t.cur = nil
 			t.stats.Processed++
+			ta := t.tally(msg.Tenant)
+			ta.Processed++
+			ta.ServiceCycles += cycle - t.curStart
 			if t.cfg.Trace.Want(msg.TraceID) {
 				t.cfg.Trace.Emit(trace.Span{
 					Msg: msg.TraceID, Kind: trace.KindService,
 					LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
 					Start: t.curStart, End: cycle,
+					Tenant: msg.Tenant,
 				})
 			}
 			for _, out := range t.eng.Process(&t.ctx, msg) {
@@ -319,6 +369,7 @@ func (t *Tile) Tick(cycle uint64) {
 					LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
 					Start: msg.EnqueuedAt, End: cycle,
 					A: uint64(depth), B: uint64(chainSlack(msg, t.cfg.Addr)),
+					Tenant: msg.Tenant,
 				})
 			}
 			t.cur = msg
@@ -337,6 +388,7 @@ func (t *Tile) Tick(cycle uint64) {
 				msg.Trace[len(msg.Trace)-1].Started = cycle
 			}
 			t.stats.QueueWaitTotal += cycle - msg.EnqueuedAt
+			t.tally(msg.Tenant).QueueWaitTotal += cycle - msg.EnqueuedAt
 		}
 	}
 
@@ -367,21 +419,27 @@ func (t *Tile) admit(msg *packet.Message, cycle uint64) {
 	}
 	rank := t.rank(msg, slack, cycle)
 	res := t.queue.Push(msg, rank)
-	if res.Accepted && res.Dropped != msg && t.cfg.Trace.Want(msg.TraceID) {
-		t.cfg.Trace.Emit(trace.Span{
-			Msg: msg.TraceID, Kind: trace.KindEnq,
-			LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
-			Start: cycle, End: cycle,
-			A: rank, B: uint64(t.queue.Len()),
-		})
+	if res.Accepted && res.Dropped != msg {
+		t.tally(msg.Tenant).Enqueued++
+		if t.cfg.Trace.Want(msg.TraceID) {
+			t.cfg.Trace.Emit(trace.Span{
+				Msg: msg.TraceID, Kind: trace.KindEnq,
+				LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
+				Start: cycle, End: cycle,
+				A: rank, B: uint64(t.queue.Len()),
+				Tenant: msg.Tenant,
+			})
+		}
 	}
 	if res.Dropped != nil {
 		t.stats.Dropped++
+		t.tally(res.Dropped.Tenant).Dropped++
 		if t.cfg.Trace.Want(res.Dropped.TraceID) {
 			t.cfg.Trace.Emit(trace.Span{
 				Msg: res.Dropped.TraceID, Kind: trace.KindDrop,
 				LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
 				Start: cycle, End: cycle, A: trace.DropQueueShed,
+				Tenant: res.Dropped.Tenant,
 			})
 		}
 		if t.DropSink != nil {

@@ -28,6 +28,13 @@ type FaultState struct {
 	// counted in TileStats.FaultDropped and delivered to DropSink so
 	// conservation accounting still holds.
 	DropEveryN int
+	// DropTenantOnly restricts DropEveryN to arrivals whose accounting
+	// tenant is DropTenant; other tenants pass unharmed and do not advance
+	// the every-Nth counter. This models a fault confined to one tenant's
+	// flow state (a poisoned per-tenant context) rather than the whole
+	// engine, and drives the tenant-scoped failover tests.
+	DropTenantOnly bool
+	DropTenant     uint16
 	// CorruptEveryN >= 1 corrupts every Nth arriving message; the engine
 	// front-end detects the bad checksum and discards it (counted in
 	// TileStats.Corrupted, delivered to DropSink).
@@ -36,7 +43,8 @@ type FaultState struct {
 
 // Clean reports whether the state is the healthy zero value.
 func (f FaultState) Clean() bool {
-	return !f.Wedged && (f.SlowFactor == 0 || f.SlowFactor == 1) && f.DropEveryN == 0 && f.CorruptEveryN == 0
+	return !f.Wedged && (f.SlowFactor == 0 || f.SlowFactor == 1) && f.DropEveryN == 0 && f.CorruptEveryN == 0 &&
+		!f.DropTenantOnly && f.DropTenant == 0
 }
 
 // SetFault installs (or, with the zero FaultState, lifts) a fault on the
@@ -47,6 +55,9 @@ func (t *Tile) SetFault(f FaultState) {
 	}
 	if f.DropEveryN < 0 || f.CorruptEveryN < 0 {
 		panic(fmt.Sprintf("engine: tile %q negative fault period", t.eng.Name()))
+	}
+	if f.DropTenantOnly && f.DropEveryN < 1 {
+		panic(fmt.Sprintf("engine: tile %q tenant-scoped drop without a drop period", t.eng.Name()))
 	}
 	t.fault = f
 }
@@ -97,6 +108,7 @@ func (t *Tile) traceDrained(msg *packet.Message) {
 			Msg: msg.TraceID, Kind: trace.KindDrop,
 			LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
 			Start: t.ctx.Now, End: t.ctx.Now, A: trace.DropDrained,
+			Tenant: msg.Tenant,
 		})
 	}
 }
@@ -109,6 +121,7 @@ func (t *Tile) shedFaulted(msg *packet.Message, cycle uint64) bool {
 		if t.corruptSeen%uint64(n) == 0 {
 			t.stats.Corrupted++
 			t.stats.Dropped++
+			t.tally(msg.Tenant).Dropped++
 			t.traceShed(msg, cycle, trace.DropCorrupt)
 			if t.DropSink != nil {
 				t.DropSink.Deliver(msg, cycle)
@@ -117,10 +130,14 @@ func (t *Tile) shedFaulted(msg *packet.Message, cycle uint64) bool {
 		}
 	}
 	if n := t.fault.DropEveryN; n >= 1 {
+		if t.fault.DropTenantOnly && msg.Tenant != t.fault.DropTenant {
+			return false
+		}
 		t.dropSeen++
 		if t.dropSeen%uint64(n) == 0 {
 			t.stats.FaultDropped++
 			t.stats.Dropped++
+			t.tally(msg.Tenant).Dropped++
 			t.traceShed(msg, cycle, trace.DropFault)
 			if t.DropSink != nil {
 				t.DropSink.Deliver(msg, cycle)
@@ -138,6 +155,7 @@ func (t *Tile) traceShed(msg *packet.Message, cycle uint64, reason uint64) {
 			Msg: msg.TraceID, Kind: trace.KindDrop,
 			LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
 			Start: cycle, End: cycle, A: reason,
+			Tenant: msg.Tenant,
 		})
 	}
 }

@@ -83,6 +83,11 @@ type Event struct {
 	EveryN int
 	// From and To are the link endpoints' mesh coordinates (link faults).
 	From, To noc.Coord
+	// Tenant, valid when HasTenant, restricts a FlakeDrop to arrivals
+	// carrying that accounting tenant — the fault is confined to one
+	// tenant's flow state instead of the whole engine.
+	Tenant    uint16
+	HasTenant bool
 	// For, when non-zero, auto-heals the fault For cycles after At.
 	For uint64
 }
@@ -98,6 +103,9 @@ func (e Event) String() string {
 		s += fmt.Sprintf(" %d x%g", e.Engine, e.Factor)
 	case FlakeDrop, FlakeCorrupt:
 		s += fmt.Sprintf(" %d every %d", e.Engine, e.EveryN)
+		if e.HasTenant {
+			s += fmt.Sprintf(" tenant %d", e.Tenant)
+		}
 	case LinkDegrade:
 		s += fmt.Sprintf(" %d,%d->%d,%d every %d", e.From.X, e.From.Y, e.To.X, e.To.Y, e.EveryN)
 	case LinkSever, HealLink:
@@ -129,6 +137,9 @@ func (e Event) validate(i int) error {
 	case FlakeDrop, FlakeCorrupt:
 		if e.EveryN < 1 {
 			return fmt.Errorf("fault: event %d: flake period %d (want >= 1)", i, e.EveryN)
+		}
+		if e.HasTenant && e.Kind != FlakeDrop {
+			return fmt.Errorf("fault: event %d: tenant scope is only supported on drop faults", i)
 		}
 	case LinkDegrade:
 		if e.EveryN < 2 {
@@ -257,6 +268,8 @@ func apply(e Event, h Hooks, cycle uint64) {
 			f.SlowFactor = e.Factor
 		case FlakeDrop:
 			f.DropEveryN = e.EveryN
+			f.DropTenantOnly = e.HasTenant
+			f.DropTenant = e.Tenant
 		case FlakeCorrupt:
 			f.CorruptEveryN = e.EveryN
 		case Heal:

@@ -16,6 +16,7 @@ const samplePlan = `
 at 100 wedge 34 for 50
 at 120 slow 35 x2.5
 at 130 drop 35 every 7
+at 135 drop 36 every 2 tenant 4 for 80
 at 140 corrupt 36 every 3 for 10
 at 150 degrade 1,0->0,0 every 4
 at 160 sever 0,0->1,0 for 25
@@ -28,8 +29,8 @@ func TestParsePlanRoundTrips(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(p.Events) != 8 {
-		t.Fatalf("parsed %d events, want 8", len(p.Events))
+	if len(p.Events) != 9 {
+		t.Fatalf("parsed %d events, want 9", len(p.Events))
 	}
 	// The canonical rendering re-parses to the same plan.
 	p2, err := ParsePlan(strings.NewReader(p.String()), nil)
@@ -46,8 +47,15 @@ func TestParsePlanRoundTrips(t *testing.T) {
 	if p.Events[1].Factor != 2.5 {
 		t.Fatalf("slow factor = %v", p.Events[1].Factor)
 	}
-	if p.Events[4].From != (noc.Coord{X: 1, Y: 0}) || p.Events[4].To != (noc.Coord{X: 0, Y: 0}) {
-		t.Fatalf("degrade link = %v -> %v", p.Events[4].From, p.Events[4].To)
+	if e := p.Events[3]; e.Kind != FlakeDrop || e.Engine != 36 || e.EveryN != 2 ||
+		!e.HasTenant || e.Tenant != 4 || e.For != 80 {
+		t.Fatalf("tenant-scoped drop event = %+v", e)
+	}
+	if p.Events[2].HasTenant {
+		t.Fatalf("unscoped drop gained a tenant: %+v", p.Events[2])
+	}
+	if p.Events[5].From != (noc.Coord{X: 1, Y: 0}) || p.Events[5].To != (noc.Coord{X: 0, Y: 0}) {
+		t.Fatalf("degrade link = %v -> %v", p.Events[5].From, p.Events[5].To)
 	}
 }
 
@@ -61,17 +69,20 @@ func TestParsePlanNamesAndErrors(t *testing.T) {
 		t.Fatalf("named engine resolved to %d", p.Events[0].Engine)
 	}
 	for _, bad := range []string{
-		"wedge 34",                      // missing "at"
-		"at x wedge 34",                 // bad cycle
-		"at 5 wedge",                    // missing engine
-		"at 5 wedge bogus",              // unknown name
-		"at 5 slow 34",                  // missing factor
-		"at 5 slow 34 x0.5",             // factor < 1
-		"at 5 drop 34 every 0",          // period < 1
-		"at 5 degrade 0,0->1,0 every 1", // degrade period < 2
-		"at 5 sever 0,0-1,0",            // bad link syntax
-		"at 5 explode 34",               // unknown kind
-		"at 5 heal 34 for 10",           // heal with duration
+		"wedge 34",                         // missing "at"
+		"at x wedge 34",                    // bad cycle
+		"at 5 wedge",                       // missing engine
+		"at 5 wedge bogus",                 // unknown name
+		"at 5 slow 34",                     // missing factor
+		"at 5 slow 34 x0.5",                // factor < 1
+		"at 5 drop 34 every 0",             // period < 1
+		"at 5 degrade 0,0->1,0 every 1",    // degrade period < 2
+		"at 5 sever 0,0-1,0",               // bad link syntax
+		"at 5 explode 34",                  // unknown kind
+		"at 5 heal 34 for 10",              // heal with duration
+		"at 5 drop 34 tenant 2",            // tenant without a period
+		"at 5 drop 34 every 2 tenant x",    // bad tenant
+		"at 5 corrupt 34 every 3 tenant 2", // tenant scope is drop-only
 	} {
 		if _, err := ParsePlan(strings.NewReader(bad+"\n"), names); err == nil {
 			t.Errorf("%q: parsed without error", bad)
@@ -177,5 +188,22 @@ func TestFaultsCompose(t *testing.T) {
 	k.Run(15)
 	if !tile.FaultState().Clean() {
 		t.Fatal("heal did not clear composed faults")
+	}
+}
+
+// TestArmTenantScopedDrop arms a tenant-scoped drop and requires the tile
+// fault state to carry the scoping, and healing to clear it.
+func TestArmTenantScopedDrop(t *testing.T) {
+	p := (&Plan{}).Add(Event{At: 5, Kind: FlakeDrop, Engine: 7, EveryN: 3, Tenant: 9, HasTenant: true, For: 20})
+	k, tile, _, _ := bench(t, p)
+
+	k.Run(10)
+	f := tile.FaultState()
+	if f.DropEveryN != 3 || !f.DropTenantOnly || f.DropTenant != 9 {
+		t.Fatalf("fault state = %+v, want every-3rd drop scoped to tenant 9", f)
+	}
+	k.Run(20) // auto-heal at 25
+	if !tile.FaultState().Clean() {
+		t.Fatalf("tenant-scoped drop not healed: %+v", tile.FaultState())
 	}
 }

@@ -16,7 +16,7 @@ import (
 //	# comments and blank lines are ignored
 //	at <cycle> wedge <engine> [for <cycles>]
 //	at <cycle> slow <engine> x<factor> [for <cycles>]
-//	at <cycle> drop <engine> every <n> [for <cycles>]
+//	at <cycle> drop <engine> every <n> [tenant <t>] [for <cycles>]
 //	at <cycle> corrupt <engine> every <n> [for <cycles>]
 //	at <cycle> degrade <x>,<y>-><x>,<y> every <n> [for <cycles>]
 //	at <cycle> sever <x>,<y>-><x>,<y> [for <cycles>]
@@ -103,6 +103,17 @@ func parseLine(line string, names map[string]packet.Addr) (Event, error) {
 			e.Kind = FlakeDrop
 		} else {
 			e.Kind = FlakeCorrupt
+		}
+		// Optional trailing "tenant <t>" (drop only; validate rejects it on
+		// corrupt).
+		if len(rest) >= 2 && rest[len(rest)-2] == "tenant" {
+			t, terr := strconv.ParseUint(rest[len(rest)-1], 10, 16)
+			if terr != nil {
+				return Event{}, fmt.Errorf("bad tenant %q", rest[len(rest)-1])
+			}
+			e.Tenant = uint16(t)
+			e.HasTenant = true
+			rest = rest[:len(rest)-2]
 		}
 		if len(rest) != 3 || rest[1] != "every" {
 			return Event{}, fmt.Errorf("%s wants %q", kind, "<engine> every <n>")

@@ -508,6 +508,7 @@ func (r *router) deliver(o int, f Flit) {
 					Msg: msg.TraceID, Kind: trace.KindEject,
 					LocKind: trace.LocNode, Loc: uint32(r.id),
 					Start: a.enqued, End: r.m.now,
+					Tenant: msg.Tenant,
 				})
 			}
 		}
@@ -519,6 +520,7 @@ func (r *router) deliver(o int, f Flit) {
 			LocKind: trace.LocNode, Loc: uint32(r.id),
 			Start: r.m.now, End: r.m.now,
 			A: uint64(o), B: uint64(f.Dst),
+			Tenant: f.Msg.Tenant,
 		})
 	}
 	r.neighbor[o].in[oppositePort[o]][f.VC].Push(f)

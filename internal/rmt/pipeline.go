@@ -39,6 +39,22 @@ func (p *Program) RewriteEngine(old, new packet.Addr) int {
 	return n
 }
 
+// RewriteEngineTenant repoints chain hops targeting old at new, but only
+// in table entries whose match key pins tenantField to exactly tenant —
+// the control-plane primitive behind tenant-scoped fault domains: a wedged
+// tile serving several tenants' chains can have a single tenant's steering
+// punted to host while every other entry (other tenants' and shared ones)
+// keeps its target. Returns the number of hops rewritten.
+func (p *Program) RewriteEngineTenant(old, new packet.Addr, tenantField FieldID, tenant uint64) int {
+	n := 0
+	for _, stage := range p.Stages {
+		for _, t := range stage {
+			n += t.RewriteEngineTenant(old, new, tenantField, tenant)
+		}
+	}
+	return n
+}
+
 // Split partitions the program's stages into n contiguous sub-programs for
 // chained RMT engines (§3.1.2: "Neighboring engines may be configured to
 // independently process messages or be chained to form a longer
@@ -106,6 +122,11 @@ func (p *Program) Process(msg *packet.Message, now uint64) (Result, error) {
 	if ctx.Drop {
 		return Result{Msg: msg, Drop: true}, nil
 	}
+	// The pipeline's tenant classification is authoritative: whatever the
+	// stages left in meta.tenant (the parsed KVS tenant, an ESP SPI
+	// mapping, or the ingress default) becomes the message's accounting
+	// tenant for scheduling, per-tenant engine stats, and fault domains.
+	msg.Tenant = uint16(phv.Get(FieldMetaTenant))
 	p.deparse(msg, &ctx)
 	return Result{Msg: msg, Queue: phv.Get(FieldMetaQueue)}, nil
 }

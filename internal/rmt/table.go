@@ -200,6 +200,37 @@ func (t *Table) RewriteEngine(old, new packet.Addr) int {
 	return n
 }
 
+// RewriteEngineTenant is the tenant-scoped variant of RewriteEngine: it
+// rewrites hops only in entries whose key pins tenantField to exactly
+// tenant. An exact entry pins the field when its value at the field's key
+// position equals tenant; a ternary entry additionally needs a full mask
+// there. LPM tables (single-field keys on addresses) and the default
+// action are never tenant-pinned and are left untouched.
+func (t *Table) RewriteEngineTenant(old, new packet.Addr, tenantField FieldID, tenant uint64) int {
+	pos := -1
+	for i, f := range t.Key {
+		if f == tenantField {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return 0
+	}
+	n := 0
+	for _, e := range t.exact {
+		if e.Values[pos] == tenant {
+			n += rewriteAction(&e.Action, old, new)
+		}
+	}
+	for _, e := range t.ternary {
+		if e.Masks[pos] == ^uint64(0) && e.Values[pos] == tenant {
+			n += rewriteAction(&e.Action, old, new)
+		}
+	}
+	return n
+}
+
 func rewriteAction(a *Action, old, new packet.Addr) int {
 	n := 0
 	for i, op := range a.Ops {

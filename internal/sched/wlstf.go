@@ -1,0 +1,127 @@
+package sched
+
+import "github.com/panic-nic/panic/internal/packet"
+
+// WLSTFConfig parameterizes NewRankWeightedLSTF: least-slack-time-first
+// over per-tenant weights, backed by a deficit-style byte-credit bucket
+// per tenant so an aggressor cannot starve a victim's slack budget.
+type WLSTFConfig struct {
+	// Weights are the relative service weights. A tenant with weight 2
+	// sees its chain slack shrink twice as slowly as a tenant with weight
+	// 1, so under contention it is scheduled proportionally sooner.
+	// Unknown tenants get DefaultWeight.
+	Weights       map[uint16]uint64
+	DefaultWeight uint64
+	// RefillPeriod is the credit-refill granularity in cycles (0 = 64).
+	RefillPeriod uint64
+	// QuantumBytes is the byte credit granted per weight unit per refill
+	// period (0 = 1024). A tenant's fair share per period is
+	// QuantumBytes × weight.
+	QuantumBytes uint64
+	// BurstBytes caps each tenant's credit bucket (0 = 8 × its per-period
+	// grant, floored at two max-size frames so a small quantum still lets
+	// a compliant tenant pay for individual large frames), bounding how
+	// far an idle tenant can burst ahead.
+	BurstBytes uint64
+	// ExhaustedPenalty is the slack inflation, in cycles, applied to a
+	// message whose tenant has spent its credit (0 = 1<<20). Penalized
+	// messages still drain — they are deprioritized, not dropped — so the
+	// policy is work-conserving: an aggressor alone on the NIC runs at
+	// full rate, but under contention it cannot outrank in-budget tenants.
+	ExhaustedPenalty uint64
+}
+
+func (c WLSTFConfig) withDefaults() WLSTFConfig {
+	if c.DefaultWeight == 0 {
+		c.DefaultWeight = 1
+	}
+	if c.RefillPeriod == 0 {
+		c.RefillPeriod = 64
+	}
+	if c.QuantumBytes == 0 {
+		c.QuantumBytes = 1024
+	}
+	if c.ExhaustedPenalty == 0 {
+		c.ExhaustedPenalty = 1 << 20
+	}
+	return c
+}
+
+// wlstfTenant is one tenant's scheduler state.
+type wlstfTenant struct {
+	weight     uint64
+	credit     uint64
+	burst      uint64
+	lastRefill uint64
+}
+
+// NewRankWeightedLSTF returns a weighted-LSTF rank function: rank is the
+// absolute cycle by which service should begin (as RankLSTF), but the
+// message's chain slack is scaled by maxWeight/weight — a heavier tenant's
+// deadline bites sooner — and a tenant that has exhausted its per-period
+// byte credit has its effective slack inflated by ExhaustedPenalty. The
+// credit bucket refills deficit-style: every RefillPeriod cycles each
+// tenant earns QuantumBytes × weight, capped at BurstBytes, and each
+// ranked message spends its wire length. Saturating the NIC therefore
+// drains an aggressor's bucket within one period, after which its
+// messages rank behind every in-budget tenant regardless of how much
+// slack the RMT program stamped — the victim's slack budget is protected
+// by construction, not by trusting the aggressor's traffic profile.
+//
+// The returned function carries per-tenant state and is deterministic
+// given the call sequence; give each engine its own instance (core.NewNIC
+// does). Refill is computed lazily from cycle arithmetic, so the function
+// is pure state-machine — byte-identical across kernel worker counts and
+// fast-forward.
+func NewRankWeightedLSTF(cfg WLSTFConfig) RankFunc {
+	cfg = cfg.withDefaults()
+	var maxW uint64 = cfg.DefaultWeight
+	for _, w := range cfg.Weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	tenants := make(map[uint16]*wlstfTenant)
+	state := func(id uint16) *wlstfTenant {
+		t := tenants[id]
+		if t == nil {
+			w := cfg.Weights[id]
+			if w == 0 {
+				w = cfg.DefaultWeight
+			}
+			grant := cfg.QuantumBytes * w
+			burst := cfg.BurstBytes
+			if burst == 0 {
+				burst = 8 * grant
+				// Two standard max-size Ethernet frames: a tenant within
+				// its rate must be able to afford one frame at a time.
+				if const2MTU := uint64(2 * 1538); burst < const2MTU {
+					burst = const2MTU
+				}
+			}
+			t = &wlstfTenant{weight: w, credit: burst, burst: burst}
+			tenants[id] = t
+		}
+		return t
+	}
+	return func(msg *packet.Message, slack uint32, now uint64) uint64 {
+		t := state(msg.Tenant)
+		// Lazy refill: whole periods elapsed since the last refill.
+		if periods := (now - t.lastRefill) / cfg.RefillPeriod; periods > 0 {
+			earned := periods * cfg.QuantumBytes * t.weight
+			if t.credit += earned; t.credit > t.burst {
+				t.credit = t.burst
+			}
+			t.lastRefill += periods * cfg.RefillPeriod
+		}
+		eff := uint64(slack) * maxW / t.weight
+		cost := uint64(msg.WireLen())
+		if t.credit >= cost {
+			t.credit -= cost
+		} else {
+			t.credit = 0
+			eff += cfg.ExhaustedPenalty
+		}
+		return now + eff
+	}
+}

@@ -57,8 +57,8 @@ func (s *Set) WriteChrome(w io.Writer) error {
 		sep()
 		tid := tids[locKey{sp.LocKind, sp.Loc}]
 		ts := float64(sp.Start) * usPerCycle
-		args := fmt.Sprintf(`{"msg":%d,"lk":%d,"loc":%d,"s":%d,"e":%d,"a":%d,"b":%d}`,
-			sp.Msg, sp.LocKind, sp.Loc, sp.Start, sp.End, sp.A, sp.B)
+		args := fmt.Sprintf(`{"msg":%d,"lk":%d,"loc":%d,"s":%d,"e":%d,"a":%d,"b":%d,"t":%d}`,
+			sp.Msg, sp.LocKind, sp.Loc, sp.Start, sp.End, sp.A, sp.B, sp.Tenant)
 		if sp.Kind.Instant() {
 			fmt.Fprintf(bw, `{"ph":"i","pid":1,"tid":%d,"ts":%s,"s":"t","name":%q,"args":%s}`,
 				tid, formatFloat(ts), sp.Kind.String(), args)
@@ -125,6 +125,7 @@ type chromeSpanArgs struct {
 	E   uint64 `json:"e"`
 	A   uint64 `json:"a"`
 	B   uint64 `json:"b"`
+	T   uint16 `json:"t"`
 }
 
 type chromeMetaArgs struct {
@@ -176,7 +177,7 @@ func ReadChrome(r io.Reader) (*Set, error) {
 			}
 			s.Spans = append(s.Spans, Span{
 				Msg: a.Msg, Start: a.S, End: a.E, A: a.A, B: a.B,
-				Kind: kind, LocKind: LocKind(a.LK), Loc: a.Loc,
+				Kind: kind, LocKind: LocKind(a.LK), Loc: a.Loc, Tenant: a.T,
 			})
 		}
 	}

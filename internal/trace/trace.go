@@ -220,6 +220,10 @@ type Span struct {
 	// LocKind and Loc identify where it happened.
 	LocKind LocKind
 	Loc     uint32
+	// Tenant is the message's accounting tenant at emission time (0 when
+	// the emitting point has no tenant in hand, e.g. most control spans).
+	// Tenant-scoped control-plane events carry the tenant they acted on.
+	Tenant uint16
 }
 
 // Dur returns the span length in cycles.

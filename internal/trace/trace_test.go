@@ -12,13 +12,15 @@ func emit(tr *Tracer) {
 	tr.NameLoc(LocEngine, 7, "kvscache")
 	tr.NameLoc(LocNode, 3, "router(1,0)")
 	tr.NameLoc(LocSink, 1, "wire")
-	eng.Emit(Span{Msg: 10, Kind: KindGen, LocKind: LocEngine, Loc: 7, Start: 5, End: 5, B: 64})
-	eng.Emit(Span{Msg: 10, Kind: KindWait, LocKind: LocEngine, Loc: 7, Start: 5, End: 9, A: 2, B: 30})
-	eng.Emit(Span{Msg: 10, Kind: KindService, LocKind: LocEngine, Loc: 7, Start: 9, End: 14})
-	node.Emit(Span{Msg: 10, Kind: KindHop, LocKind: LocNode, Loc: 3, Start: 15, End: 15, A: 2, B: 9})
-	node.Emit(Span{Msg: 10, Kind: KindEject, LocKind: LocNode, Loc: 3, Start: 14, End: 20})
+	// Message 10 belongs to tenant 9, message 20 to the default tenant 0:
+	// the tenant ID must survive every round trip alongside the other args.
+	eng.Emit(Span{Msg: 10, Kind: KindGen, LocKind: LocEngine, Loc: 7, Start: 5, End: 5, B: 64, Tenant: 9})
+	eng.Emit(Span{Msg: 10, Kind: KindWait, LocKind: LocEngine, Loc: 7, Start: 5, End: 9, A: 2, B: 30, Tenant: 9})
+	eng.Emit(Span{Msg: 10, Kind: KindService, LocKind: LocEngine, Loc: 7, Start: 9, End: 14, Tenant: 9})
+	node.Emit(Span{Msg: 10, Kind: KindHop, LocKind: LocNode, Loc: 3, Start: 15, End: 15, A: 2, B: 9, Tenant: 9})
+	node.Emit(Span{Msg: 10, Kind: KindEject, LocKind: LocNode, Loc: 3, Start: 14, End: 20, Tenant: 9})
 	eng.Emit(Span{Msg: 20, Kind: KindDrop, LocKind: LocEngine, Loc: 7, Start: 8, End: 8, A: DropQueueShed})
-	eng.Emit(Span{Msg: 10, Kind: KindDeliver, LocKind: LocSink, Loc: 1, Start: 22, End: 22, B: 64})
+	eng.Emit(Span{Msg: 10, Kind: KindDeliver, LocKind: LocSink, Loc: 1, Start: 22, End: 22, B: 64, Tenant: 9})
 	tr.Commit()
 }
 

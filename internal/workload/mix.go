@@ -64,6 +64,125 @@ func (m *Merge) NextArrival(now uint64) (uint64, bool) {
 	return best, have
 }
 
+// TenantSpec describes one tenant's stream in an N-tenant mix. The zero
+// value of the KVS knobs gets sensible defaults (1024 keys, 128 B values);
+// GetRatio is taken literally (0 = all SETs).
+type TenantSpec struct {
+	// Tenant and Class tag the stream.
+	Tenant uint16
+	Class  packet.Class
+	// RateGbps is the tenant's offered load (Poisson arrivals).
+	RateGbps float64
+	// GetRatio, WANShare, ValueBytes, and Keys parameterize the KVS
+	// request stream (ignored when Bulk is set).
+	GetRatio   float64
+	WANShare   float64
+	ValueBytes uint32
+	Keys       uint64
+	// Bulk switches the tenant to a fixed-size UDP stream of FrameBytes
+	// frames (64 when zero) instead of KVS requests.
+	Bulk       bool
+	FrameBytes int
+}
+
+// counted is a source that reports how many messages it has produced.
+type counted interface {
+	Source
+	Generated() uint64
+}
+
+// TenantMix interleaves N tenants' streams with per-tenant generation
+// counts, for the multi-tenant isolation experiments. Streams are seeded
+// seed, seed+1, ... in spec order, so the mix is deterministic.
+type TenantMix struct {
+	merged *Merge
+	gens   map[uint16]counted
+}
+
+// NewTenantMix builds the mix.
+func NewTenantMix(freqHz float64, specs []TenantSpec, seed uint64) *TenantMix {
+	if len(specs) == 0 {
+		panic("workload: tenant mix of zero specs")
+	}
+	m := &TenantMix{gens: make(map[uint16]counted, len(specs))}
+	srcs := make([]Source, 0, len(specs))
+	for i, sp := range specs {
+		var src counted
+		if sp.Bulk {
+			frame := sp.FrameBytes
+			if frame == 0 {
+				frame = 64
+			}
+			src = NewFixedStream(FixedStreamConfig{
+				FrameBytes: frame,
+				RateGbps:   sp.RateGbps, FreqHz: freqHz, Poisson: true,
+				Tenant: sp.Tenant, Class: sp.Class,
+				Seed: seed + uint64(i),
+			})
+		} else {
+			keys := sp.Keys
+			if keys == 0 {
+				keys = 1024
+			}
+			vb := sp.ValueBytes
+			if vb == 0 {
+				vb = 128
+			}
+			src = NewKVSStream(KVSTenantConfig{
+				Tenant: sp.Tenant, Class: sp.Class,
+				RateGbps: sp.RateGbps, FreqHz: freqHz, Poisson: true,
+				Keys: keys, GetRatio: sp.GetRatio, WANShare: sp.WANShare,
+				ValueBytes: vb,
+				Seed:       seed + uint64(i),
+			})
+		}
+		if _, dup := m.gens[sp.Tenant]; dup {
+			panic("workload: tenant mix with duplicate tenant ID")
+		}
+		m.gens[sp.Tenant] = src
+		srcs = append(srcs, src)
+	}
+	m.merged = NewMerge(srcs...)
+	return m
+}
+
+// Poll implements engine.Source.
+func (m *TenantMix) Poll(now uint64) *packet.Message { return m.merged.Poll(now) }
+
+// NextArrival implements engine.ArrivalSource.
+func (m *TenantMix) NextArrival(now uint64) (uint64, bool) { return m.merged.NextArrival(now) }
+
+// Generated returns how many messages the given tenant's stream produced
+// (0 for tenants not in the mix).
+func (m *TenantMix) Generated(tenant uint16) uint64 {
+	if g, ok := m.gens[tenant]; ok {
+		return g.Generated()
+	}
+	return 0
+}
+
+// NewAggressorVictimMix builds the two-tenant isolation workload: tenant 1
+// is the victim (latency-class KVS GETs at a modest rate) and tenant 2 the
+// aggressor (a bulk-class flood of 512 B frames at a saturating rate).
+// Both streams converge on the DMA engine — the victim's cache misses and
+// every aggressor frame need the host link — so when the aggressor
+// oversubscribes PCIe, a standing queue forms exactly where the scheduler
+// arbitrates. The victim's spec comes first, seeded with the mix seed
+// itself, so its arrival process is byte-identical to a solo run built
+// from the same seed and spec.
+func NewAggressorVictimMix(freqHz, victimGbps, aggressorGbps float64, seed uint64) *TenantMix {
+	return NewTenantMix(freqHz, []TenantSpec{
+		VictimSpec(victimGbps),
+		{Tenant: 2, Class: packet.ClassBulk, RateGbps: aggressorGbps, Bulk: true, FrameBytes: 512},
+	}, seed)
+}
+
+// VictimSpec is the canonical victim tenant of the isolation experiments:
+// tenant 1, latency class, all-GET key-value traffic at the given rate.
+func VictimSpec(gbps float64) TenantSpec {
+	return TenantSpec{Tenant: 1, Class: packet.ClassLatency, RateGbps: gbps, GetRatio: 1.0}
+}
+
 // IsolationMix is the §3.1.3 experiment workload: a low-rate
 // latency-sensitive tenant sharing the NIC with a bulk-throughput tenant.
 type IsolationMix struct {
