@@ -65,7 +65,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: load baseline: %v\n", err)
 		os.Exit(1)
 	}
-	violations := benchmeas.Compare(base, fresh, *tolerance)
+	violations, notes := benchmeas.Compare(base, fresh, *tolerance)
+	for _, n := range notes {
+		fmt.Printf("benchgate: note: %s\n", n)
+	}
 	if len(violations) > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) vs %s:\n", len(violations), *baseline)
 		for _, v := range violations {

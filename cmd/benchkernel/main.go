@@ -18,12 +18,15 @@
 // Usage:
 //
 //	benchkernel [-cycles N] [-lowload-cycles N] [-o BENCH_kernel.json]
+//	            [-cpuprofile FILE] [-memprofile FILE] [-ablation]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/panic-nic/panic/internal/benchmeas"
 )
@@ -32,13 +35,45 @@ func main() {
 	cycles := flag.Uint64("cycles", 300_000, "simulated cycles per saturating run")
 	lowCycles := flag.Uint64("lowload-cycles", 2_000_000, "simulated cycles per low-load run")
 	out := flag.String("o", "BENCH_kernel.json", "output JSON path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the measurement runs to `file`")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the runs to `file`")
+	ablation := flag.Bool("ablation", false, "also run the hot-path ablation sweep (flow cache / bucket queue off)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *cpuProfile, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	rep := benchmeas.Measure(benchmeas.Config{
 		Cycles:        *cycles,
 		LowLoadCycles: *lowCycles,
+		Ablation:      *ablation,
 		Log:           os.Stdout,
 	})
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *memProfile, err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "write heap profile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 	if err := rep.WriteFile(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "write %s: %v\n", *out, err)
 		os.Exit(1)

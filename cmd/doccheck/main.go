@@ -34,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"strings"
 )
 
@@ -170,7 +171,11 @@ func checkToken(root, tok string, cmdFlags map[string]map[string]bool, allFlags 
 			!strings.ContainsAny(w, "<>*|$")
 		if isPath {
 			if _, err := os.Stat(filepath.Join(root, w)); err != nil {
-				problems = append(problems, fmt.Sprintf("path `%s` does not exist", w))
+				// Go standard-library packages (`container/heap`, ...) read
+				// like repo paths; resolve them against GOROOT/src.
+				if _, gerr := os.Stat(filepath.Join(runtime.GOROOT(), "src", w)); gerr != nil {
+					problems = append(problems, fmt.Sprintf("path `%s` does not exist", w))
+				}
 			}
 			return problems
 		}

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -43,6 +45,8 @@ var (
 	traceSample   *int
 	tenantsN      *int
 	tenantWeights *string
+	noFlowCache   *bool
+	heapQueue     *bool
 )
 
 func main() {
@@ -72,7 +76,41 @@ func main() {
 	traceSample = flag.Int("trace-sample", 1, "trace one message in N (1 = all; panic only)")
 	tenantsN = flag.Int("tenants", 1, "number of tenants in the generated mix; -rate is split evenly across them")
 	tenantWeights = flag.String("tenant-weights", "", "comma-separated scheduler weights for tenants 1..N, e.g. 4,1 (enables weighted-LSTF; panic only)")
+	noFlowCache = flag.Bool("no-flowcache", false, "disable the RMT flow cache (bit-identical ablation; panic only)")
+	heapQueue = flag.Bool("heap-queue", false, "use the heap scheduling queue instead of the calendar queue (bit-identical ablation; panic only)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to `file`")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *cpuProfile, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *memProfile, err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "write heap profile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}()
 
 	if *tenantsN < 1 {
 		fmt.Fprintf(os.Stderr, "-tenants must be >= 1 (got %d)\n", *tenantsN)
@@ -130,6 +168,8 @@ func runPanic(cycles uint64, freq, line float64, meshK, width, pipelines int, wa
 	cfg.DMAReplicas = *dmaReplicas
 	cfg.Workers = *workers
 	cfg.FastForward = *fastForward
+	cfg.NoFlowCache = *noFlowCache
+	cfg.HeapSchedQueue = *heapQueue
 	if *tenantsN > 1 {
 		for i := 0; i < *tenantsN; i++ {
 			cfg.Tenants = append(cfg.Tenants, uint16(i+1))

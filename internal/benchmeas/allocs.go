@@ -3,9 +3,11 @@ package benchmeas
 import (
 	"runtime"
 
+	"github.com/panic-nic/panic/internal/core"
 	"github.com/panic-nic/panic/internal/engine"
 	"github.com/panic-nic/panic/internal/noc"
 	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/rmt"
 	"github.com/panic-nic/panic/internal/sched"
 	"github.com/panic-nic/panic/internal/sim"
 	"github.com/panic-nic/panic/internal/trace"
@@ -93,9 +95,106 @@ func allocsPerOp(runs int, fn func()) float64 {
 	return float64((after.Mallocs - before.Mallocs) / uint64(runs))
 }
 
-// MeasureAllocs samples the tile hot path's allocation rate with tracing
-// disabled — the configurations whose cost contract is zero allocations
-// per processed message.
+// schedQueueAllocs measures the calendar queue's rotation: a resident
+// population cycles through ever-increasing ranks, which is the slack
+// scheduler's steady state (ranks grow with the cycle counter forever, so
+// the bucket window keeps advancing).
+func schedQueueAllocs() float64 {
+	q := sched.NewQueue(16, sched.Backpressure)
+	for i := 0; i < 8; i++ {
+		q.Push(&packet.Message{ID: uint64(i)}, uint64(i))
+	}
+	rank := uint64(8)
+	fn := func() {
+		m, ok := q.Pop()
+		if !ok {
+			panic("benchmeas: sched queue drained")
+		}
+		q.Push(m, rank)
+		rank++
+	}
+	for i := 0; i < 4096; i++ { // settle bucket and overflow-heap growth
+		fn()
+	}
+	return allocsPerOp(4096, fn)
+}
+
+// meshPing bounces one message between two mesh nodes forever, keeping
+// exactly one flit stream in flight so every tick exercises the router
+// fast path (head caching, precomputed next hops) alongside 30+ idle
+// routers exercising the skip-scan.
+type meshPing struct {
+	fab      noc.Fabric
+	src, dst noc.NodeID
+	msg      *packet.Message
+	inflight bool
+}
+
+func (d *meshPing) Tick(uint64) {
+	if m, ok := d.fab.TryEject(d.dst); ok {
+		d.msg, d.inflight = m, false
+	}
+	if !d.inflight && d.fab.CanInject(d.src, d.dst) {
+		d.fab.Inject(d.src, d.dst, d.msg)
+		d.inflight = true
+	}
+}
+
+// meshTickAllocs measures the mesh's per-cycle allocation rate under a
+// kernel (the mesh's staged queues commit through the kernel's phases).
+func meshTickAllocs() float64 {
+	mesh := noc.NewMesh(noc.DefaultMeshConfig())
+	k := sim.NewKernel(sim.Frequency(1e9))
+	mesh.RegisterWith(k)
+	k.Register(&meshPing{
+		fab: mesh, src: 0, dst: 7,
+		msg: &packet.Message{ID: 1, Pkt: packet.NewPacket(64,
+			&packet.Ethernet{EtherType: packet.EtherTypeIPv4})},
+	})
+	k.Run(1024) // settle FIFO rings
+	return allocsPerOp(4096, func() { k.Run(1) })
+}
+
+// flowCacheHitAllocs measures the RMT pipeline's per-message allocation
+// rate on the flow-cache hit path: the same flow re-enters the canonical
+// steering program, so every pass after warm-up replays the cached verdict
+// and rewrites the resident chain in place.
+func flowCacheHitAllocs() float64 {
+	prog := core.BuildProgram(core.DefaultProgramConfig(2))
+	pipe := rmt.NewPipeline(prog, 1, 1)
+	pipe.EnableFlowCache()
+	msg := &packet.Message{
+		Tenant: 1, Port: 0,
+		Pkt: packet.NewPacket(0,
+			&packet.Ethernet{Dst: packet.MAC{2, 0, 0, 0, 0, 1}, EtherType: packet.EtherTypeIPv4},
+			&packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 9}},
+			&packet.UDP{SrcPort: 7000, DstPort: packet.KVSPort},
+			&packet.KVS{Op: packet.KVSGet, Tenant: 1, Key: 42},
+		),
+	}
+	cycle := uint64(0)
+	run := func() {
+		pipe.Accept(msg, cycle)
+		for {
+			cycle++
+			if res, ok := pipe.Tick(); ok {
+				msg = res.Msg
+				return
+			}
+		}
+	}
+	// Two distinct warm-up keys: the chainless ingress packet, then the
+	// steady-state packet carrying the chain the first pass wrote.
+	run()
+	run()
+	run()
+	return allocsPerOp(2048, run)
+}
+
+// MeasureAllocs samples the allocation rate of the hot paths whose cost
+// contract is zero allocations per operation: the tile service loop, the
+// calendar scheduling queue, the mesh router tick, and the RMT flow-cache
+// hit path.
 func MeasureAllocs() []AllocResult {
 	cases := []struct {
 		name    string
@@ -117,5 +216,10 @@ func MeasureAllocs() []AllocResult {
 		})
 		out = append(out, AllocResult{Name: c.name, AllocsPerOp: a})
 	}
+	out = append(out,
+		AllocResult{Name: "sched-queue-push-pop", AllocsPerOp: schedQueueAllocs()},
+		AllocResult{Name: "mesh-router-tick", AllocsPerOp: meshTickAllocs()},
+		AllocResult{Name: "rmt-flowcache-hit", AllocsPerOp: flowCacheHitAllocs()},
+	)
 	return out
 }

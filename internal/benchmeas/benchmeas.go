@@ -26,6 +26,21 @@ type WorkerResult struct {
 	CyclesPerS float64 `json:"sim_cycles_per_sec"`
 	MsgsPerS   float64 `json:"msgs_per_sec"`
 	Speedup    float64 `json:"speedup_vs_1_worker"`
+	// CacheHitRate is the RMT flow-cache hit rate over the run (0 when the
+	// cache is disabled or the field predates the cache).
+	CacheHitRate float64 `json:"flow_cache_hit_rate,omitempty"`
+}
+
+// AblationResult is one single-worker saturating run with a hot-path
+// optimization disabled, quantifying that optimization's contribution.
+// Ablations are informational: Compare never gates on them.
+type AblationResult struct {
+	Name       string  `json:"name"`
+	CyclesPerS float64 `json:"sim_cycles_per_sec"`
+	MsgsPerS   float64 `json:"msgs_per_sec"`
+	// VsDefault is this run's msgs/s as a fraction of the default
+	// (everything enabled) single-worker run.
+	VsDefault float64 `json:"throughput_vs_default"`
 }
 
 // FFResult is one low-load run with fast-forward off or on.
@@ -47,13 +62,14 @@ type AllocResult struct {
 
 // Report is the full measurement set, serialized to BENCH_kernel.json.
 type Report struct {
-	NumCPU        int            `json:"num_cpu"`
-	GOMAXPROCS    int            `json:"gomaxprocs"`
-	Note          string         `json:"note"`
-	Saturating    []WorkerResult `json:"saturating_worker_sweep"`
-	LowLoad       []FFResult     `json:"low_load_fast_forward"`
-	BestFFSpeedup float64        `json:"best_ff_speedup"`
-	ZeroAlloc     []AllocResult  `json:"zero_alloc_paths,omitempty"`
+	NumCPU        int              `json:"num_cpu"`
+	GOMAXPROCS    int              `json:"gomaxprocs"`
+	Note          string           `json:"note"`
+	Saturating    []WorkerResult   `json:"saturating_worker_sweep"`
+	Ablations     []AblationResult `json:"ablation_single_worker,omitempty"`
+	LowLoad       []FFResult       `json:"low_load_fast_forward"`
+	BestFFSpeedup float64          `json:"best_ff_speedup"`
+	ZeroAlloc     []AllocResult    `json:"zero_alloc_paths,omitempty"`
 }
 
 // Config parameterizes Measure.
@@ -62,6 +78,10 @@ type Config struct {
 	Cycles uint64
 	// LowLoadCycles is the horizon of each fast-forward run.
 	LowLoadCycles uint64
+	// Ablation additionally measures the saturating run with each loaded
+	// hot-path optimization (RMT flow cache, bucketed scheduler queue)
+	// individually disabled, quantifying each one's contribution.
+	Ablation bool
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
 }
@@ -73,11 +93,14 @@ func (c Config) logf(format string, args ...any) {
 }
 
 // buildNIC assembles the canonical two-tenant benchmark NIC at the given
-// fraction of line rate per source.
-func buildNIC(workers int, fastForward bool, load float64) *core.NIC {
+// fraction of line rate per source. noCache and heapQueue are the hot-path
+// ablation knobs (both false = the default fast configuration).
+func buildNIC(workers int, fastForward bool, load float64, noCache, heapQueue bool) *core.NIC {
 	cfg := core.DefaultConfig()
 	cfg.Workers = workers
 	cfg.FastForward = fastForward
+	cfg.NoFlowCache = noCache
+	cfg.HeapSchedQueue = heapQueue
 	srcs := []engine.Source{
 		workload.NewKVSStream(workload.KVSTenantConfig{
 			Tenant: 1, Class: packet.ClassLatency,
@@ -105,35 +128,74 @@ func Measure(cfg Config) Report {
 			"core-count independent",
 	}
 
-	var base float64
-	for _, w := range []int{1, 2, 4, 8} {
-		nic := buildNIC(w, false, 0.9)
+	// satRun is one timed saturating run; the returned WorkerResult still
+	// needs its Speedup filled in by the caller.
+	satRun := func(w int, noCache, heapQueue bool) WorkerResult {
+		nic := buildNIC(w, false, 0.9, noCache, heapQueue)
 		nic.Run(2_000) // warm-up: fill the pipeline
 		before := nic.WireLat.Count + nic.HostLat.Count
 		start := time.Now()
 		nic.Run(cfg.Cycles)
 		wall := time.Since(start).Seconds()
 		delivered := nic.WireLat.Count + nic.HostLat.Count - before
+		hit := nic.FlowCacheStats().HitRate()
 		nic.Close()
-		r := WorkerResult{
-			Workers:    w,
-			SimCycles:  cfg.Cycles,
-			WallSec:    wall,
-			CyclesPerS: float64(cfg.Cycles) / wall,
-			MsgsPerS:   float64(delivered) / wall,
+		return WorkerResult{
+			Workers:      w,
+			SimCycles:    cfg.Cycles,
+			WallSec:      wall,
+			CyclesPerS:   float64(cfg.Cycles) / wall,
+			MsgsPerS:     float64(delivered) / wall,
+			CacheHitRate: hit,
 		}
+	}
+
+	var base WorkerResult
+	for _, w := range []int{1, 2, 4, 8} {
+		r := satRun(w, false, false)
 		if w == 1 {
-			base = r.CyclesPerS
+			base = r
 		}
-		r.Speedup = r.CyclesPerS / base
+		r.Speedup = r.CyclesPerS / base.CyclesPerS
 		rep.Saturating = append(rep.Saturating, r)
-		cfg.logf("saturating workers=%d: %.0f simcycles/s, %.0f msgs/s (%.2fx)\n",
-			w, r.CyclesPerS, r.MsgsPerS, r.Speedup)
+		cfg.logf("saturating workers=%d: %.0f simcycles/s, %.0f msgs/s (%.2fx, cache hit %.1f%%)\n",
+			w, r.CyclesPerS, r.MsgsPerS, r.Speedup, 100*r.CacheHitRate)
+	}
+
+	if cfg.Ablation {
+		// Re-measure the default as the reference: the sweep's workers=1
+		// run was the process's first (cold caches, unfaulted pages), and
+		// comparing ablations against it would systematically flatter them.
+		ablations := []struct {
+			name               string
+			noCache, heapQueue bool
+		}{
+			{"default", false, false},
+			{"no-flow-cache", true, false},
+			{"heap-sched-queue", false, true},
+			{"no-flow-cache+heap-sched-queue", true, true},
+		}
+		var ref float64
+		for _, a := range ablations {
+			r := satRun(1, a.noCache, a.heapQueue)
+			if a.name == "default" {
+				ref = r.MsgsPerS
+			}
+			ar := AblationResult{
+				Name:       a.name,
+				CyclesPerS: r.CyclesPerS,
+				MsgsPerS:   r.MsgsPerS,
+				VsDefault:  r.MsgsPerS / ref,
+			}
+			rep.Ablations = append(rep.Ablations, ar)
+			cfg.logf("ablation %s: %.0f simcycles/s, %.0f msgs/s (%.2fx of default)\n",
+				a.name, ar.CyclesPerS, ar.MsgsPerS, ar.VsDefault)
+		}
 	}
 
 	var stepRate float64
 	for _, ff := range []bool{false, true} {
-		nic := buildNIC(0, ff, 0.001)
+		nic := buildNIC(0, ff, 0.001, false, false)
 		start := time.Now()
 		nic.Run(cfg.LowLoadCycles)
 		wall := time.Since(start).Seconds()
@@ -188,7 +250,7 @@ func (r Report) WriteFile(path string) error {
 }
 
 // Compare checks a fresh report against a baseline and returns one line
-// per violation (empty = gate passes):
+// per violation (empty = gate passes) plus informational notes:
 //
 //   - a matched saturating or fast-forward entry whose simulated-cycles/s
 //     throughput fell more than tolerance (a fraction, e.g. 0.25) below
@@ -197,13 +259,29 @@ func (r Report) WriteFile(path string) error {
 //   - a baseline entry with no counterpart in the fresh report (a silently
 //     dropped measurement cannot pass the gate).
 //
+// When the baseline was committed from a host with a different core count
+// or GOMAXPROCS, the multi-worker saturating entries are skipped instead
+// of compared — parallel speedup is a property of the host's physical
+// cores, so those numbers are not comparable across machines — and a note
+// says so. The single-worker entry, the fast-forward pair, and the
+// zero-alloc contracts remain host-independent and are always gated.
+//
 // Entries present only in the fresh report are ignored: adding coverage is
 // never a regression.
-func Compare(baseline, fresh Report, tolerance float64) []string {
-	var bad []string
+func Compare(baseline, fresh Report, tolerance float64) (bad, notes []string) {
 	floor := 1 - tolerance
+	hostMismatch := baseline.NumCPU != fresh.NumCPU || baseline.GOMAXPROCS != fresh.GOMAXPROCS
+	if hostMismatch {
+		notes = append(notes, fmt.Sprintf(
+			"host mismatch: baseline measured with num_cpu=%d gomaxprocs=%d, this host has num_cpu=%d gomaxprocs=%d; "+
+				"skipping multi-worker scaling comparisons (worker speedup tracks physical cores)",
+			baseline.NumCPU, baseline.GOMAXPROCS, fresh.NumCPU, fresh.GOMAXPROCS))
+	}
 
 	for _, b := range baseline.Saturating {
+		if hostMismatch && b.Workers > 1 {
+			continue
+		}
 		found := false
 		for _, f := range fresh.Saturating {
 			if f.Workers != b.Workers {
@@ -258,5 +336,5 @@ func Compare(baseline, fresh Report, tolerance float64) []string {
 			bad = append(bad, fmt.Sprintf("zero-alloc path %s: missing from fresh run", b.Name))
 		}
 	}
-	return bad
+	return bad, notes
 }

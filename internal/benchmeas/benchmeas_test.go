@@ -31,8 +31,31 @@ func TestCompareWithinToleranceFasterAndExtra(t *testing.T) {
 	fresh.Saturating[0].CyclesPerS = 40_000
 	fresh.LowLoad[1].CyclesPerS = 2_000_000
 	fresh.Saturating = append(fresh.Saturating, WorkerResult{Workers: 16, CyclesPerS: 1})
-	if bad := Compare(base, fresh, 0.25); len(bad) != 0 {
+	if bad, _ := Compare(base, fresh, 0.25); len(bad) != 0 {
 		t.Errorf("violations = %v, want none", bad)
+	}
+}
+
+func TestCompareSkipsWorkerScalingOnHostMismatch(t *testing.T) {
+	base := sampleReport()
+	fresh := sampleReport()
+	fresh.NumCPU = 8
+	fresh.GOMAXPROCS = 8
+	// Multi-worker entry tanks (a different host scales differently) and is
+	// even missing at workers=8 — both must be ignored under a mismatch.
+	fresh.Saturating = fresh.Saturating[:1]
+	bad, notes := Compare(base, fresh, 0.25)
+	if len(bad) != 0 {
+		t.Errorf("violations = %v, want none under host mismatch", bad)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "host mismatch") {
+		t.Errorf("notes = %v, want one host-mismatch note", notes)
+	}
+	// The single-worker entry is still gated.
+	fresh.Saturating[0].CyclesPerS = 10_000
+	bad, _ = Compare(base, fresh, 0.25)
+	if len(bad) != 1 || !strings.Contains(bad[0], "workers=1") {
+		t.Errorf("violations = %v, want one workers=1 regression", bad)
 	}
 }
 
@@ -41,7 +64,7 @@ func TestCompareFlagsThroughputRegression(t *testing.T) {
 	fresh := sampleReport()
 	fresh.Saturating[1].CyclesPerS = 25_000 // -37.5% vs 40k baseline
 	fresh.LowLoad[1].CyclesPerS = 500_000   // -44% vs 900k baseline
-	bad := Compare(base, fresh, 0.25)
+	bad, _ := Compare(base, fresh, 0.25)
 	if len(bad) != 2 {
 		t.Fatalf("violations = %v, want 2", bad)
 	}
@@ -54,12 +77,12 @@ func TestCompareFlagsNewAllocations(t *testing.T) {
 	base := sampleReport()
 	fresh := sampleReport()
 	fresh.ZeroAlloc[0].AllocsPerOp = 1.5
-	bad := Compare(base, fresh, 0.25)
+	bad, _ := Compare(base, fresh, 0.25)
 	if len(bad) != 1 || !strings.Contains(bad[0], "tile-hot-path-untraced") {
 		t.Fatalf("violations = %v, want one alloc violation", bad)
 	}
 	// The reverse — baseline allocates, fresh doesn't — is an improvement.
-	if bad := Compare(fresh, base, 0.25); len(bad) != 0 {
+	if bad, _ := Compare(fresh, base, 0.25); len(bad) != 0 {
 		t.Errorf("improvement flagged: %v", bad)
 	}
 }
@@ -70,7 +93,7 @@ func TestCompareFlagsMissingMeasurements(t *testing.T) {
 	fresh.Saturating = fresh.Saturating[:1]
 	fresh.LowLoad = fresh.LowLoad[:1]
 	fresh.ZeroAlloc = nil
-	bad := Compare(base, fresh, 0.25)
+	bad, _ := Compare(base, fresh, 0.25)
 	if len(bad) != 3 {
 		t.Fatalf("violations = %v, want 3 missing-measurement lines", bad)
 	}
@@ -91,7 +114,7 @@ func TestReportRoundTripsThroughDisk(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bad := Compare(want, got, 0); len(bad) != 0 {
+	if bad, _ := Compare(want, got, 0); len(bad) != 0 {
 		t.Errorf("round-tripped report fails its own gate: %v", bad)
 	}
 	if got.Saturating[1].CyclesPerS != want.Saturating[1].CyclesPerS {

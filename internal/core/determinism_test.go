@@ -67,19 +67,27 @@ func fingerprint(n *NIC) string {
 	return s
 }
 
-// detCase is one kernel execution mode under test.
+// detCase is one kernel execution mode under test. The hot-path ablation
+// knobs (flow cache, calendar queue) ride the same matrix: disabling them
+// must not move a single statistic, in any kernel mode.
 type detCase struct {
 	name        string
 	workers     int
 	fastForward bool
+	noFlowCache bool
+	heapQueue   bool
 }
 
 var detCases = []detCase{
-	{"sequential", 0, false},
-	{"workers2", 2, false},
-	{"workers8", 8, false},
-	{"sequential+ff", 0, true},
-	{"workers8+ff", 8, true},
+	{name: "sequential"},
+	{name: "workers2", workers: 2},
+	{name: "workers8", workers: 8},
+	{name: "sequential+ff", fastForward: true},
+	{name: "workers8+ff", workers: 8, fastForward: true},
+	{name: "sequential+nocache", noFlowCache: true},
+	{name: "workers8+nocache", workers: 8, noFlowCache: true},
+	{name: "sequential+heapq", heapQueue: true},
+	{name: "workers8+ff+nocache+heapq", workers: 8, fastForward: true, noFlowCache: true, heapQueue: true},
 }
 
 // detRun builds a NIC in the given mode over a seeded two-port traffic mix
@@ -89,6 +97,8 @@ func detRun(c detCase, horizon uint64) string {
 	cfg := DefaultConfig()
 	cfg.Workers = c.workers
 	cfg.FastForward = c.fastForward
+	cfg.NoFlowCache = c.noFlowCache
+	cfg.HeapSchedQueue = c.heapQueue
 	cfg.IPSecReplicas = 2
 	cfg.Health = DefaultHealthConfig()
 	cfg.FaultPlan = (&fault.Plan{}).
@@ -139,9 +149,9 @@ func TestCrossKernelDeterminismRepeatable(t *testing.T) {
 		t.Skip("multi-mode NIC runs are slow")
 	}
 	const horizon = 60_000
-	first := detRun(detCase{"workers4", 4, false}, horizon)
+	first := detRun(detCase{name: "workers4", workers: 4}, horizon)
 	for i := 0; i < 2; i++ {
-		if again := detRun(detCase{"workers4", 4, false}, horizon); again != first {
+		if again := detRun(detCase{name: "workers4", workers: 4}, horizon); again != first {
 			t.Fatalf("workers=4 run %d diverged from its first run:\n%s", i+2, diffLines(first, again))
 		}
 	}

@@ -98,6 +98,15 @@ type Config struct {
 	// staged sinks flush. Nil costs nothing on the hot path.
 	Tracer *trace.Tracer
 	Seed   uint64
+	// NoFlowCache disables the RMT pipelines' per-flow decision caches
+	// (the ablation baseline: every message pays the full Go-side parse
+	// and table walk). Simulation results are bit-identical either way —
+	// the cache replays verdicts and register side effects exactly.
+	NoFlowCache bool
+	// HeapSchedQueue backs every scheduling queue with the reference
+	// container/heap PIFO instead of the bucketed calendar queue (the
+	// scheduler ablation baseline; decisions are identical).
+	HeapSchedQueue bool
 	// Workers is the kernel's Eval worker-pool size: 0 or 1 runs the
 	// classic sequential loop; N > 1 shards the Eval phase across N
 	// goroutines. The simulation result is bit-identical either way.
@@ -239,6 +248,7 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 	common := func(c *engine.TileConfig) {
 		c.QueueCap = cfg.QueueCap
 		c.Policy = cfg.Policy
+		c.HeapSchedQueue = cfg.HeapSchedQueue
 		c.Rank = cfg.Rank
 		if c.Rank == nil && len(cfg.TenantWeights) > 0 {
 			c.Rank = sched.NewRankWeightedLSTF(sched.WLSTFConfig{
@@ -298,6 +308,11 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 	}
 	for i := 0; i < cfg.RMTPipelines; i++ {
 		pipe := rmt.NewPipeline(n.Program, 1, 1)
+		if !cfg.NoFlowCache {
+			// Each pipeline gets a private cache (no shared mutable state
+			// under the parallel kernel); verdicts are identical either way.
+			pipe.EnableFlowCache()
+		}
 		b.PlaceRMT(AddrRMTBase+packet.Addr(i), rmtX, rmtY(i), pipe, common,
 			func(c *engine.TileConfig) { c.Rank = nil }) // FIFO admission
 	}
@@ -565,6 +580,20 @@ func (n *NIC) RMTStats() engine.RMTStats {
 	return s
 }
 
+// FlowCacheStats sums the RMT pipelines' flow-cache counters (all zero
+// when Cfg.NoFlowCache).
+func (n *NIC) FlowCacheStats() rmt.FlowCacheStats {
+	var s rmt.FlowCacheStats
+	for _, t := range n.Builder.RMTs {
+		fs := t.Pipeline().FlowCacheStats()
+		s.Hits += fs.Hits
+		s.Misses += fs.Misses
+		s.NegHits += fs.NegHits
+		s.Flushes += fs.Flushes
+	}
+	return s
+}
+
 // Summary renders a human-readable run report.
 func (n *NIC) Summary(cycles uint64) string {
 	t := stats.NewTable("metric", "value")
@@ -584,6 +613,9 @@ func (n *NIC) Summary(cycles uint64) string {
 	t.AddRow("sched drops", n.Drops.Value())
 	rmtStats := n.RMTStats()
 	t.AddRow("rmt passes", rmtStats.Accepted)
+	if fc := n.FlowCacheStats(); fc.Hits+fc.Misses+fc.NegHits > 0 {
+		t.AddRow("rmt flow-cache hit rate", fmt.Sprintf("%.1f%%", fc.HitRate()*100))
+	}
 	if n.WireLat.Count > 0 {
 		t.AddRow("rtt p50 (ns)", ns(n.WireLat.All.P50()))
 		t.AddRow("rtt p99 (ns)", ns(n.WireLat.All.P99()))

@@ -79,7 +79,7 @@ func TestTraceSamplingSubset(t *testing.T) {
 		t.Skip("NIC runs are slow")
 	}
 	const horizon = 60_000
-	seq := detCase{"sequential", 0, false}
+	seq := detCase{name: "sequential"}
 	_, fullFP := traceRun(seq, horizon, 1)
 	sampled, sampledFP := traceRun(seq, horizon, 4)
 	if sampledFP != fullFP {

@@ -63,7 +63,7 @@ func NewRMTTile(cfg TileConfig, pipe *rmt.Pipeline, fab noc.Fabric, routes *Rout
 		pipe:   pipe,
 		fab:    fab,
 		routes: routes,
-		queue:  sched.NewQueue(cfg.QueueCap, cfg.Policy),
+		queue:  cfg.newQueue(),
 		rank:   rank,
 		outbox: make([]resolvedOut, 0, 8),
 	}
@@ -230,9 +230,13 @@ func (t *RMTTile) emitRMT(res rmt.Result, cycle uint64) {
 	lat := uint64(t.pipe.Latency())
 	stages := lat - pc - dc
 	enq := res.Enq
+	var hit uint64
+	if res.CacheHit {
+		hit = 1
+	}
 	t.cfg.Trace.Emit(trace.Span{
 		Msg: id, Kind: trace.KindRMTParse, LocKind: trace.LocEngine, Loc: loc,
-		Start: enq, End: enq + pc, Tenant: tenant,
+		Start: enq, End: enq + pc, A: hit, Tenant: tenant,
 	})
 	for i := uint64(0); i < stages; i++ {
 		t.cfg.Trace.Emit(trace.Span{

@@ -81,6 +81,16 @@ type router struct {
 	in     [numPorts][]*sim.FIFO[Flit] // [port][vc]; in[portLocal] unused
 	inj    injector
 	ejectQ *sim.FIFO[*packet.Message]
+	// nextPort[dst] is the precomputed XY-routing output port for every
+	// destination node — the per-flit route computation reduced to one
+	// table read, as a real router's route-compute stage would be a small
+	// combinational lookup.
+	nextPort []uint8
+	// heads[p][v] caches the head flit of input (p, vc) for the duration
+	// of one tick, so output arbitration reads an array instead of
+	// re-peeking FIFOs O(outputs × inputs) times. Entries go stale only
+	// after a pop, and consumed[p] already guards every read after a pop.
+	heads [numPorts][]headState
 	// assembly reassembles one message per VC at the local output.
 	assembly []struct {
 		msg    *packet.Message
@@ -103,6 +113,12 @@ type router struct {
 	// buffer per router keeps span emission single-writer under the
 	// parallel kernel's one-shard-per-router partitioning.
 	tb *trace.Buffer
+}
+
+// headState is one input lane's cached head flit for the current tick.
+type headState struct {
+	f  Flit
+	ok bool
 }
 
 // routerStats are one router's contribution to the mesh totals. occIn and
@@ -239,7 +255,16 @@ func NewMesh(cfg MeshConfig) *Mesh {
 				r.holder[p][v] = -1
 			}
 		}
+		for p := range r.heads {
+			r.heads[p] = make([]headState, vcs)
+		}
 		m.routers[id] = r
+	}
+	for _, r := range m.routers {
+		r.nextPort = make([]uint8, n)
+		for dst := range r.nextPort {
+			r.nextPort[dst] = uint8(r.route(NodeID(dst)))
+		}
 	}
 	for _, r := range m.routers {
 		if r.y > 0 {
@@ -527,12 +552,68 @@ func (r *router) deliver(o int, f Flit) {
 	r.stats.flitHops++
 }
 
+// hasInput reports whether any input lane (injector or buffered port) holds
+// a committed flit this cycle. A router with no input flits provably does
+// nothing in tick: holders only forward input flits, assembly only advances
+// on arrivals, and no statistics change — so the whole evaluation can be
+// skipped (the loaded-path skip-scan; most routers are off every flow's XY
+// path in any given cycle).
+func (r *router) hasInput() bool {
+	for v := range r.inj.lanes {
+		l := &r.inj.lanes[v]
+		if l.valid || l.q.CanPop() {
+			return true
+		}
+	}
+	for p := portNorth; p < numPorts; p++ {
+		for _, f := range r.in[p] {
+			if f.CanPop() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 func (r *router) tick() {
+	if !r.hasInput() {
+		return
+	}
 	for p := range r.consumed {
 		r.consumed[p] = false
 	}
 	vcs := r.m.vcs
+	// Cache every input lane's head flit once: output arbitration below
+	// would otherwise re-peek each input once per output port. consumed[p]
+	// guards the cache after a pop (one pop per input port per cycle).
+	// While filling, build a conservative per-output candidate mask (a
+	// head flit routed to o, or an active wormhole with flits waiting) so
+	// arbitration skips outputs nothing can use this cycle.
+	var cand [numPorts]bool
+	for p := 0; p < numPorts; p++ {
+		for v := 0; v < vcs; v++ {
+			h := &r.heads[p][v]
+			h.f, h.ok = r.peekIn(p, v)
+			if h.ok && h.f.Head {
+				cand[r.nextPort[h.f.Dst]] = true
+			}
+		}
+	}
 	for o := 0; o < numPorts; o++ {
+		if cand[o] {
+			continue
+		}
+		for v := 0; v < vcs; v++ {
+			if h := r.holder[o][v]; h >= 0 && r.heads[h][v].ok {
+				cand[o] = true
+				break
+			}
+		}
+	}
+	for o := 0; o < numPorts; o++ {
+		if !cand[o] {
+			continue
+		}
 		if o != portLocal && r.linkFault[o].blocks(r.m.now) {
 			continue
 		}
@@ -542,10 +623,11 @@ func (r *router) tick() {
 		for vi := 0; vi < vcs && !sent; vi++ {
 			v := (r.rrVC[o] + vi) % vcs
 			if h := r.holder[o][v]; h >= 0 {
-				f, ok := r.peekIn(h, v)
-				if !ok || r.consumed[h] || !r.canAccept(o, f) {
+				hs := &r.heads[h][v]
+				if !hs.ok || r.consumed[h] || !r.canAccept(o, hs.f) {
 					continue
 				}
+				f := hs.f
 				r.popIn(h, v)
 				r.consumed[h] = true
 				r.deliver(o, f)
@@ -562,10 +644,11 @@ func (r *router) tick() {
 				if r.consumed[in] {
 					continue
 				}
-				f, ok := r.peekIn(in, v)
-				if !ok || !f.Head || r.route(f.Dst) != o || !r.canAccept(o, f) {
+				hs := &r.heads[in][v]
+				if !hs.ok || !hs.f.Head || int(r.nextPort[hs.f.Dst]) != o || !r.canAccept(o, hs.f) {
 					continue
 				}
+				f := hs.f
 				r.popIn(in, v)
 				r.consumed[in] = true
 				r.deliver(o, f)

@@ -1,0 +1,17 @@
+package noc
+
+import (
+	"testing"
+)
+
+// benchMesh runs uniform random traffic on a default 6x6 mesh for b.N
+// cycles, exercising the router hot path (head caching, precomputed
+// routes, idle skip-scan) at the given offered load.
+func benchMesh(b *testing.B, load float64) {
+	b.ReportAllocs()
+	MeasureLoad(NewMesh(DefaultMeshConfig()), 1e9, 64, load, 1_000, uint64(b.N), 7)
+}
+
+func BenchmarkMeshSaturated(b *testing.B) { benchMesh(b, 1.0) }
+func BenchmarkMeshModerate(b *testing.B)  { benchMesh(b, 0.1) }
+func BenchmarkMeshIdle(b *testing.B)      { benchMesh(b, 0.0) }

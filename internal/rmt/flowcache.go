@@ -1,0 +1,384 @@
+package rmt
+
+import (
+	"errors"
+
+	"github.com/panic-nic/panic/internal/packet"
+)
+
+// This file implements the per-pipeline flow cache: a megaflow-style
+// exact-match cache over Program.Process. The first packet of a flow runs
+// an instrumented table walk that both computes the verdict and proves (or
+// disproves) that the verdict is a pure function of the cache key; later
+// packets with the same key replay the recorded verdict — tenant
+// classification, descriptor queue, offload chain, drop decision, and the
+// program's register side effects — without touching the parser or tables.
+//
+// Cycle accuracy is unaffected: the cache lives inside Program.Process,
+// which the timed Pipeline calls combinationally at Accept; the message
+// still occupies the pipeline for the full parser+stages+deparser latency.
+// Only the Go-side cost of modelling the walk is skipped.
+//
+// # Key and correctness
+//
+// The key is (len(buf), buf[:maxParseLen], port, wire length, class,
+// ingress tenant, chain presence + remaining hops) — every input
+// Program.Process reads except the current cycle and the deadline, which
+// are handled by taint tracking below. maxParseLen is the largest byte
+// offset any recorded parse walk has examined; whenever a new walk reads
+// further, the prefix grows and the cache flushes, so all resident keys
+// are always comparable. Two packets with equal keys therefore present
+// identical bytes to the parser over every offset the recorded walk
+// visited, which forces the identical walk (the walk is a deterministic
+// function of the bytes it examines), identical PHV extracts, and — given
+// untainted table keys — identical match results at every stage.
+//
+// # Taint
+//
+// meta.now and meta.deadline differ between packets of one flow, and
+// register reads differ between visits, so the recording walk tracks a
+// taint bit per PHV field (seeded with now and deadline, spread by copies,
+// hashes, and register reads, cleared by constant writes). A flow is
+// cacheable only if no tainted field reaches a table key, a chain hop's
+// slack or engine source, a register-op operand, or the verdict fields
+// (tenant, queue, chain flags). Anything else — including OpFunc escape
+// hatches — records a negative entry: later packets of that flow skip the
+// recording overhead and run the plain walk.
+//
+// # Side effects
+//
+// Register writes are re-executed on every hit from a recorded replay
+// list: OpRegWrite stores its resolved slot and value, OpRegAdd its
+// resolved slot and delta, in program order. Replaying an add (rather than
+// a remembered final value) keeps counters evolving exactly as the
+// uncached walk would, so register state is byte-identical cache on/off.
+//
+// # Invalidation
+//
+// Every Table mutation (Add, RewriteEngine, RewriteEngineTenant) bumps the
+// table's version; the cache compares the summed versions
+// (Program.Generation) on every lookup and flushes on change. Control-
+// plane reroutes — failover, tenant punts, drop rules — all go through
+// those mutators, so a cached decision can never outlive the tables that
+// produced it.
+
+const (
+	// flowKeyPrefixCap bounds how many packet bytes a key may carry; a
+	// walk that examines more records a negative entry instead. 160 covers
+	// the standard parse graph even with a long chain shim header.
+	flowKeyPrefixCap = 160
+	// flowCacheCap bounds resident flows; insertion into a full cache
+	// flushes (simple, deterministic, and sized far above the flow counts
+	// the workloads generate).
+	flowCacheCap = 4096
+)
+
+// errCachedParse is returned for replayed parse failures; the original
+// error text is only reported the first time a flow is seen.
+var errCachedParse = errors.New("rmt: parse error (cached verdict)")
+
+// regReplay is one recorded register side effect with its array resolved
+// at record time.
+type regReplay struct {
+	arr []uint64
+	idx uint64 // pre-modulo index, as the op computed it
+	val uint64 // value for writes, delta for adds
+	add bool
+}
+
+// flowEntry is one cached verdict.
+type flowEntry struct {
+	// uncacheable marks a negative entry: the flow's verdict depends on
+	// per-packet or stateful inputs, so hits run the plain walk.
+	uncacheable bool
+	err         bool // parse failed; replay returns errCachedParse
+	drop        bool
+	tenant      uint16
+	flags       uint8
+	queue       uint64
+	hops        []packet.Hop
+	regOps      []regReplay
+}
+
+// FlowCacheStats are a flow cache's counters.
+type FlowCacheStats struct {
+	// Hits replayed a cached verdict.
+	Hits uint64
+	// Misses ran the recording walk (first packet of each flow, and every
+	// packet after a flush).
+	Misses uint64
+	// NegHits matched a negative entry and ran the plain walk.
+	NegHits uint64
+	// Flushes counts whole-cache invalidations (table generation change,
+	// key-prefix growth, or capacity).
+	Flushes uint64
+}
+
+// HitRate returns Hits / (Hits + Misses + NegHits), 0 when idle.
+func (s FlowCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.NegHits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// flowCache is the per-pipeline cache. It is not safe for concurrent use;
+// each timed Pipeline owns one, matching the kernel's rule that a
+// component's state is touched only by its own Eval.
+type flowCache struct {
+	entries     map[string]*flowEntry
+	gen         uint64
+	maxParseLen int
+	keyBuf      []byte
+	stats       FlowCacheStats
+}
+
+func newFlowCache() *flowCache {
+	return &flowCache{
+		entries: make(map[string]*flowEntry),
+		keyBuf:  make([]byte, 0, 256),
+	}
+}
+
+func (c *flowCache) flush() {
+	if len(c.entries) > 0 {
+		c.entries = make(map[string]*flowEntry)
+	}
+	c.stats.Flushes++
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// keyMetaLen is the fixed-width metadata portion of a flow key; packet
+// bytes follow it.
+const keyMetaLen = 8 + 8 + 8 + 1 + 8 + 1 + 8
+
+// buildKey assembles the flow key into the cache's reusable buffer:
+// keyMetaLen bytes of metadata followed by up to prefixLen packet bytes.
+// It must cover every Process input except meta.now and meta.deadline
+// (those are taint-tracked instead).
+func (c *flowCache) buildKey(msg *packet.Message, prefixLen int) []byte {
+	buf := msg.Pkt.Buf
+	k := c.keyBuf[:0]
+	k = appendU64(k, uint64(len(buf)))
+	k = appendU64(k, uint64(uint32(msg.Port)))
+	k = appendU64(k, uint64(msg.WireLen()))
+	k = append(k, byte(msg.Class))
+	k = appendU64(k, uint64(msg.Tenant))
+	if ch := msg.Chain(); ch != nil {
+		k = append(k, 1)
+		k = appendU64(k, uint64(ch.Remaining()))
+	} else {
+		k = append(k, 0)
+		k = appendU64(k, 0)
+	}
+	n := len(buf)
+	if n > prefixLen {
+		n = prefixLen
+	}
+	k = append(k, buf[:n]...)
+	c.keyBuf = k
+	return k
+}
+
+// process is the cached equivalent of Program.Process. The bool reports
+// whether the verdict was replayed from the cache.
+func (c *flowCache) process(p *Program, msg *packet.Message, now uint64) (Result, bool, error) {
+	if g := p.Generation(); g != c.gen {
+		c.flush()
+		c.gen = g
+	}
+	key := c.buildKey(msg, c.maxParseLen)
+	if e, ok := c.entries[string(key)]; ok {
+		if e.uncacheable {
+			c.stats.NegHits++
+			res, err := p.Process(msg, now)
+			return res, false, err
+		}
+		c.stats.Hits++
+		res, err := replay(p, e, msg)
+		return res, true, err
+	}
+	c.stats.Misses++
+	// Capture the full-prefix key BEFORE the walk: processing mutates the
+	// message (chain insertion rewrites the buffer), and the stored key
+	// must describe the packet as the next probe will see it — at ingress.
+	full := c.buildKey(msg, flowKeyPrefixCap)
+	res, e, consumed, err := record(p, msg, now)
+	if !e.uncacheable && consumed > c.maxParseLen {
+		if consumed <= flowKeyPrefixCap {
+			// The walk examined bytes beyond the current key prefix: grow
+			// the prefix and flush so every resident key stays comparable.
+			c.maxParseLen = consumed
+			c.flush()
+		} else {
+			e.uncacheable = true
+		}
+	}
+	if len(c.entries) >= flowCacheCap {
+		c.flush()
+	}
+	n := len(full) - keyMetaLen // pristine packet bytes captured
+	if n > c.maxParseLen {
+		n = c.maxParseLen
+	}
+	c.entries[string(full[:keyMetaLen+n])] = e
+	return res, false, err
+}
+
+// replay applies a cached verdict to msg: register side effects first (in
+// recorded program order), then the message-level outputs, mirroring the
+// order of the plain walk.
+func replay(p *Program, e *flowEntry, msg *packet.Message) (Result, error) {
+	for i := range e.regOps {
+		r := &e.regOps[i]
+		slot := r.idx % uint64(len(r.arr))
+		if r.add {
+			r.arr[slot] += r.val
+		} else {
+			r.arr[slot] = r.val
+		}
+	}
+	if e.err {
+		return Result{}, errCachedParse
+	}
+	if e.drop {
+		return Result{Msg: msg, Drop: true}, nil
+	}
+	msg.Tenant = e.tenant
+	p.deparse(msg, e.hops, e.flags)
+	return Result{Msg: msg, Queue: e.queue}, nil
+}
+
+// record runs the instrumented walk: identical effects to Program.Process,
+// plus taint tracking and side-effect recording. It returns the verdict,
+// the entry to cache, and how many leading packet bytes the parse walk
+// examined.
+func record(p *Program, msg *packet.Message, now uint64) (Result, *flowEntry, int, error) {
+	e := &flowEntry{}
+	var phv PHV
+	phv.Set(FieldMetaPort, uint64(uint32(msg.Port)))
+	phv.Set(FieldMetaWireLen, uint64(msg.WireLen()))
+	phv.Set(FieldMetaClass, uint64(msg.Class))
+	phv.Set(FieldMetaTenant, uint64(msg.Tenant))
+	phv.Set(FieldMetaNow, now)
+	phv.Set(FieldMetaDeadline, msg.Deadline)
+	if ch := msg.Chain(); ch != nil {
+		phv.Set(FieldChainRemaining, uint64(ch.Remaining()))
+	}
+	consumed, err := p.Parser.parse(msg.Pkt.Buf, &phv)
+	if err != nil {
+		// A parse failure is a pure function of (len(buf), examined
+		// bytes), both in the key, so the drop verdict itself is cacheable.
+		e.err = true
+		return Result{}, e, consumed, err
+	}
+
+	// taint marks PHV fields whose value may differ between packets that
+	// share this flow key.
+	taint := uint64(1<<FieldMetaNow | 1<<FieldMetaDeadline)
+	cacheable := true
+	ctx := Ctx{PHV: &phv, Regs: p.Regs}
+	for _, stage := range p.Stages {
+		for _, table := range stage {
+			for _, f := range table.Key {
+				if taint&(1<<f) != 0 {
+					// The winning entry may differ between packets of
+					// this flow; this packet's walk is still correct.
+					cacheable = false
+				}
+			}
+			action, _ := table.Lookup(&phv)
+			for _, op := range action.Ops {
+				switch o := op.(type) {
+				case OpSet:
+					taint &^= 1 << o.Field
+				case OpCopy:
+					if taint&(1<<o.Src) != 0 {
+						taint |= 1 << o.Dst
+					} else {
+						taint &^= 1 << o.Dst
+					}
+				case OpAdd, OpAnd, OpOr, OpMod:
+					// In-place arithmetic preserves the field's taint.
+				case OpHash:
+					dirty := false
+					for _, s := range o.Srcs {
+						if taint&(1<<s) != 0 {
+							dirty = true
+						}
+					}
+					if dirty {
+						taint |= 1 << o.Dst
+					} else {
+						taint &^= 1 << o.Dst
+					}
+				case OpPushHop:
+					if o.HasSlackFrom && taint&(1<<o.SlackFrom) != 0 {
+						cacheable = false
+					}
+				case OpPushHopFromField:
+					if taint&(1<<o.EngineFrom) != 0 ||
+						(o.HasSlackFrom && taint&(1<<o.SlackFrom) != 0) {
+						cacheable = false
+					}
+				case OpRegRead:
+					// Register contents change between visits: the read
+					// itself is side-effect free, but its result is tainted.
+					taint |= 1 << o.Dst
+				case OpRegWrite:
+					if taint&(1<<o.IndexFrom|1<<o.Src) != 0 {
+						cacheable = false
+					} else {
+						e.regOps = append(e.regOps, regReplay{
+							arr: p.Regs.array(o.Reg),
+							idx: phv.Get(o.IndexFrom),
+							val: phv.Get(o.Src),
+						})
+					}
+				case OpRegAdd:
+					if taint&(1<<o.IndexFrom) != 0 {
+						cacheable = false
+					} else {
+						e.regOps = append(e.regOps, regReplay{
+							arr: p.Regs.array(o.Reg),
+							idx: phv.Get(o.IndexFrom),
+							val: o.Delta,
+							add: true,
+						})
+					}
+					taint |= 1 << o.Dst // post-increment value is stateful
+				case OpClearChain, OpDrop:
+					// Deterministic given the action choice, which the
+					// table-key check above already guards.
+				default:
+					// OpFunc and any future op: opaque to the recorder.
+					cacheable = false
+				}
+				op.Apply(&ctx)
+			}
+		}
+	}
+	e.uncacheable = !cacheable
+	if ctx.Drop {
+		e.drop = true
+		return Result{Msg: msg, Drop: true}, e, consumed, nil
+	}
+	if taint&(1<<FieldMetaTenant|1<<FieldMetaQueue|1<<FieldMetaNewFlags) != 0 {
+		e.uncacheable = true
+	}
+	msg.Tenant = uint16(phv.Get(FieldMetaTenant))
+	flags := uint8(phv.Get(FieldMetaNewFlags))
+	p.deparse(msg, ctx.Chain, flags)
+	e.tenant = msg.Tenant
+	e.flags = flags
+	e.queue = phv.Get(FieldMetaQueue)
+	if len(ctx.Chain) > 0 {
+		e.hops = append([]packet.Hop(nil), ctx.Chain...)
+	}
+	return Result{Msg: msg, Queue: e.queue}, e, consumed, nil
+}

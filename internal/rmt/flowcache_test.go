@@ -1,0 +1,286 @@
+package rmt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/panic-nic/panic/internal/packet"
+)
+
+// cacheProgram builds a program exercising every cacheable op the canonical
+// steering program uses: ternary classification, an exact slack stage that
+// feeds OpPushHop via SlackFrom, LPM routing, and a stateful lb stage with
+// OpHash+OpMod+OpRegAdd. Each call returns a fresh, identical instance so a
+// cached and an uncached copy can be driven in lockstep.
+func cacheProgram() *Program {
+	acl := NewTable("acl", MatchTernary, []FieldID{FieldKVSTenant}, 0, Action{})
+	acl.Add(Entry{Values: []uint64{13}, Masks: []uint64{^uint64(0)}, Priority: 10,
+		Action: NewAction("deny", OpDrop{})})
+
+	slack := NewTable("slack", MatchExact, []FieldID{FieldMetaClass}, 0,
+		NewAction("default-slack", OpSet{FieldMetaScratch1, 1000}))
+	slack.Add(Entry{Values: []uint64{uint64(packet.ClassControl)},
+		Action: NewAction("tight-slack", OpSet{FieldMetaScratch1, 10})})
+
+	route := NewTable("route", MatchLPM, []FieldID{FieldIPDst}, 32,
+		NewAction("to-dma",
+			OpPushHop{Engine: 8, SlackFrom: FieldMetaScratch1, HasSlackFrom: true}))
+	route.Add(Entry{Values: []uint64{PrefixOf(0x0a000000, 8, 32)}, PrefixLen: 8,
+		Action: NewAction("via-cache",
+			OpPushHop{Engine: 4, SlackConst: 50},
+			OpPushHop{Engine: 8, SlackFrom: FieldMetaScratch1, HasSlackFrom: true})})
+
+	lb := NewTable("lb", MatchExact, []FieldID{FieldMetaScratch2}, 0,
+		NewAction("hash-queue",
+			OpHash{FieldMetaQueue, []FieldID{FieldIPSrc, FieldIPDst, FieldL4Src, FieldL4Dst}},
+			OpMod{FieldMetaQueue, 8},
+			OpRegAdd{Reg: "tenant_pkts", IndexFrom: FieldMetaTenant, Delta: 1, Dst: FieldMetaHash},
+		))
+
+	prog := NewProgram(StandardParser(), []*Table{acl}, []*Table{slack}, []*Table{route}, []*Table{lb})
+	prog.Regs.Define("tenant_pkts", 64)
+	return prog
+}
+
+type msgSpec struct {
+	tenant   uint16
+	key      uint64
+	srcPort  uint16
+	class    packet.Class
+	deadline uint64
+	dstIP    packet.IP4
+	chain    bool
+	truncate int // >0: cut the buffer to this many bytes (parse error)
+}
+
+func (s msgSpec) build() *packet.Message {
+	m := &packet.Message{
+		Pkt: packet.NewPacket(0,
+			&packet.Ethernet{Dst: packet.MAC{2, 0, 0, 0, 0, 1}, EtherType: packet.EtherTypeIPv4},
+			&packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: packet.IP4{10, 0, 0, 1}, Dst: s.dstIP},
+			&packet.UDP{SrcPort: s.srcPort, DstPort: packet.KVSPort},
+			&packet.KVS{Op: packet.KVSGet, Tenant: s.tenant, Key: s.key},
+		),
+		Tenant:   s.tenant,
+		Class:    s.class,
+		Deadline: s.deadline,
+	}
+	if s.chain {
+		m.InsertChain(&packet.Chain{Hops: []packet.Hop{{Engine: 9, Slack: 7}, {Engine: 2, Slack: 9}}})
+	}
+	if s.truncate > 0 && s.truncate < len(m.Pkt.Buf) {
+		m.Pkt.Buf = m.Pkt.Buf[:s.truncate]
+	}
+	return m
+}
+
+func randSpec(rng *rand.Rand) msgSpec {
+	s := msgSpec{
+		tenant:  uint16(rng.Intn(6)) + 10, // includes 13, the ACL-denied tenant
+		key:     uint64(rng.Intn(4)),
+		srcPort: uint16(7000 + rng.Intn(4)),
+		class:   packet.Class(rng.Intn(2)),
+		dstIP:   packet.IP4{10, 0, 0, byte(rng.Intn(3))},
+	}
+	if rng.Intn(4) == 0 {
+		s.dstIP = packet.IP4{192, 168, 0, 1} // misses the LPM /8
+	}
+	if rng.Intn(3) == 0 {
+		s.deadline = uint64(rng.Intn(100000)) // deadline is tainted, never keyed
+	}
+	if rng.Intn(5) == 0 {
+		s.chain = true
+	}
+	if rng.Intn(16) == 0 {
+		s.truncate = 20 // mid-IPv4 truncation: parse error
+	}
+	return s
+}
+
+// TestFlowCacheDifferential drives a cached and an uncached copy of the
+// same program with identical randomized traffic and demands identical
+// verdicts, identical message mutations (tenant, chain bytes), and
+// identical register evolution after every single message.
+func TestFlowCacheDifferential(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		plain := cacheProgram()
+		cachedProg := cacheProgram()
+		cache := newFlowCache()
+		for i := 0; i < 3000; i++ {
+			spec := randSpec(rng)
+			now := uint64(1000 + i)
+			m1 := spec.build()
+			m2 := spec.build()
+			r1, err1 := plain.Process(m1, now)
+			r2, _, err2 := cache.process(cachedProg, m2, now)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("seed=%d msg=%d: err %v vs %v", seed, i, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if r1.Drop != r2.Drop || r1.Queue != r2.Queue {
+				t.Fatalf("seed=%d msg=%d: verdict (%v,%d) vs (%v,%d) spec=%+v",
+					seed, i, r1.Drop, r1.Queue, r2.Drop, r2.Queue, spec)
+			}
+			if m1.Tenant != m2.Tenant {
+				t.Fatalf("seed=%d msg=%d: tenant %d vs %d", seed, i, m1.Tenant, m2.Tenant)
+			}
+			if !bytes.Equal(m1.Pkt.Buf, m2.Pkt.Buf) {
+				t.Fatalf("seed=%d msg=%d: serialized bytes diverge (spec=%+v)", seed, i, spec)
+			}
+			for slot := uint64(0); slot < 64; slot++ {
+				if a, b := plain.Regs.Read("tenant_pkts", slot), cachedProg.Regs.Read("tenant_pkts", slot); a != b {
+					t.Fatalf("seed=%d msg=%d: reg[%d] %d vs %d", seed, i, slot, a, b)
+				}
+			}
+		}
+		st := cache.stats
+		if st.Hits == 0 {
+			t.Fatalf("seed=%d: no cache hits over 3000 messages (misses=%d neg=%d)",
+				seed, st.Misses, st.NegHits)
+		}
+	}
+}
+
+// TestFlowCacheInvalidation: a table mutation after a verdict is cached
+// must flush it — the next packet of the flow sees the new tables.
+func TestFlowCacheInvalidation(t *testing.T) {
+	prog := cacheProgram()
+	cache := newFlowCache()
+	spec := msgSpec{tenant: 10, srcPort: 7000, dstIP: packet.IP4{10, 0, 0, 1}}
+
+	m := spec.build()
+	if _, _, err := cache.process(prog, m, 1); err != nil {
+		t.Fatal(err)
+	}
+	if hops := m.Chain().Hops; hops[0].Engine != 4 {
+		t.Fatalf("first hop = %+v, want engine 4", hops[0])
+	}
+	m = spec.build()
+	if _, hit, _ := cache.process(prog, m, 2); !hit {
+		t.Fatal("second packet of the flow should hit")
+	}
+
+	// Failover rewrite: engine 4 dies, replica lives at 5.
+	if n := prog.RewriteEngine(4, 5); n == 0 {
+		t.Fatal("rewrite touched nothing")
+	}
+	m = spec.build()
+	if _, hit, _ := cache.process(prog, m, 3); hit {
+		t.Fatal("hit after table rewrite: stale verdict served")
+	}
+	if hops := m.Chain().Hops; hops[0].Engine != 5 {
+		t.Fatalf("post-rewrite first hop = %+v, want engine 5", hops[0])
+	}
+
+	// Adding a drop rule (tenant punt / ACL) must also invalidate.
+	prog.Stages[0][0].Add(Entry{Values: []uint64{10}, Masks: []uint64{^uint64(0)},
+		Priority: 20, Action: NewAction("deny", OpDrop{})})
+	m = spec.build()
+	res, hit, err := cache.process(prog, m, 4)
+	if err != nil || hit || !res.Drop {
+		t.Fatalf("post-ACL res=%+v hit=%v err=%v, want fresh drop", res, hit, err)
+	}
+}
+
+// TestFlowCacheUncacheable: OpFunc and register-dependent outputs must
+// record negative entries, never wrong verdicts.
+func TestFlowCacheUncacheable(t *testing.T) {
+	t.Run("opfunc", func(t *testing.T) {
+		calls := 0
+		tbl := NewTable("t", MatchExact, []FieldID{FieldMetaClass}, 0,
+			NewAction("custom", OpFunc(func(ctx *Ctx) { calls++ })))
+		prog := NewProgram(StandardParser(), []*Table{tbl})
+		cache := newFlowCache()
+		spec := msgSpec{tenant: 1, srcPort: 7000, dstIP: packet.IP4{10, 0, 0, 1}}
+		for i := 0; i < 3; i++ {
+			if _, hit, err := cache.process(prog, spec.build(), uint64(i)); hit || err != nil {
+				t.Fatalf("msg %d: hit=%v err=%v, OpFunc flows must not be replayed", i, hit, err)
+			}
+		}
+		if calls != 3 {
+			t.Fatalf("OpFunc ran %d times, want 3 (once per packet)", calls)
+		}
+		if st := cache.stats; st.NegHits != 2 || st.Misses != 1 {
+			t.Fatalf("stats = %+v, want 1 miss + 2 negative hits", st)
+		}
+	})
+	t.Run("register-dependent-queue", func(t *testing.T) {
+		// Round-robin spraying: the queue is the post-increment counter
+		// value — different for every packet, so caching the verdict would
+		// pin every packet of the flow to one queue.
+		tbl := NewTable("rr", MatchExact, []FieldID{FieldMetaClass}, 0,
+			NewAction("spray",
+				OpRegAdd{Reg: "rr", IndexFrom: FieldMetaClass, Delta: 1, Dst: FieldMetaQueue},
+				OpMod{FieldMetaQueue, 4},
+			))
+		prog := NewProgram(StandardParser(), []*Table{tbl})
+		prog.Regs.Define("rr", 4)
+		cache := newFlowCache()
+		spec := msgSpec{tenant: 1, srcPort: 7000, dstIP: packet.IP4{10, 0, 0, 1}}
+		seen := map[uint64]bool{}
+		for i := 0; i < 4; i++ {
+			res, hit, err := cache.process(prog, spec.build(), uint64(i))
+			if hit || err != nil {
+				t.Fatalf("msg %d: hit=%v err=%v", i, hit, err)
+			}
+			seen[res.Queue] = true
+		}
+		if len(seen) != 4 {
+			t.Fatalf("round-robin produced %d distinct queues, want 4", len(seen))
+		}
+	})
+}
+
+// TestFlowCacheParseError: parse failures are cached verdicts too.
+func TestFlowCacheParseError(t *testing.T) {
+	prog := cacheProgram()
+	cache := newFlowCache()
+	spec := msgSpec{tenant: 1, srcPort: 7000, dstIP: packet.IP4{10, 0, 0, 1}, truncate: 20}
+	if _, hit, err := cache.process(prog, spec.build(), 1); hit || err == nil {
+		t.Fatalf("first truncated packet: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := cache.process(prog, spec.build(), 2); !hit || err == nil {
+		t.Fatalf("second truncated packet: hit=%v err=%v, want cached error", hit, err)
+	}
+}
+
+// TestFlowCachePrefixGrowth: when a flow's parse walk examines more bytes
+// than any before it, the key prefix grows and the cache flushes rather
+// than serving entries whose keys no longer capture the walk.
+func TestFlowCachePrefixGrowth(t *testing.T) {
+	prog := cacheProgram()
+	cache := newFlowCache()
+	short := msgSpec{tenant: 1, srcPort: 7001, dstIP: packet.IP4{10, 0, 0, 1}}
+	long := msgSpec{tenant: 1, srcPort: 7001, dstIP: packet.IP4{10, 0, 0, 1}, chain: true}
+
+	if _, _, err := cache.process(prog, short.build(), 1); err != nil {
+		t.Fatal(err)
+	}
+	plShort := cache.maxParseLen
+	if plShort == 0 {
+		t.Fatal("prefix did not grow on first insert")
+	}
+	flushes := cache.stats.Flushes
+	if _, _, err := cache.process(prog, long.build(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if cache.maxParseLen <= plShort {
+		t.Fatalf("prefix %d did not grow past %d for the longer walk", cache.maxParseLen, plShort)
+	}
+	if cache.stats.Flushes == flushes {
+		t.Fatal("no flush on prefix growth")
+	}
+	// Both flows must now be (re)cacheable and correct.
+	m := short.build()
+	if _, hit, _ := cache.process(prog, m, 3); hit {
+		t.Fatal("short flow survived the flush")
+	}
+	m = short.build()
+	if _, hit, _ := cache.process(prog, m, 4); !hit {
+		t.Fatal("short flow did not re-cache under the grown prefix")
+	}
+}

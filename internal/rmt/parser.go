@@ -106,36 +106,44 @@ func MustParser(start string, states ...*ParseState) *Parser {
 // Parse walks the graph over the packet bytes and fills the PHV. The PHV is
 // not reset: callers pre-populate metadata fields.
 func (p *Parser) Parse(buf []byte, phv *PHV) error {
+	_, err := p.parse(buf, phv)
+	return err
+}
+
+// parse is Parse plus a report of how many leading bytes the walk examined
+// — the dependency footprint a flow cache must capture in its key. A failed
+// walk conservatively reports the whole buffer (truncation errors depend on
+// the total length).
+func (p *Parser) parse(buf []byte, phv *PHV) (consumed int, err error) {
 	state := p.start
 	off := 0
 	for steps := 0; state != StateAccept; steps++ {
 		if steps > 32 {
-			return fmt.Errorf("rmt: parse graph did not terminate (loop at %q)", state)
+			return len(buf), fmt.Errorf("rmt: parse graph did not terminate (loop at %q)", state)
 		}
 		s := p.states[state]
 		hlen := s.HdrLen
 		if s.LenFunc != nil {
-			var err error
 			hlen, err = s.LenFunc(buf[off:])
 			if err != nil {
-				return fmt.Errorf("rmt: state %q: %w", state, err)
+				return len(buf), fmt.Errorf("rmt: state %q: %w", state, err)
 			}
 		}
 		if off+hlen > len(buf) {
-			return fmt.Errorf("rmt: state %q: header needs %d bytes at offset %d, have %d", state, hlen, off, len(buf))
+			return len(buf), fmt.Errorf("rmt: state %q: header needs %d bytes at offset %d, have %d", state, hlen, off, len(buf))
 		}
 		hdr := buf[off : off+hlen]
 		for _, e := range s.Extracts {
-			v, err := extractBE(hdr, e.Offset, e.Width)
-			if err != nil {
-				return fmt.Errorf("rmt: state %q extract %v: %w", state, e.Field, err)
+			v, xerr := extractBE(hdr, e.Offset, e.Width)
+			if xerr != nil {
+				return len(buf), fmt.Errorf("rmt: state %q extract %v: %w", state, e.Field, xerr)
 			}
 			phv.Set(e.Field, v)
 		}
 		off += hlen
 		state = s.next(phv)
 	}
-	return nil
+	return off, nil
 }
 
 func (s *ParseState) next(phv *PHV) string {

@@ -55,6 +55,19 @@ func (p *Program) RewriteEngineTenant(old, new packet.Addr, tenantField FieldID,
 	return n
 }
 
+// Generation returns the sum of every table's mutation counter across all
+// stages. Any table mutation strictly increases it, so a flow cache can
+// detect staleness with one comparison per lookup.
+func (p *Program) Generation() uint64 {
+	var g uint64
+	for _, stage := range p.Stages {
+		for _, t := range stage {
+			g += t.Version()
+		}
+	}
+	return g
+}
+
 // Split partitions the program's stages into n contiguous sub-programs for
 // chained RMT engines (§3.1.2: "Neighboring engines may be configured to
 // independently process messages or be chained to form a longer
@@ -92,6 +105,10 @@ type Result struct {
 	// per-stage spans from it: exit later than Enq + Latency means the
 	// pipeline was frozen by fabric backpressure for the difference.
 	Enq uint64
+	// CacheHit reports that the verdict was replayed from the pipeline's
+	// flow cache rather than computed by a table walk. The verdict itself
+	// is identical either way; this is observability only.
+	CacheHit bool
 }
 
 // Process runs one message through the program combinationally (parse →
@@ -127,27 +144,36 @@ func (p *Program) Process(msg *packet.Message, now uint64) (Result, error) {
 	// mapping, or the ingress default) becomes the message's accounting
 	// tenant for scheduling, per-tenant engine stats, and fault domains.
 	msg.Tenant = uint16(phv.Get(FieldMetaTenant))
-	p.deparse(msg, &ctx)
+	p.deparse(msg, ctx.Chain, uint8(phv.Get(FieldMetaNewFlags)))
 	return Result{Msg: msg, Queue: phv.Get(FieldMetaQueue)}, nil
 }
 
 // deparse writes the action results back into the packet: the offload
 // chain (and its flags) becomes the chain shim header, replacing any
-// existing one.
-func (p *Program) deparse(msg *packet.Message, ctx *Ctx) {
-	if len(ctx.Chain) == 0 {
+// existing one. The chain slice is copied, so callers (including the flow
+// cache's replay path) may retain theirs.
+func (p *Program) deparse(msg *packet.Message, chain []packet.Hop, flags uint8) {
+	if len(chain) == 0 {
 		return
 	}
-	hops := make([]packet.Hop, len(ctx.Chain))
-	copy(hops, ctx.Chain)
-	flags := uint8(ctx.PHV.Get(FieldMetaNewFlags))
 	if existing := msg.Chain(); existing != nil {
+		// Reuse the resident chain's hop buffer when it has capacity: a
+		// message re-entering the pipeline (reinjection) already carries a
+		// chain, and rewriting it must not allocate in steady state. copy
+		// is overlap-safe, so chain may alias existing.Hops.
 		existing.Cursor = 0
 		existing.Flags = flags
-		existing.Hops = hops
+		if cap(existing.Hops) >= len(chain) {
+			existing.Hops = existing.Hops[:len(chain)]
+		} else {
+			existing.Hops = make([]packet.Hop, len(chain))
+		}
+		copy(existing.Hops, chain)
 		msg.Pkt.Serialize()
 		return
 	}
+	hops := make([]packet.Hop, len(chain))
+	copy(hops, chain)
 	msg.InsertChain(&packet.Chain{Flags: flags, Hops: hops})
 }
 
@@ -159,6 +185,7 @@ type Pipeline struct {
 	slots   []pipeSlot // slots[0] is the entry stage
 	parserC int
 	depC    int
+	cache   *flowCache // nil = every message runs the full table walk
 	dropped uint64
 	errs    uint64
 	done    uint64
@@ -182,6 +209,24 @@ func NewPipeline(prog *Program, parserCycles, deparserCycles int) *Pipeline {
 	return &Pipeline{prog: prog, slots: make([]pipeSlot, latency), parserC: parserCycles, depC: deparserCycles}
 }
 
+// EnableFlowCache attaches a per-flow decision cache to the pipeline (see
+// flowcache.go). Verdicts and register state are byte-identical with the
+// cache on or off; only the Go-side cost of the table walk changes. The
+// cache is private to this pipeline, so pipelines sharing a Program (and
+// its registers) stay race-free under the parallel kernel.
+func (p *Pipeline) EnableFlowCache() { p.cache = newFlowCache() }
+
+// FlowCacheEnabled reports whether the pipeline has a flow cache.
+func (p *Pipeline) FlowCacheEnabled() bool { return p.cache != nil }
+
+// FlowCacheStats returns the flow cache's counters (zero when disabled).
+func (p *Pipeline) FlowCacheStats() FlowCacheStats {
+	if p.cache == nil {
+		return FlowCacheStats{}
+	}
+	return p.cache.stats
+}
+
 // Latency returns the pipeline depth in cycles.
 func (p *Pipeline) Latency() int { return len(p.slots) }
 
@@ -203,7 +248,15 @@ func (p *Pipeline) Accept(msg *packet.Message, now uint64) {
 	if p.slots[0].full {
 		panic("rmt: Pipeline.Accept when entry stage is occupied")
 	}
-	res, err := p.prog.Process(msg, now)
+	var res Result
+	var err error
+	if p.cache != nil {
+		var hit bool
+		res, hit, err = p.cache.process(p.prog, msg, now)
+		res.CacheHit = hit
+	} else {
+		res, err = p.prog.Process(msg, now)
+	}
 	if err != nil {
 		p.errs++
 		res = Result{Msg: msg, Drop: true}

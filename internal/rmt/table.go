@@ -56,7 +56,14 @@ type Table struct {
 	lpm     []*Entry // sorted by descending prefix length
 	ternary []*Entry // sorted by descending priority
 	width   int      // key bit width for LPM
+	version uint64   // bumped by every mutation; see Version
 }
+
+// Version returns the table's mutation counter. Every Add and every
+// rewrite that changed at least one entry bumps it; flow caches compare
+// summed versions (Program.Generation) to detect that a cached decision
+// may be stale.
+func (t *Table) Version() uint64 { return t.version }
 
 // NewTable creates an empty table. LPM tables require exactly one key
 // field; keyBits gives its width (e.g. 32 for IPv4 addresses).
@@ -85,6 +92,7 @@ func (t *Table) Add(e Entry) {
 	if len(e.Values) != len(t.Key) {
 		panic(fmt.Sprintf("rmt: table %q: entry arity %d != key arity %d", t.Name, len(e.Values), len(t.Key)))
 	}
+	t.version++
 	switch t.Kind {
 	case MatchExact:
 		t.exact[exactKey(e.Values)] = &e
@@ -120,11 +128,18 @@ func (t *Table) Entries() int {
 func (t *Table) Lookup(phv *PHV) (Action, bool) {
 	switch t.Kind {
 	case MatchExact:
-		vals := make([]uint64, len(t.Key))
-		for i, f := range t.Key {
-			vals[i] = phv.Get(f)
+		// Build the probe key in a stack buffer: indexing the map with
+		// string(b) compiles to a no-copy lookup, so the served path does
+		// not allocate (exactKey is kept for the insert path, where the
+		// key string must outlive the call).
+		var kb [64]byte
+		k := kb[:0]
+		for _, f := range t.Key {
+			v := phv.Get(f)
+			k = append(k, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+				byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 		}
-		if e, ok := t.exact[exactKey(vals)]; ok {
+		if e, ok := t.exact[string(k)]; ok {
 			return e.Action, true
 		}
 	case MatchLPM:
@@ -197,6 +212,9 @@ func (t *Table) RewriteEngine(old, new packet.Addr) int {
 	for _, e := range t.ternary {
 		n += rewriteAction(&e.Action, old, new)
 	}
+	if n > 0 {
+		t.version++
+	}
 	return n
 }
 
@@ -227,6 +245,9 @@ func (t *Table) RewriteEngineTenant(old, new packet.Addr, tenantField FieldID, t
 		if e.Masks[pos] == ^uint64(0) && e.Values[pos] == tenant {
 			n += rewriteAction(&e.Action, old, new)
 		}
+	}
+	if n > 0 {
+		t.version++
 	}
 	return n
 }

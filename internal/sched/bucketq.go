@@ -1,0 +1,295 @@
+package sched
+
+import "math/bits"
+
+// This file implements the calendar-queue PIFO backing Queue: a
+// hierarchical-bitmap bucket array over a sliding rank window, with exact
+// (rank, seq) heaps catching the ranks that fall outside it. Push, peek,
+// and pop are O(1) for ranks inside the window — a two-level
+// find-first-set over the occupancy bitmap replaces the O(log n)
+// container/heap walk — and the ordering produced is bit-identical to the
+// reference heap: lower rank first, FIFO (by push sequence) among equals.
+//
+// The window exploits how real rank functions behave: LSTF-style ranks are
+// "absolute cycle service should begin", so at any instant the live ranks
+// cluster within a few hundred cycles of each other. Outliers exist —
+// wLSTF inflates exhausted tenants by 1<<20 cycles and strict priority
+// places classes 2^48 apart — so correctness cannot assume the window;
+// out-of-window entries go to the exact low/high heaps and migrate into
+// the window when it slides over them.
+
+const (
+	// numBuckets is the calendar window width in rank units (one bucket
+	// per exact rank, so in-bucket FIFO order IS the equal-rank tie-break).
+	// Power of two; 1024 covers the live rank spread of every shipped rank
+	// function's in-budget band.
+	numBuckets  = 1024
+	bucketWords = numBuckets / 64
+)
+
+// dropLoc identifies one resident entry so a worstDroppable scan's victim
+// can be removed without a second search. Fields are implementation
+// coordinates of the owning pifo and are only valid until the next
+// mutation.
+type dropLoc struct {
+	region int8 // bucketQueue: 0 = low heap, 1 = bucket, 2 = high heap
+	idx    int  // heap index, or bucket number
+	pos    int  // position within the bucket slice
+}
+
+// pifo is the priority-queue contract Queue delegates to: min-(rank, seq)
+// ordering out, plus the victim-search/removal hooks the lossy overflow
+// policy needs. Implemented by bucketQueue (the default) and heapPifo (the
+// container/heap reference kept for ablation runs).
+type pifo interface {
+	size() int
+	insert(e entry)
+	peekMin() (entry, bool)
+	popMin() (entry, bool)
+	worstDroppable() (entry, dropLoc, bool)
+	removeAt(loc dropLoc)
+}
+
+// bucketQueue is the calendar-queue pifo.
+type bucketQueue struct {
+	n    int
+	base uint64 // rank of bucket 0; meaningful only while entries reside
+
+	// Two-level occupancy bitmap: summary bit w set iff words[w] != 0.
+	summary uint64
+	words   [bucketWords]uint64
+
+	// buckets[i] holds the entries of rank base+i in push order; head[i]
+	// indexes the first live element (popped slots are not compacted until
+	// the bucket drains, keeping pop O(1)).
+	head    [numBuckets]int32
+	buckets [numBuckets][]entry
+
+	low  eheap // rank < base (rare: the window rebased past a later push)
+	high eheap // rank >= base+numBuckets (penalty/priority outliers)
+}
+
+func (b *bucketQueue) set(i int) {
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+	b.summary |= 1 << (uint(i) >> 6)
+}
+
+func (b *bucketQueue) clearBit(i int) {
+	b.words[i>>6] &^= 1 << (uint(i) & 63)
+	if b.words[i>>6] == 0 {
+		b.summary &^= 1 << (uint(i) >> 6)
+	}
+}
+
+// firstBucket returns the lowest occupied bucket index; the caller
+// guarantees the bitmap is non-empty.
+func (b *bucketQueue) firstBucket() int {
+	w := bits.TrailingZeros64(b.summary)
+	return w<<6 | bits.TrailingZeros64(b.words[w])
+}
+
+func (b *bucketQueue) size() int { return b.n }
+
+func (b *bucketQueue) insert(e entry) {
+	if b.n == 0 {
+		// Empty queue: slide the window to start at the newcomer's rank.
+		b.base = e.rank
+	}
+	b.n++
+	switch {
+	case e.rank < b.base:
+		b.low.push(e)
+	case e.rank-b.base < numBuckets:
+		i := int(e.rank - b.base)
+		b.buckets[i] = append(b.buckets[i], e)
+		b.set(i)
+	default:
+		b.high.push(e)
+	}
+}
+
+// rebase slides the window forward onto the high heap's minimum and pulls
+// every now-in-window entry out of the heap. Heap pops come out in
+// (rank, seq) order, so same-rank entries land in their bucket in FIFO
+// order. Each entry migrates at most once, so the amortized cost stays
+// O(log n) per out-of-window entry. Caller guarantees the bitmap and low
+// heap are empty and the high heap is not.
+func (b *bucketQueue) rebase() {
+	b.base = b.high[0].rank
+	for len(b.high) > 0 && b.high[0].rank-b.base < numBuckets {
+		e := b.high.pop()
+		i := int(e.rank - b.base)
+		b.buckets[i] = append(b.buckets[i], e)
+		b.set(i)
+	}
+}
+
+func (b *bucketQueue) peekMin() (entry, bool) {
+	if b.n == 0 {
+		return entry{}, false
+	}
+	if len(b.low) > 0 {
+		return b.low[0], true
+	}
+	if b.summary == 0 {
+		b.rebase()
+	}
+	i := b.firstBucket()
+	return b.buckets[i][b.head[i]], true
+}
+
+func (b *bucketQueue) popMin() (entry, bool) {
+	if b.n == 0 {
+		return entry{}, false
+	}
+	b.n--
+	if len(b.low) > 0 {
+		return b.low.pop(), true
+	}
+	if b.summary == 0 {
+		b.rebase()
+	}
+	i := b.firstBucket()
+	h := b.head[i]
+	e := b.buckets[i][h]
+	b.buckets[i][h] = entry{} // drop the message reference
+	if int(h)+1 == len(b.buckets[i]) {
+		b.buckets[i] = b.buckets[i][:0]
+		b.head[i] = 0
+		b.clearBit(i)
+	} else {
+		b.head[i] = h + 1
+	}
+	return e, true
+}
+
+// worstDroppable scans all three regions for the entry the lossy overflow
+// policy evicts: maximum rank, ties to the largest seq (youngest), never a
+// lossless message. O(n), like the reference implementation — it runs only
+// on overflow of a DropLowestPriority queue, not on the served path.
+func (b *bucketQueue) worstDroppable() (entry, dropLoc, bool) {
+	var best entry
+	var loc dropLoc
+	found := false
+	worse := func(e entry) bool {
+		return !found || e.rank > best.rank || (e.rank == best.rank && e.seq > best.seq)
+	}
+	for i, e := range b.low {
+		if !e.msg.Lossless() && worse(e) {
+			best, loc, found = e, dropLoc{region: 0, idx: i}, true
+		}
+	}
+	s := b.summary
+	for s != 0 {
+		w := bits.TrailingZeros64(s)
+		s &= s - 1
+		word := b.words[w]
+		for word != 0 {
+			i := w<<6 | bits.TrailingZeros64(word)
+			word &= word - 1
+			bk := b.buckets[i]
+			for j := int(b.head[i]); j < len(bk); j++ {
+				if e := bk[j]; !e.msg.Lossless() && worse(e) {
+					best, loc, found = e, dropLoc{region: 1, idx: i, pos: j}, true
+				}
+			}
+		}
+	}
+	for i, e := range b.high {
+		if !e.msg.Lossless() && worse(e) {
+			best, loc, found = e, dropLoc{region: 2, idx: i}, true
+		}
+	}
+	return best, loc, found
+}
+
+func (b *bucketQueue) removeAt(loc dropLoc) {
+	b.n--
+	switch loc.region {
+	case 0:
+		b.low.removeAt(loc.idx)
+	case 1:
+		i := loc.idx
+		bk := b.buckets[i]
+		copy(bk[loc.pos:], bk[loc.pos+1:])
+		bk[len(bk)-1] = entry{}
+		b.buckets[i] = bk[:len(bk)-1]
+		if int(b.head[i]) == len(b.buckets[i]) {
+			b.buckets[i] = b.buckets[i][:0]
+			b.head[i] = 0
+			b.clearBit(i)
+		}
+	case 2:
+		b.high.removeAt(loc.idx)
+	}
+}
+
+// eheap is a binary min-heap of entries ordered by (rank, seq), written
+// against the concrete type so pushes do not box through interface{} the
+// way container/heap does (that boxing was the queue hot path's only
+// steady-state allocation).
+type eheap []entry
+
+func eless(a, b entry) bool {
+	return a.rank < b.rank || (a.rank == b.rank && a.seq < b.seq)
+}
+
+func (h *eheap) push(e entry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h eheap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eless(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (h eheap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && eless(h[r], h[l]) {
+			m = r
+		}
+		if !eless(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (h *eheap) pop() entry {
+	old := *h
+	n := len(old) - 1
+	e := old[0]
+	old[0] = old[n]
+	old[n] = entry{}
+	*h = old[:n]
+	if n > 0 {
+		old[:n].down(0)
+	}
+	return e
+}
+
+func (h *eheap) removeAt(i int) {
+	old := *h
+	n := len(old) - 1
+	old[i] = old[n]
+	old[n] = entry{}
+	*h = old[:n]
+	if i < n {
+		old[:n].down(i)
+		old[:n].up(i)
+	}
+}

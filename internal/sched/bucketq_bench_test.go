@@ -1,0 +1,24 @@
+package sched
+
+import (
+	"testing"
+)
+
+// benchQueue measures the served path — push then pop at steady occupancy —
+// with LSTF-shaped ranks (clustered around the advancing cycle).
+func benchQueue(b *testing.B, mk func(int, Policy) *Queue) {
+	b.ReportAllocs()
+	q := mk(256, Backpressure)
+	msg := bulkMsg(1)
+	for i := 0; i < 128; i++ {
+		q.Push(msg, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(msg, uint64(128+i%512))
+		q.Pop()
+	}
+}
+
+func BenchmarkQueueBucketed(b *testing.B) { benchQueue(b, NewQueue) }
+func BenchmarkQueueHeap(b *testing.B)     { benchQueue(b, NewHeapQueue) }

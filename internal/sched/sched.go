@@ -9,7 +9,10 @@
 // scheduling algorithms (the paper cites Universal Packet Scheduling and
 // the PIFO line of work). Rank = arrival + slack implements
 // least-slack-time-first; rank = arrival implements FIFO; rank = class
-// implements strict priority.
+// implements strict priority. The queue is backed by a bitmap calendar
+// queue (O(1) push/peek/pop over the live rank window, exact-ordering
+// fallback outside it — see bucketq.go), mirroring how hardware PIFOs
+// achieve constant-time scheduling decisions.
 //
 // Admission is a policy decision the paper leaves open (§6): Backpressure
 // never drops (the queue fills and the fabric stalls — lossless), while
@@ -66,9 +69,14 @@ type PushResult struct {
 	Dropped *packet.Message
 }
 
-// Queue is one engine's scheduling queue.
+// Queue is one engine's scheduling queue. The ordering structure behind it
+// is a hierarchical-bitmap calendar queue (see bucketq.go) giving O(1)
+// push/peek/pop for the clustered ranks real rank functions emit, with
+// exact-ordering heaps absorbing outliers; NewHeapQueue builds the same
+// queue over the reference container/heap implementation for ablation
+// runs. Both produce bit-identical scheduling decisions.
 type Queue struct {
-	h      entryHeap
+	p      pifo
 	cap    int
 	policy Policy
 	seq    uint64
@@ -78,32 +86,44 @@ type Queue struct {
 	highWater                      int
 }
 
-// NewQueue builds a queue with the given capacity and overflow policy.
+// NewQueue builds a queue with the given capacity and overflow policy,
+// backed by the bucketed calendar queue.
 func NewQueue(capacity int, policy Policy) *Queue {
 	if capacity < 1 {
 		panic(fmt.Sprintf("sched: queue capacity %d", capacity))
 	}
-	return &Queue{cap: capacity, policy: policy}
+	return &Queue{p: &bucketQueue{}, cap: capacity, policy: policy}
+}
+
+// NewHeapQueue builds a queue backed by the reference container/heap
+// implementation — the ablation baseline for the calendar queue, kept so
+// cmd/benchkernel -ablation can quantify the bucketed queue's contribution
+// against scheduling decisions that are identical by construction.
+func NewHeapQueue(capacity int, policy Policy) *Queue {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sched: queue capacity %d", capacity))
+	}
+	return &Queue{p: &heapPifo{}, cap: capacity, policy: policy}
 }
 
 // Len returns the current occupancy.
-func (q *Queue) Len() int { return len(q.h) }
+func (q *Queue) Len() int { return q.p.size() }
 
 // Cap returns the capacity.
 func (q *Queue) Cap() int { return q.cap }
 
 // Full reports whether the queue is at capacity.
-func (q *Queue) Full() bool { return len(q.h) >= q.cap }
+func (q *Queue) Full() bool { return q.p.size() >= q.cap }
 
 // Push inserts a message with the given rank (lower = served sooner).
 // Equal ranks are served in arrival order.
 func (q *Queue) Push(msg *packet.Message, rank uint64) PushResult {
 	if !q.Full() {
 		q.seq++
-		heap.Push(&q.h, entry{msg: msg, rank: rank, seq: q.seq})
+		q.p.insert(entry{msg: msg, rank: rank, seq: q.seq})
 		q.pushed++
-		if len(q.h) > q.highWater {
-			q.highWater = len(q.h)
+		if n := q.p.size(); n > q.highWater {
+			q.highWater = n
 		}
 		return PushResult{Accepted: true}
 	}
@@ -112,8 +132,8 @@ func (q *Queue) Push(msg *packet.Message, rank uint64) PushResult {
 		return PushResult{}
 	}
 	// Lossy: evict the worst droppable occupant if the newcomer beats it.
-	worst := q.worstDroppable()
-	if worst < 0 {
+	w, loc, ok := q.p.worstDroppable()
+	if !ok {
 		// Everything resident is lossless; the newcomer itself is shed
 		// unless it is lossless too, in which case the push is refused
 		// and the caller must stall.
@@ -124,60 +144,43 @@ func (q *Queue) Push(msg *packet.Message, rank uint64) PushResult {
 		q.drops++
 		return PushResult{Accepted: true, Dropped: msg}
 	}
-	w := q.h[worst]
 	newcomerLoses := rank > w.rank || (rank == w.rank && !msg.Lossless())
 	if newcomerLoses && !msg.Lossless() {
 		q.drops++
 		return PushResult{Accepted: true, Dropped: msg}
 	}
-	dropped := w.msg
-	heap.Remove(&q.h, worst)
+	q.p.removeAt(loc)
 	q.seq++
-	heap.Push(&q.h, entry{msg: msg, rank: rank, seq: q.seq})
+	q.p.insert(entry{msg: msg, rank: rank, seq: q.seq})
 	q.pushed++
 	q.drops++
-	return PushResult{Accepted: true, Dropped: dropped}
-}
-
-// worstDroppable returns the heap index of the highest-rank droppable
-// entry, or -1. Ties prefer the youngest (largest seq), so older traffic
-// survives.
-func (q *Queue) worstDroppable() int {
-	worst := -1
-	for i, e := range q.h {
-		if e.msg.Lossless() {
-			continue
-		}
-		if worst < 0 || e.rank > q.h[worst].rank ||
-			(e.rank == q.h[worst].rank && e.seq > q.h[worst].seq) {
-			worst = i
-		}
-	}
-	return worst
+	return PushResult{Accepted: true, Dropped: w.msg}
 }
 
 // Peek returns the best-ranked message without removing it.
 func (q *Queue) Peek() (*packet.Message, bool) {
-	if len(q.h) == 0 {
+	e, ok := q.p.peekMin()
+	if !ok {
 		return nil, false
 	}
-	return q.h[0].msg, true
+	return e.msg, true
 }
 
 // PeekRank returns the best rank present.
 func (q *Queue) PeekRank() (uint64, bool) {
-	if len(q.h) == 0 {
+	e, ok := q.p.peekMin()
+	if !ok {
 		return 0, false
 	}
-	return q.h[0].rank, true
+	return e.rank, true
 }
 
 // Pop removes and returns the best-ranked message.
 func (q *Queue) Pop() (*packet.Message, bool) {
-	if len(q.h) == 0 {
+	e, ok := q.p.popMin()
+	if !ok {
 		return nil, false
 	}
-	e := heap.Pop(&q.h).(entry)
 	q.popped++
 	return e.msg, true
 }
@@ -192,6 +195,49 @@ type entry struct {
 	rank uint64
 	seq  uint64
 }
+
+// heapPifo is the original container/heap pifo, retained as the ablation
+// baseline behind NewHeapQueue. Its heap.Push boxes each entry through
+// interface{}, so unlike the calendar queue it allocates per push.
+type heapPifo struct{ h entryHeap }
+
+func (p *heapPifo) size() int      { return len(p.h) }
+func (p *heapPifo) insert(e entry) { heap.Push(&p.h, e) }
+
+func (p *heapPifo) peekMin() (entry, bool) {
+	if len(p.h) == 0 {
+		return entry{}, false
+	}
+	return p.h[0], true
+}
+
+func (p *heapPifo) popMin() (entry, bool) {
+	if len(p.h) == 0 {
+		return entry{}, false
+	}
+	return heap.Pop(&p.h).(entry), true
+}
+
+// worstDroppable returns the highest-rank droppable entry; ties prefer the
+// youngest (largest seq), so older traffic survives.
+func (p *heapPifo) worstDroppable() (entry, dropLoc, bool) {
+	worst := -1
+	for i, e := range p.h {
+		if e.msg.Lossless() {
+			continue
+		}
+		if worst < 0 || e.rank > p.h[worst].rank ||
+			(e.rank == p.h[worst].rank && e.seq > p.h[worst].seq) {
+			worst = i
+		}
+	}
+	if worst < 0 {
+		return entry{}, dropLoc{}, false
+	}
+	return p.h[worst], dropLoc{idx: worst}, true
+}
+
+func (p *heapPifo) removeAt(loc dropLoc) { heap.Remove(&p.h, loc.idx) }
 
 type entryHeap []entry
 

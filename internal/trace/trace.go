@@ -68,7 +68,9 @@ const (
 	KindWait
 	// KindService spans engine service occupancy, start to completion.
 	KindService
-	// KindRMTParse spans the RMT pipeline's parser stage.
+	// KindRMTParse spans the RMT pipeline's parser stage. A = 1 when the
+	// pipeline's flow cache replayed the verdict instead of walking the
+	// tables (timing is identical; this flags the fast path).
 	KindRMTParse
 	// KindRMTStage spans one match+action stage. A = stage index.
 	KindRMTStage
