@@ -10,7 +10,8 @@
 //	doccheck [-root dir] [file.md ...]
 //
 // With no file arguments it checks the default set: README.md, DESIGN.md,
-// OBSERVABILITY.md, EXPERIMENTS.md, ROADMAP.md, and ISSUE.md.
+// OBSERVABILITY.md, EXPERIMENTS.md, ROBUSTNESS.md, ROADMAP.md, and
+// ISSUE.md.
 //
 // Checked tokens, all inside backticks:
 //
@@ -49,6 +50,7 @@ var (
 	goToolFlags = map[string]bool{
 		"race": true, "short": true, "bench": true, "benchmem": true,
 		"benchtime": true, "run": true, "v": true, "cover": true,
+		"fuzz": true, "fuzztime": true,
 	}
 )
 
@@ -58,7 +60,7 @@ func main() {
 
 	files := flag.Args()
 	if len(files) == 0 {
-		files = []string{"README.md", "DESIGN.md", "OBSERVABILITY.md", "EXPERIMENTS.md", "ROADMAP.md", "ISSUE.md"}
+		files = []string{"README.md", "DESIGN.md", "OBSERVABILITY.md", "EXPERIMENTS.md", "ROBUSTNESS.md", "ROADMAP.md", "ISSUE.md"}
 	}
 
 	cmdFlags, err := collectFlags(*root)

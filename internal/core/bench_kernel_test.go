@@ -16,19 +16,25 @@ func benchNIC(workers int, fastForward bool, load float64, pool *packet.MessageP
 	cfg := DefaultConfig()
 	cfg.Workers = workers
 	cfg.FastForward = fastForward
-	srcs := []engine.Source{
+	return NewNIC(cfg, benchSources(load, pool))
+}
+
+// benchSources is the two-tenant saturating mix every throughput
+// benchmark (and the invariant-overhead gate) feeds the NIC.
+func benchSources(load float64, pool *packet.MessagePool) []engine.Source {
+	freq := DefaultConfig().FreqHz
+	return []engine.Source{
 		workload.NewKVSStream(workload.KVSTenantConfig{
 			Tenant: 1, Class: packet.ClassLatency,
-			RateGbps: 100 * load, FreqHz: cfg.FreqHz,
+			RateGbps: 100 * load, FreqHz: freq,
 			Keys: 1024, GetRatio: 0.9, WANShare: 0.2, ValueBytes: 256,
 			Seed: 21,
 		}),
 		workload.NewFixedStream(workload.FixedStreamConfig{
-			FrameBytes: 256, RateGbps: 100 * load, FreqHz: cfg.FreqHz,
+			FrameBytes: 256, RateGbps: 100 * load, FreqHz: freq,
 			Tenant: 2, Class: packet.ClassBulk, Seed: 22, Pool: pool,
 		}),
 	}
-	return NewNIC(cfg, srcs)
 }
 
 // BenchmarkKernelThroughput measures simulated cycles per wall-second and

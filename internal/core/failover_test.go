@@ -6,6 +6,8 @@ import (
 
 	"github.com/panic-nic/panic/internal/engine"
 	"github.com/panic-nic/panic/internal/fault"
+	"github.com/panic-nic/panic/internal/invariant"
+	"github.com/panic-nic/panic/internal/packet"
 	"github.com/panic-nic/panic/internal/workload"
 )
 
@@ -170,5 +172,132 @@ func TestReintegrationAfterHeal(t *testing.T) {
 			t.Fatalf("event %q missing or out of order:\n%s", kind, log)
 		}
 		pos += i
+	}
+}
+
+// The soak tests below run chaos-generated fault plans (fault.RandomPlan)
+// with the full invariant monitor armed — the same net cmd/chaos casts,
+// pinned to fixed seeds so they are ordinary deterministic tests. Their
+// names carry "Failover" on purpose: CI's determinism-race job selects
+// Failover-named tests, so these run under -race every push.
+
+// soakRun assembles the standard soak NIC — replicas, weighted tenants,
+// health monitoring, every invariant check — arms the plan, and runs it.
+func soakRun(t *testing.T, seed uint64, plan *fault.Plan, horizon uint64) *NIC {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.QueueCap = 256
+	cfg.IPSecReplicas = 2
+	cfg.TenantWeights = map[uint16]uint64{1: 2, 2: 1}
+	cfg.Health = DefaultHealthConfig()
+	cfg.Invariants = &invariant.Config{Every: 512}
+	cfg.FaultPlan = plan
+	nic := NewNIC(cfg, []engine.Source{
+		kvsSource(150, 0.9, 0.5, seed),
+		tenantGetSource(2, 150, seed+1),
+	})
+	nic.Run(horizon)
+	return nic
+}
+
+// soakVerdict applies the common soak assertions: the invariant monitor
+// held (and demonstrably ran), and the NIC still served traffic.
+func soakVerdict(t *testing.T, seed uint64, plan *fault.Plan, nic *NIC, horizon uint64) {
+	t.Helper()
+	if err := nic.Invar.Err(); err != nil {
+		t.Errorf("seed %d: invariant violations: %v\nplan:\n%s\nevents:\n%s",
+			seed, err, plan.String(), nic.Events.String())
+	}
+	if min := horizon / 512 / 2; nic.Invar.Passes() < min {
+		t.Errorf("seed %d: monitor ran %d passes, want >= %d", seed, nic.Invar.Passes(), min)
+	}
+	if gets, _ := nic.Host.Counts(); gets == 0 {
+		t.Errorf("seed %d: NIC served nothing under the plan:\n%s", seed, plan.String())
+	}
+}
+
+// TestFailoverSoakEngineFaults soaks the control plane against random
+// engine-fault plans: wedges, slowdowns, and (tenant-scoped) flakes on the
+// crypto and cache engines, each self-healing mid-run, with drains and
+// reintegrations falling where the seeds put them.
+func TestFailoverSoakEngineFaults(t *testing.T) {
+	const horizon = 40_000
+	spec := fault.PlanSpec{
+		Horizon:   horizon,
+		Engines:   []packet.Addr{AddrIPSec, AddrKVSCache},
+		Tenants:   []uint16{1, 2},
+		MaxEvents: 4,
+	}
+	for seed := uint64(100); seed < 103; seed++ {
+		plan := fault.RandomPlan(seed, spec)
+		soakVerdict(t, seed, plan, soakRun(t, seed, plan, horizon), horizon)
+	}
+}
+
+// TestFailoverSoakLinkFaults soaks against fabric faults: random adjacent
+// links degraded or severed outright while engine traffic and an occasional
+// engine fault are in flight. Conservation must hold even while messages
+// are wedged behind a dead link, and the standby vetting must refuse
+// replicas stranded behind one.
+func TestFailoverSoakLinkFaults(t *testing.T) {
+	const horizon = 40_000
+	mesh := DefaultConfig().Mesh
+	spec := fault.PlanSpec{
+		Horizon:    horizon,
+		Engines:    []packet.Addr{AddrIPSec},
+		MeshW:      mesh.Width,
+		MeshH:      mesh.Height,
+		MaxEvents:  3,
+		AllowSever: true,
+	}
+	for seed := uint64(200); seed < 203; seed++ {
+		plan := fault.RandomPlan(seed, spec)
+		soakVerdict(t, seed, plan, soakRun(t, seed, plan, horizon), horizon)
+	}
+}
+
+// TestFailoverSoakDrainReintegration layers a guaranteed outage — a wedge
+// on the primary crypto engine long enough to build a queue backlog — over
+// a random cache-fault background, and requires the full drain →
+// failover → reintegration arc to complete cleanly and deterministically.
+func TestFailoverSoakDrainReintegration(t *testing.T) {
+	const horizon = 50_000
+	run := func(seed uint64) (*NIC, *fault.Plan, string, string) {
+		plan := fault.RandomPlan(seed, fault.PlanSpec{
+			Horizon:   horizon / 2,
+			Engines:   []packet.Addr{AddrKVSCache},
+			MaxEvents: 2,
+		}).Add(fault.Event{At: 3000, Kind: fault.Wedge, Engine: AddrIPSec, For: 12_000})
+		cfg := DefaultConfig()
+		cfg.QueueCap = 256
+		cfg.IPSecReplicas = 2
+		cfg.Health = DefaultHealthConfig()
+		cfg.Invariants = &invariant.Config{Every: 512}
+		cfg.FaultPlan = plan
+		nic := NewNIC(cfg, []engine.Source{wanSource(300, seed)})
+		nic.Run(horizon)
+		return nic, plan, nic.Events.String(), nic.Summary(horizon)
+	}
+	for seed := uint64(300); seed < 303; seed++ {
+		nic, plan, events, _ := run(seed)
+		soakVerdict(t, seed, plan, nic, horizon)
+		// The wedge caught a backlog, so the failover drained it...
+		if _, ok := findEvent(nic.Events, "drained", uint16(AddrIPSec)); !ok {
+			t.Errorf("seed %d: no drain despite a mid-stream wedge:\n%s", seed, events)
+		}
+		// ...and the healed primary was reintegrated and served again.
+		if _, ok := findEvent(nic.Events, "reintegrated", uint16(AddrIPSec)); !ok {
+			t.Errorf("seed %d: primary never reintegrated:\n%s", seed, events)
+		}
+		if dec, _ := nic.IPSecAlts[0].Counts(); dec == 0 {
+			t.Errorf("seed %d: replica never served during the outage", seed)
+		}
+	}
+	// Soak runs replay byte-identically: a failing seed is a complete
+	// reproducer (this is what chaos-shrunk plans rely on).
+	_, _, ev1, sum1 := run(300)
+	_, _, ev2, sum2 := run(300)
+	if ev1 != ev2 || sum1 != sum2 {
+		t.Error("seed 300 soak run is not deterministic across identical runs")
 	}
 }

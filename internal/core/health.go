@@ -73,6 +73,14 @@ type FailureEvent struct {
 	// when Tenanted (tenant-domain reroutes log one event per tenant).
 	Tenant   uint16
 	Tenanted bool
+	// Target is where steering points after a rerouted, punted, or
+	// reintegrated action (the standby, the punt alias, or the restored
+	// original); AddrInvalid otherwise. The invariant monitor's
+	// health-legality check audits reroute targets through it.
+	Target packet.Addr
+	// Link marks fault-injected/fault-lifted events that concern a mesh
+	// link rather than an engine (Engine is meaningless on them).
+	Link bool
 	// Detail is a human-readable elaboration.
 	Detail string
 }
@@ -320,7 +328,7 @@ func (m *HealthMonitor) fail(w *watch, cycle uint64) {
 		w.punted = false
 		for _, r := range m.rewriteSteering(addr, addr, target) {
 			m.log.Append(FailureEvent{Cycle: cycle, Kind: "rerouted", Engine: addr,
-				Tenant: r.tenant, Tenanted: r.tenanted,
+				Tenant: r.tenant, Tenanted: r.tenanted, Target: target,
 				Detail: r.prefix() + fmt.Sprintf("steering -> %s (%d table actions rewritten)", EngineName(target), r.n)})
 		}
 	} else if alias, ok := m.bindPuntAlias(addr); ok {
@@ -330,7 +338,7 @@ func (m *HealthMonitor) fail(w *watch, cycle uint64) {
 		w.punted = true
 		for _, r := range m.rewriteSteering(addr, addr, alias) {
 			m.log.Append(FailureEvent{Cycle: cycle, Kind: "punted", Engine: addr,
-				Tenant: r.tenant, Tenanted: r.tenanted,
+				Tenant: r.tenant, Tenanted: r.tenanted, Target: alias,
 				Detail: r.prefix() + fmt.Sprintf("steering -> host via DMA alias %d (%d table actions rewritten)", alias, r.n)})
 		}
 	} else {
@@ -375,15 +383,24 @@ func (m *HealthMonitor) rewriteSteering(failed, old, new packet.Addr) []rewriteR
 	return out
 }
 
-// pickStandby returns the first standby that is watched-healthy and has no
-// injected fault.
+// pickStandby returns the first standby that is a safe failover target:
+// watched-healthy, no injected fault, not mid-stall, and not behind a
+// faulted mesh link. The last two are what prevent the ping-pong failure
+// mode: a replica that is itself degraded by an active fault plan — its
+// watchdog clock running but detection not yet expired, or its links
+// severed so traffic steered at it blackholes — must not receive the
+// failed engine's traffic only to fail over again moments later. With no
+// safe standby the caller falls through to the punt-to-host path.
 func (m *HealthMonitor) pickStandby(w *watch) (packet.Addr, bool) {
 	for _, s := range w.standbys {
 		sw := m.byAddr[s]
-		if sw == nil || sw.state != watchHealthy {
+		if sw == nil || sw.state != watchHealthy || sw.stalled {
 			continue
 		}
 		if !sw.tile.FaultState().Clean() {
+			continue
+		}
+		if m.b.Mesh.NodeLinkFaulted(sw.tile.Node()) {
 			continue
 		}
 		return s, true
@@ -453,7 +470,7 @@ func (m *HealthMonitor) tryReintegrate(w *watch, cycle uint64) bool {
 	addr := w.tile.Addr()
 	for _, r := range m.rewriteSteering(addr, w.reroutedTo, addr) {
 		m.log.Append(FailureEvent{Cycle: cycle, Kind: "reintegrated", Engine: addr,
-			Tenant: r.tenant, Tenanted: r.tenanted,
+			Tenant: r.tenant, Tenanted: r.tenanted, Target: addr,
 			Detail: r.prefix() + fmt.Sprintf("steering restored from %s (%d table actions rewritten)", EngineName(w.reroutedTo), r.n)})
 	}
 	w.state = watchHealthy

@@ -6,6 +6,7 @@ import (
 
 	"github.com/panic-nic/panic/internal/engine"
 	"github.com/panic-nic/panic/internal/fault"
+	"github.com/panic-nic/panic/internal/invariant"
 	"github.com/panic-nic/panic/internal/noc"
 	"github.com/panic-nic/panic/internal/packet"
 	"github.com/panic-nic/panic/internal/rmt"
@@ -107,6 +108,15 @@ type Config struct {
 	// container/heap PIFO instead of the bucketed calendar queue (the
 	// scheduler ablation baseline; decisions are identical).
 	HeapSchedQueue bool
+	// Invariants, when non-nil, arms the runtime invariant monitor: every
+	// sampling interval the kernel's end-of-cycle barrier audits message
+	// conservation (per tile and per tenant), queue and credit bounds,
+	// WLSTF credit conservation, flow-cache coherence (sampled cache hits
+	// shadow-executed against the full table walk), health-monitor action
+	// legality, and trace-span well-formedness (see ROBUSTNESS.md). The
+	// simulation stream is bit-identical with the monitor on or off; nil
+	// (the default) registers nothing and costs nothing.
+	Invariants *invariant.Config
 	// Workers is the kernel's Eval worker-pool size: 0 or 1 runs the
 	// classic sequential loop; N > 1 shards the Eval phase across N
 	// goroutines. The simulation result is bit-identical either way.
@@ -171,6 +181,11 @@ type NIC struct {
 	// Monitor is the self-healing control plane (nil unless
 	// Cfg.Health.Enable).
 	Monitor *HealthMonitor
+	// Invar is the runtime invariant monitor (nil unless Cfg.Invariants).
+	Invar *invariant.Monitor
+	// wlstfs are the per-queue weighted-LSTF rank instances, retained so
+	// the invariant monitor can audit their credit ledgers.
+	wlstfs []*sched.WLSTF
 
 	// HostLat histograms request latency to host delivery; WireLat
 	// histograms request-to-response latency at wire egress.
@@ -251,10 +266,14 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 		c.HeapSchedQueue = cfg.HeapSchedQueue
 		c.Rank = cfg.Rank
 		if c.Rank == nil && len(cfg.TenantWeights) > 0 {
-			c.Rank = sched.NewRankWeightedLSTF(sched.WLSTFConfig{
+			// Each tile gets its own credit state; the instance is retained
+			// so the invariant monitor can audit its ledger.
+			w := sched.NewWLSTF(sched.WLSTFConfig{
 				Weights:      cfg.TenantWeights,
 				QuantumBytes: cfg.TenantQuantumBytes,
 			})
+			n.wlstfs = append(n.wlstfs, w)
+			c.Rank = w.Rank
 		}
 		c.TraceVisits = cfg.Trace
 	}
@@ -476,7 +495,8 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 				if e.Kind == fault.Heal || e.Kind == fault.HealLink {
 					kind = "fault-lifted"
 				}
-				n.Events.Append(FailureEvent{Cycle: cycle, Kind: kind, Engine: e.Engine, Detail: e.String()})
+				link := e.Kind == fault.LinkDegrade || e.Kind == fault.LinkSever || e.Kind == fault.HealLink
+				n.Events.Append(FailureEvent{Cycle: cycle, Kind: kind, Engine: e.Engine, Link: link, Detail: e.String()})
 			},
 		})
 		if err != nil {
@@ -488,6 +508,14 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 	// buffers, so a cycle's trace is complete when it reaches the stream.
 	if cfg.Tracer != nil {
 		b.Kernel.Register(cfg.Tracer)
+	}
+	// The invariant monitor observes the end-of-cycle barrier — after every
+	// committer including the tracer, so its checks see the cycle's final,
+	// fully drained state.
+	if cfg.Invariants != nil {
+		n.Invar = invariant.New(*cfg.Invariants)
+		n.wireInvariants()
+		n.Invar.Attach(b.Kernel)
 	}
 	return n
 }

@@ -43,6 +43,13 @@ type RMTStats struct {
 	StallCycles uint64
 	// QueueDropped counts messages shed by the scheduling queue.
 	QueueDropped uint64
+	// Ejected counts messages pulled from the fabric — the tile's only
+	// custody entry point (see AuditConservation).
+	Ejected uint64
+	// Refused counts lossless arrivals a full lossy queue could not admit
+	// (every resident also lossless); they are lost, mirroring
+	// TileStats.Refused.
+	Refused uint64
 }
 
 // NewRMTTile builds an RMT engine tile. The rank function defaults to FIFO
@@ -178,6 +185,7 @@ func (t *RMTTile) Tick(cycle uint64) {
 		if !ok {
 			break
 		}
+		t.stats.Ejected++
 		slack := uint32(0)
 		if c := msg.Chain(); c != nil {
 			if hop, hok := c.Current(); hok && hop.Engine == t.cfg.Addr {
@@ -190,6 +198,10 @@ func (t *RMTTile) Tick(cycle uint64) {
 		}
 		rank := t.rank(msg, slack, cycle)
 		res := t.queue.Push(msg, rank)
+		if !res.Accepted {
+			t.stats.Refused++
+			continue
+		}
 		if res.Accepted && res.Dropped != msg && t.cfg.Trace.Want(msg.TraceID) {
 			t.cfg.Trace.Emit(trace.Span{
 				Msg: msg.TraceID, Kind: trace.KindEnq,

@@ -77,6 +77,21 @@ type TileStats struct {
 	Corrupted uint64
 	// Drained counts messages evicted by a control-plane Reset.
 	Drained uint64
+
+	// Custody counters for the conservation audit: every message enters
+	// the tile's custody through exactly one of Ejected (pulled from the
+	// fabric), Generated (spontaneous generation), or ProcOut (emitted by
+	// Process), and leaves through Emitted, Processed, Dropped, or
+	// Refused. See AuditConservation.
+	Ejected   uint64
+	Generated uint64
+	ProcOut   uint64
+	// Refused counts lossless arrivals a full lossy queue could not admit
+	// (every resident also lossless): the push is refused and the message
+	// is lost without reaching the DropSink. Kept out of Dropped so the
+	// existing drop accounting is unchanged; the conservation audit counts
+	// it as an exit.
+	Refused uint64
 }
 
 // MeanQueueWait returns the mean scheduling-queue wait in cycles.
@@ -103,6 +118,15 @@ type TenantTally struct {
 	// Dropped counts messages shed by queue policy or injected faults
 	// (drains re-inject rather than discard, so they are not counted).
 	Dropped uint64
+	// Rejected counts the subset of Dropped that died before entering the
+	// scheduling queue: fault sheds and overflow self-drops. Dropped −
+	// Rejected is therefore the number of resident messages evicted from
+	// the queue, which the per-tenant conservation audit balances against
+	// Enqueued.
+	Rejected uint64
+	// Drained counts this tenant's messages evicted from the queue (or
+	// mid-service) by a control-plane Reset.
+	Drained uint64
 }
 
 // Tile is an offload engine attached to the fabric: scheduling queue +
@@ -295,6 +319,7 @@ func (t *Tile) Tick(cycle uint64) {
 	// nothing.
 	if g, ok := t.eng.(Generator); ok && !t.fault.Wedged {
 		for _, out := range g.Generate(&t.ctx) {
+			t.stats.Generated++
 			if t.cfg.Trace.Want(out.Msg.TraceID) {
 				t.cfg.Trace.Emit(trace.Span{
 					Msg: out.Msg.TraceID, Kind: trace.KindGen,
@@ -363,6 +388,7 @@ func (t *Tile) Tick(cycle uint64) {
 				})
 			}
 			for _, out := range t.eng.Process(&t.ctx, msg) {
+				t.stats.ProcOut++
 				t.stage(out)
 			}
 		}
@@ -415,6 +441,7 @@ func (t *Tile) Tick(cycle uint64) {
 		if !ok {
 			break
 		}
+		t.stats.Ejected++
 		t.admit(msg, cycle)
 	}
 }
@@ -431,6 +458,15 @@ func (t *Tile) admit(msg *packet.Message, cycle uint64) {
 	}
 	rank := t.rank(msg, slack, cycle)
 	res := t.queue.Push(msg, rank)
+	if !res.Accepted {
+		// Lossless arrival refused by a full lossy queue whose residents
+		// are all lossless too: the message is lost (see TileStats.Refused).
+		t.stats.Refused++
+		return
+	}
+	if res.Dropped == msg {
+		t.tally(msg.Tenant).Rejected++
+	}
 	if res.Accepted && res.Dropped != msg {
 		t.tally(msg.Tenant).Enqueued++
 		if t.cfg.Trace.Want(msg.TraceID) {

@@ -82,6 +82,7 @@ func (t *Tile) Reset(drainTo packet.Addr) int {
 	n := 0
 	if t.cur != nil {
 		t.traceDrained(t.cur)
+		t.tally(t.cur.Tenant).Drained++
 		t.outbox = append(t.outbox, resolvedOut{msg: t.cur, dst: t.routes.Lookup(dst)})
 		t.cur = nil
 		t.busyLeft = 0
@@ -93,6 +94,7 @@ func (t *Tile) Reset(drainTo packet.Addr) int {
 			break
 		}
 		t.traceDrained(msg)
+		t.tally(msg.Tenant).Drained++
 		t.outbox = append(t.outbox, resolvedOut{msg: msg, dst: t.routes.Lookup(dst)})
 		n++
 	}
@@ -121,7 +123,9 @@ func (t *Tile) shedFaulted(msg *packet.Message, cycle uint64) bool {
 		if t.corruptSeen%uint64(n) == 0 {
 			t.stats.Corrupted++
 			t.stats.Dropped++
-			t.tally(msg.Tenant).Dropped++
+			ta := t.tally(msg.Tenant)
+			ta.Dropped++
+			ta.Rejected++
 			t.traceShed(msg, cycle, trace.DropCorrupt)
 			if t.DropSink != nil {
 				t.DropSink.Deliver(msg, cycle)
@@ -137,7 +141,9 @@ func (t *Tile) shedFaulted(msg *packet.Message, cycle uint64) bool {
 		if t.dropSeen%uint64(n) == 0 {
 			t.stats.FaultDropped++
 			t.stats.Dropped++
-			t.tally(msg.Tenant).Dropped++
+			ta := t.tally(msg.Tenant)
+			ta.Dropped++
+			ta.Rejected++
 			t.traceShed(msg, cycle, trace.DropFault)
 			if t.DropSink != nil {
 				t.DropSink.Deliver(msg, cycle)

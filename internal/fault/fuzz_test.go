@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/panic-nic/panic/internal/packet"
+)
+
+// TestParseErrorIsStructured checks that a rejected plan surfaces a
+// *ParseError carrying the 1-based line number and the offending text, so
+// tooling (cmd/chaos replay, CI logs) can point at the exact line instead
+// of grepping a message.
+func TestParseErrorIsStructured(t *testing.T) {
+	in := "at 10 wedge 34\n\n# fine so far\nat 20 slow 34 x0.5\n"
+	_, err := ParsePlan(strings.NewReader(in), nil)
+	if err == nil {
+		t.Fatal("invalid factor accepted")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T, want *ParseError", err)
+	}
+	if pe.Line != 4 {
+		t.Errorf("ParseError.Line = %d, want 4 (blank and comment lines still count)", pe.Line)
+	}
+	if pe.Input != "at 20 slow 34 x0.5" {
+		t.Errorf("ParseError.Input = %q", pe.Input)
+	}
+	if pe.Unwrap() == nil {
+		t.Error("ParseError does not unwrap to a cause")
+	}
+	if !strings.Contains(err.Error(), "line 4") || !strings.Contains(err.Error(), "x0.5") {
+		t.Errorf("ParseError.Error() = %q, want line number and offending text", err)
+	}
+}
+
+// TestRandomPlanDeterministicAndValid checks the chaos generator's
+// contract: same seed, same plan, always valid, always self-healing
+// inside the horizon.
+func TestRandomPlanDeterministicAndValid(t *testing.T) {
+	spec := PlanSpec{
+		Horizon:    40_000,
+		Engines:    []packet.Addr{34, 35, 36},
+		MeshW:      4,
+		MeshH:      4,
+		Tenants:    []uint16{1, 2, 3},
+		MaxEvents:  6,
+		AllowSever: true,
+	}
+	for seed := uint64(0); seed < 200; seed++ {
+		p := RandomPlan(seed, spec)
+		if len(p.Events) == 0 {
+			t.Fatalf("seed %d: empty plan", seed)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid plan: %v", seed, err)
+		}
+		for i, e := range p.Events {
+			if e.For == 0 {
+				t.Fatalf("seed %d event %d: no auto-heal duration: %+v", seed, i, e)
+			}
+			if e.At+e.For >= spec.Horizon {
+				t.Fatalf("seed %d event %d: heals at %d, past horizon %d", seed, i, e.At+e.For, spec.Horizon)
+			}
+		}
+		if p2 := RandomPlan(seed, spec); p2.String() != p.String() {
+			t.Fatalf("seed %d: not deterministic:\n%s\nvs\n%s", seed, p.String(), p2.String())
+		}
+		// Generated plans survive the text format round trip, so a shrunk
+		// reproducer file replays the exact same schedule.
+		rt, err := ParsePlan(strings.NewReader(p.String()), nil)
+		if err != nil {
+			t.Fatalf("seed %d: generated plan does not re-parse: %v\n%s", seed, err, p.String())
+		}
+		if rt.String() != p.String() {
+			t.Fatalf("seed %d: round trip mismatch:\n%s\nvs\n%s", seed, p.String(), rt.String())
+		}
+	}
+}
+
+// FuzzParsePlan holds the parser to its contract on arbitrary input: never
+// panic, reject with a *ParseError carrying a plausible line number, and
+// render accepted plans canonically — String() re-parses to the identical
+// plan (the property every shrunk chaos reproducer file depends on).
+func FuzzParsePlan(f *testing.F) {
+	f.Add(samplePlan)
+	f.Add("# only a comment\n")
+	f.Add("at 0 wedge 34\n")
+	f.Add("at 18446744073709551615 heal 0\n")
+	f.Add("at 5 slow ipsec x1.0 for 1\n")
+	f.Add("at 5 drop 34 every 3 tenant 65535 for 10\n")
+	f.Add("at 5 degrade 0,0->1,0 every 2\nat 9 sever 1,0->1,1 for 7\nat 90 heal-link 0,0->1,0\n")
+	f.Add("at 7 corrupt 36 every 9\r\nat 8 wedge 35\r\n")
+	for seed := uint64(0); seed < 16; seed++ {
+		f.Add(RandomPlan(seed, PlanSpec{
+			Horizon: 20_000, Engines: []packet.Addr{34, 35}, MeshW: 4, MeshH: 4,
+			Tenants: []uint16{1, 2}, MaxEvents: 5, AllowSever: true,
+		}).String())
+	}
+	names := map[string]packet.Addr{"ipsec": 34, "kvscache": 35}
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := ParsePlan(strings.NewReader(in), names)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("rejection is %T (%v), want *ParseError", err, err)
+			}
+			if pe.Line < 0 || pe.Line > strings.Count(in, "\n")+1 {
+				t.Fatalf("ParseError.Line = %d, input has %d lines", pe.Line, strings.Count(in, "\n")+1)
+			}
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted plan fails validation: %v\ninput: %q", err, in)
+		}
+		out := p.String()
+		p2, err := ParsePlan(strings.NewReader(out), names)
+		if err != nil {
+			t.Fatalf("canonical rendering does not re-parse: %v\nrendered: %q", err, out)
+		}
+		if p2.String() != out {
+			t.Fatalf("round trip not a fixed point:\n%q\nvs\n%q", out, p2.String())
+		}
+	})
+}

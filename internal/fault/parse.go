@@ -26,6 +26,11 @@ import (
 // <engine> is either a numeric address or a name resolved through names
 // (e.g. core.EngineAddrs()); names may be nil for numeric-only plans. A
 // "for" clause auto-heals the fault that many cycles later.
+//
+// Every malformed or semantically invalid line is rejected with a
+// *ParseError carrying the 1-based line number and the offending text —
+// nothing is skipped silently, and no input panics (FuzzParsePlan holds
+// the parser to that).
 func ParsePlan(r io.Reader, names map[string]packet.Addr) (*Plan, error) {
 	p := &Plan{}
 	sc := bufio.NewScanner(r)
@@ -37,19 +42,42 @@ func ParsePlan(r io.Reader, names map[string]packet.Addr) (*Plan, error) {
 			continue
 		}
 		e, err := parseLine(line, names)
+		if err == nil {
+			// Semantic validation right here, so a bad operand value is
+			// reported against its source line, not an event index.
+			err = e.validate(len(p.Events))
+		}
 		if err != nil {
-			return nil, fmt.Errorf("fault: line %d: %v", lineNo, err)
+			return nil, &ParseError{Line: lineNo, Input: line, Err: err}
 		}
 		p.Add(e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if err := p.Validate(); err != nil {
-		return nil, err
+		return nil, &ParseError{Line: lineNo, Err: err}
 	}
 	return p, nil
 }
+
+// ParseError is a rejected fault-plan line: where it was, what it said,
+// and why it was refused. It unwraps to the underlying cause.
+type ParseError struct {
+	// Line is the 1-based line number in the plan text.
+	Line int
+	// Input is the offending line, trimmed (empty when the failure was an
+	// I/O error from the reader rather than a bad line).
+	Input string
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *ParseError) Error() string {
+	if e.Input == "" {
+		return fmt.Sprintf("fault: line %d: %v", e.Line, e.Err)
+	}
+	return fmt.Sprintf("fault: line %d: %q: %v", e.Line, e.Input, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
 
 func parseLine(line string, names map[string]packet.Addr) (Event, error) {
 	f := strings.Fields(line)

@@ -1,0 +1,134 @@
+package fault
+
+import (
+	"fmt"
+
+	"github.com/panic-nic/panic/internal/noc"
+	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/sim"
+)
+
+// PlanSpec bounds the random plan generator: what the scenario's NIC
+// actually has, and how harsh the generated faults may be. The generator
+// only emits events inside these bounds, so every plan arms cleanly.
+type PlanSpec struct {
+	// Horizon is the run length in cycles the plan must fit inside. Faults
+	// start in the first half and every one carries a For duration that
+	// heals before the horizon, so a long enough run always ends with
+	// clean hardware.
+	Horizon uint64
+	// Engines are the tile addresses eligible for engine faults.
+	Engines []packet.Addr
+	// MeshW and MeshH are the mesh dimensions; link faults target random
+	// adjacent coordinate pairs inside them. Zero disables link faults.
+	MeshW, MeshH int
+	// Tenants, when non-empty, lets drop faults scope to a random member.
+	Tenants []uint16
+	// MaxEvents caps the number of fault events (at least one is emitted).
+	MaxEvents int
+	// AllowSever permits full link severs, the harshest fault: traffic
+	// routed over a severed link stalls until the auto-heal.
+	AllowSever bool
+}
+
+// RandomPlan builds a random-but-deterministic fault plan: the same seed
+// and spec always produce the same plan, on any platform (the generator
+// runs on sim.RNG, not math/rand). Chaos scenarios and soak tests derive
+// their fault schedules from this, so a failing seed is a complete
+// reproducer.
+func RandomPlan(seed uint64, spec PlanSpec) *Plan {
+	if spec.Horizon < 100 {
+		panic("fault: RandomPlan horizon too short to schedule anything")
+	}
+	if len(spec.Engines) == 0 && (spec.MeshW < 2 || spec.MeshH < 1) {
+		panic("fault: RandomPlan needs engines or a mesh to target")
+	}
+	if spec.MaxEvents < 1 {
+		spec.MaxEvents = 1
+	}
+	rng := sim.NewRNG(seed ^ 0xfa17_94ab_3c01_d5e7) // domain-separate from workload seeds
+	p := &Plan{}
+	n := 1 + rng.Intn(spec.MaxEvents)
+	for i := 0; i < n; i++ {
+		p.Add(randomEvent(rng, spec))
+	}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("fault: RandomPlan generated an invalid plan: %v", err))
+	}
+	return p
+}
+
+func randomEvent(rng *sim.RNG, spec PlanSpec) Event {
+	// Start inside [Horizon/20, Horizon/2); heal after [Horizon/16,
+	// Horizon/3) more cycles, so the tail of the run always observes
+	// recovery and reintegration.
+	at := spec.Horizon/20 + uint64(rng.Intn(int(spec.Horizon/2-spec.Horizon/20)))
+	dur := spec.Horizon/16 + uint64(rng.Intn(int(spec.Horizon/3-spec.Horizon/16)))
+	e := Event{At: at, For: dur}
+
+	linkOK := spec.MeshW >= 2 && spec.MeshH >= 1
+	engineOK := len(spec.Engines) > 0
+	kinds := make([]Kind, 0, 6)
+	if engineOK {
+		// Wedge twice: it is the fault the failover machinery exists for.
+		kinds = append(kinds, Wedge, Wedge, Slow, FlakeDrop, FlakeCorrupt)
+	}
+	if linkOK {
+		kinds = append(kinds, LinkDegrade)
+		if spec.AllowSever {
+			kinds = append(kinds, LinkSever)
+		}
+	}
+	e.Kind = kinds[rng.Intn(len(kinds))]
+
+	switch e.Kind {
+	case Wedge:
+	case Slow:
+		e.Engine = spec.Engines[rng.Intn(len(spec.Engines))]
+		e.Factor = float64(2 + rng.Intn(7)) // x2..x8
+		return e
+	case FlakeDrop:
+		e.Engine = spec.Engines[rng.Intn(len(spec.Engines))]
+		e.EveryN = 2 + rng.Intn(9) // every 2nd..10th
+		if len(spec.Tenants) > 0 && rng.Bool(0.4) {
+			e.HasTenant = true
+			e.Tenant = spec.Tenants[rng.Intn(len(spec.Tenants))]
+		}
+		return e
+	case FlakeCorrupt:
+		e.Engine = spec.Engines[rng.Intn(len(spec.Engines))]
+		e.EveryN = 2 + rng.Intn(9)
+		return e
+	case LinkDegrade:
+		e.From, e.To = randomLink(rng, spec.MeshW, spec.MeshH)
+		e.EveryN = 2 + rng.Intn(5) // pass one flit every 2..6 cycles
+		return e
+	case LinkSever:
+		e.From, e.To = randomLink(rng, spec.MeshW, spec.MeshH)
+		return e
+	}
+	e.Engine = spec.Engines[rng.Intn(len(spec.Engines))]
+	return e
+}
+
+// randomLink picks a random directional link between two adjacent mesh
+// coordinates inside a WxH grid.
+func randomLink(rng *sim.RNG, w, h int) (from, to noc.Coord) {
+	from = noc.Coord{X: rng.Intn(w), Y: rng.Intn(h)}
+	// Collect the in-bounds neighbors and pick one.
+	var nbs []noc.Coord
+	if from.X > 0 {
+		nbs = append(nbs, noc.Coord{X: from.X - 1, Y: from.Y})
+	}
+	if from.X < w-1 {
+		nbs = append(nbs, noc.Coord{X: from.X + 1, Y: from.Y})
+	}
+	if from.Y > 0 {
+		nbs = append(nbs, noc.Coord{X: from.X, Y: from.Y - 1})
+	}
+	if from.Y < h-1 {
+		nbs = append(nbs, noc.Coord{X: from.X, Y: from.Y + 1})
+	}
+	to = nbs[rng.Intn(len(nbs))]
+	return from, to
+}

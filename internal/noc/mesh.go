@@ -64,6 +64,9 @@ type Mesh struct {
 	vcs     int
 	routers []*router
 	now     uint64
+	// statsReset records that ResetStats zeroed the delivered counters,
+	// which disarms the delivered-vs-ejected audit (occIn/occOut survive).
+	statsReset bool
 }
 
 // injEntry is a message waiting at a local injection port.
@@ -405,6 +408,7 @@ func (m *Mesh) Stats() Stats {
 // ResetStats zeroes the accumulated statistics (for measuring steady state
 // after warmup). The occupancy counters behind fast-forward are preserved.
 func (m *Mesh) ResetStats() {
+	m.statsReset = true
 	for _, r := range m.routers {
 		r.stats = routerStats{occIn: r.stats.occIn, occOut: r.stats.occOut}
 	}

@@ -2,6 +2,7 @@ package rmt
 
 import (
 	"errors"
+	"fmt"
 
 	"github.com/panic-nic/panic/internal/packet"
 )
@@ -132,6 +133,18 @@ type flowCache struct {
 	maxParseLen int
 	keyBuf      []byte
 	stats       FlowCacheStats
+
+	// shadowEvery > 0 arms shadow re-execution: every shadowEvery-th hit
+	// runs the instrumented full walk instead of the replay and compares
+	// the freshly recorded entry against the cached one field by field. A
+	// coherent cache produces byte-identical effects either way, so the
+	// substitution never perturbs the simulation; a divergence means the
+	// cache replayed a verdict the tables would no longer produce — the
+	// invariant the monitor asserts (mismatches == 0).
+	shadowEvery      uint64
+	shadowChecks     uint64
+	shadowMismatches uint64
+	firstMismatch    string
 }
 
 func newFlowCache() *flowCache {
@@ -200,6 +213,19 @@ func (c *flowCache) process(p *Program, msg *packet.Message, now uint64) (Result
 			return res, false, err
 		}
 		c.stats.Hits++
+		if c.shadowEvery > 0 && c.stats.Hits%c.shadowEvery == 0 {
+			// Shadow re-execution: the full walk replaces the replay for
+			// this hit, applying the same effects a coherent entry would.
+			c.shadowChecks++
+			res, fresh, _, err := record(p, msg, now)
+			if diff := diffEntries(e, fresh); diff != "" {
+				c.shadowMismatches++
+				if c.firstMismatch == "" {
+					c.firstMismatch = diff
+				}
+			}
+			return res, true, err
+		}
 		res, err := replay(p, e, msg)
 		return res, true, err
 	}
@@ -228,6 +254,44 @@ func (c *flowCache) process(p *Program, msg *packet.Message, now uint64) (Result
 	}
 	c.entries[string(full[:keyMetaLen+n])] = e
 	return res, false, err
+}
+
+// diffEntries compares a cached verdict against a freshly recorded one and
+// returns a description of the first divergence, or "" when they agree on
+// every field a replay would apply.
+func diffEntries(old, fresh *flowEntry) string {
+	switch {
+	case old.uncacheable != fresh.uncacheable:
+		return fmt.Sprintf("cacheability changed: cached %v, fresh walk %v", !old.uncacheable, !fresh.uncacheable)
+	case old.err != fresh.err:
+		return fmt.Sprintf("parse verdict changed: cached err=%v, fresh err=%v", old.err, fresh.err)
+	case old.drop != fresh.drop:
+		return fmt.Sprintf("drop verdict changed: cached %v, fresh %v", old.drop, fresh.drop)
+	case old.tenant != fresh.tenant:
+		return fmt.Sprintf("tenant changed: cached %d, fresh %d", old.tenant, fresh.tenant)
+	case old.flags != fresh.flags:
+		return fmt.Sprintf("chain flags changed: cached %#x, fresh %#x", old.flags, fresh.flags)
+	case old.queue != fresh.queue:
+		return fmt.Sprintf("queue changed: cached %d, fresh %d", old.queue, fresh.queue)
+	case len(old.hops) != len(fresh.hops):
+		return fmt.Sprintf("chain length changed: cached %d hops, fresh %d", len(old.hops), len(fresh.hops))
+	case len(old.regOps) != len(fresh.regOps):
+		return fmt.Sprintf("register side effects changed: cached %d ops, fresh %d", len(old.regOps), len(fresh.regOps))
+	}
+	for i := range old.hops {
+		if old.hops[i] != fresh.hops[i] {
+			return fmt.Sprintf("chain hop %d changed: cached %+v, fresh %+v", i, old.hops[i], fresh.hops[i])
+		}
+	}
+	for i := range old.regOps {
+		a, b := &old.regOps[i], &fresh.regOps[i]
+		sameArr := len(a.arr) == len(b.arr) && (len(a.arr) == 0 || &a.arr[0] == &b.arr[0])
+		if !sameArr || a.idx != b.idx || a.val != b.val || a.add != b.add {
+			return fmt.Sprintf("register op %d changed: cached {idx:%d val:%d add:%v}, fresh {idx:%d val:%d add:%v}",
+				i, a.idx, a.val, a.add, b.idx, b.val, b.add)
+		}
+	}
+	return ""
 }
 
 // replay applies a cached verdict to msg: register side effects first (in

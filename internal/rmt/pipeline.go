@@ -13,7 +13,21 @@ type Program struct {
 	Parser *Parser
 	Stages [][]*Table
 	Regs   *RegisterFile
+
+	// plantSkipTenantInvalidate and genSkew implement a deliberately
+	// plantable invalidation bug for the chaos harness (cmd/chaos -plant):
+	// when planted, the generation bumps caused by RewriteEngineTenant are
+	// subtracted back out of Generation, so the flow cache never notices
+	// tenant-scoped reroutes and keeps replaying stale steering. The
+	// invariant monitor's shadow re-execution must catch this.
+	plantSkipTenantInvalidate bool
+	genSkew                   uint64
 }
+
+// PlantSkipTenantInvalidate arms the planted flow-cache invalidation bug:
+// from now on, tenant-scoped rewrites no longer advance the generation the
+// flow cache sees. Test/chaos harness use only.
+func (p *Program) PlantSkipTenantInvalidate() { p.plantSkipTenantInvalidate = true }
 
 // NewProgram builds a program with an empty register file.
 func NewProgram(parser *Parser, stages ...[]*Table) *Program {
@@ -46,11 +60,15 @@ func (p *Program) RewriteEngine(old, new packet.Addr) int {
 // punted to host while every other entry (other tenants' and shared ones)
 // keeps its target. Returns the number of hops rewritten.
 func (p *Program) RewriteEngineTenant(old, new packet.Addr, tenantField FieldID, tenant uint64) int {
+	before := p.rawGeneration()
 	n := 0
 	for _, stage := range p.Stages {
 		for _, t := range stage {
 			n += t.RewriteEngineTenant(old, new, tenantField, tenant)
 		}
+	}
+	if p.plantSkipTenantInvalidate {
+		p.genSkew += p.rawGeneration() - before
 	}
 	return n
 }
@@ -59,6 +77,10 @@ func (p *Program) RewriteEngineTenant(old, new packet.Addr, tenantField FieldID,
 // stages. Any table mutation strictly increases it, so a flow cache can
 // detect staleness with one comparison per lookup.
 func (p *Program) Generation() uint64 {
+	return p.rawGeneration() - p.genSkew
+}
+
+func (p *Program) rawGeneration() uint64 {
 	var g uint64
 	for _, stage := range p.Stages {
 		for _, t := range stage {
@@ -225,6 +247,40 @@ func (p *Pipeline) FlowCacheStats() FlowCacheStats {
 		return FlowCacheStats{}
 	}
 	return p.cache.stats
+}
+
+// EnableShadowCheck arms flow-cache shadow re-execution: every every-th
+// cache hit runs the instrumented full table walk in place of the replay
+// and compares the fresh verdict against the cached one field by field
+// (see flowCache.shadowEvery). A no-op when the flow cache is disabled or
+// every is 0. The invariant monitor asserts ShadowCheckStats mismatches
+// stay zero.
+func (p *Pipeline) EnableShadowCheck(every uint64) {
+	if p.cache != nil {
+		p.cache.shadowEvery = every
+	}
+}
+
+// ShadowCheckStats returns (checks run, mismatches found, description of
+// the first mismatch). All zero when shadow checking is off.
+func (p *Pipeline) ShadowCheckStats() (checks, mismatches uint64, first string) {
+	if p.cache == nil {
+		return 0, 0, ""
+	}
+	return p.cache.shadowChecks, p.cache.shadowMismatches, p.cache.firstMismatch
+}
+
+// Occupancy returns how many messages currently sit in pipeline stages —
+// accepted but not yet exited. Custody accounting for the invariant
+// monitor.
+func (p *Pipeline) Occupancy() int {
+	n := 0
+	for _, s := range p.slots {
+		if s.full {
+			n++
+		}
+	}
+	return n
 }
 
 // Latency returns the pipeline depth in cycles.

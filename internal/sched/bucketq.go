@@ -48,6 +48,9 @@ type pifo interface {
 	popMin() (entry, bool)
 	worstDroppable() (entry, dropLoc, bool)
 	removeAt(loc dropLoc)
+	// each visits every resident entry in unspecified order (audit use
+	// only — occupancy tallies, not scheduling decisions).
+	each(fn func(e entry))
 }
 
 // bucketQueue is the calendar-queue pifo.
@@ -201,6 +204,30 @@ func (b *bucketQueue) worstDroppable() (entry, dropLoc, bool) {
 		}
 	}
 	return best, loc, found
+}
+
+// each visits the low heap, every live bucket slot, and the high heap.
+func (b *bucketQueue) each(fn func(e entry)) {
+	for _, e := range b.low {
+		fn(e)
+	}
+	s := b.summary
+	for s != 0 {
+		w := bits.TrailingZeros64(s)
+		s &= s - 1
+		word := b.words[w]
+		for word != 0 {
+			i := w<<6 | bits.TrailingZeros64(word)
+			word &= word - 1
+			bk := b.buckets[i]
+			for j := int(b.head[i]); j < len(bk); j++ {
+				fn(bk[j])
+			}
+		}
+	}
+	for _, e := range b.high {
+		fn(e)
+	}
 }
 
 func (b *bucketQueue) removeAt(loc dropLoc) {

@@ -81,8 +81,12 @@ type Queue struct {
 	policy Policy
 	seq    uint64
 
-	// Stats.
+	// Stats. evicted counts resident messages removed by lossy overflow
+	// (the Dropped result of a winning push); self-drops shed before
+	// insertion count only in drops. Len == pushed − popped − evicted is
+	// the queue's conservation invariant (see Audit).
 	pushed, popped, drops, rejects uint64
+	evicted                        uint64
 	highWater                      int
 }
 
@@ -154,6 +158,7 @@ func (q *Queue) Push(msg *packet.Message, rank uint64) PushResult {
 	q.p.insert(entry{msg: msg, rank: rank, seq: q.seq})
 	q.pushed++
 	q.drops++
+	q.evicted++
 	return PushResult{Accepted: true, Dropped: w.msg}
 }
 
@@ -188,6 +193,41 @@ func (q *Queue) Pop() (*packet.Message, bool) {
 // Stats returns (pushed, popped, dropped, rejected, high-water mark).
 func (q *Queue) Stats() (pushed, popped, drops, rejects uint64, highWater int) {
 	return q.pushed, q.popped, q.drops, q.rejects, q.highWater
+}
+
+// Evicted returns how many resident messages lossy overflow removed.
+func (q *Queue) Evicted() uint64 { return q.evicted }
+
+// Each visits every resident message with its rank, in unspecified order.
+// It exists for occupancy audits (per-tenant conservation); scheduling
+// order comes only from Pop.
+func (q *Queue) Each(fn func(msg *packet.Message, rank uint64)) {
+	q.p.each(func(e entry) { fn(e.msg, e.rank) })
+}
+
+// Audit checks the queue's internal conservation and bound invariants:
+// occupancy equals pushed − popped − evicted, occupancy and the high-water
+// mark never exceed capacity. It returns the first violation found.
+func (q *Queue) Audit() error {
+	n := uint64(q.p.size())
+	if want := q.pushed - q.popped - q.evicted; n != want {
+		return fmt.Errorf("sched: occupancy %d != pushed %d - popped %d - evicted %d",
+			n, q.pushed, q.popped, q.evicted)
+	}
+	if n > uint64(q.cap) {
+		return fmt.Errorf("sched: occupancy %d exceeds capacity %d", n, q.cap)
+	}
+	if q.highWater > q.cap {
+		return fmt.Errorf("sched: high-water %d exceeds capacity %d", q.highWater, q.cap)
+	}
+	// The iterator must agree with size(): a desynced bitmap or stale
+	// bucket head would silently corrupt scheduling order.
+	var visited uint64
+	q.p.each(func(entry) { visited++ })
+	if visited != n {
+		return fmt.Errorf("sched: iterator visited %d entries, size reports %d", visited, n)
+	}
+	return nil
 }
 
 type entry struct {
@@ -238,6 +278,12 @@ func (p *heapPifo) worstDroppable() (entry, dropLoc, bool) {
 }
 
 func (p *heapPifo) removeAt(loc dropLoc) { heap.Remove(&p.h, loc.idx) }
+
+func (p *heapPifo) each(fn func(e entry)) {
+	for _, e := range p.h {
+		fn(e)
+	}
+}
 
 type entryHeap []entry
 

@@ -121,6 +121,11 @@ type Kernel struct {
 	poolStale   bool
 	fastForward bool
 	skipped     uint64
+
+	// observers run at the very end of every stepped cycle — after all
+	// committers, before the clock advances — so they see exactly the state
+	// the next cycle's Eval phase will. An empty list costs nothing.
+	observers []func(cycle uint64)
 }
 
 // NewKernel returns a sequential kernel whose clock runs at the given
@@ -234,6 +239,21 @@ func (k *Kernel) RegisterSerial(components ...any) {
 	}
 }
 
+// ObserveCycleEnd registers fn to run at the end of every stepped cycle,
+// after the Commit phase and before the clock advances: fn sees the fully
+// committed state of the cycle, exactly what the next cycle's Eval phase
+// will read. Observers run in registration order, after every Committer
+// regardless of when the Committers were registered, and may read any
+// state but must not mutate it — they are the kernel's invariant/audit
+// barrier, not a modeling phase.
+//
+// Observers are not Tickers: they never affect quiescence, and they are
+// not called for cycles fast-forward skips (no phase runs in a skipped
+// cycle, so no state can have changed since the last stepped one).
+func (k *Kernel) ObserveCycleEnd(fn func(cycle uint64)) {
+	k.observers = append(k.observers, fn)
+}
+
 // At schedules fn to run at the start of the given absolute cycle, before
 // Tickers are evaluated. Scheduling in the past (or the current cycle, which
 // has already started) panics: time travel is a model bug.
@@ -280,6 +300,9 @@ func (k *Kernel) Step() {
 	}
 	for _, c := range k.committers {
 		c.Commit()
+	}
+	for _, o := range k.observers {
+		o(cycle)
 	}
 	k.clock.cycle++
 }

@@ -309,3 +309,35 @@ func TestRNGBool(t *testing.T) {
 		t.Errorf("Bool(0.25) rate %v", frac)
 	}
 }
+
+func TestKernelObserveCycleEnd(t *testing.T) {
+	// Observers run after every Committer of the stepped cycle: a value
+	// staged into a Reg during Eval must already be committed (readable)
+	// when the observer fires for that same cycle.
+	k := NewKernel(1 * GHz)
+	var link Reg[int]
+	k.Register(TickFunc(func(cycle uint64) {
+		if link.CanSend() {
+			link.Send(int(cycle) + 1)
+		}
+	}), &link)
+
+	var cycles []uint64
+	var committed []int
+	k.ObserveCycleEnd(func(cycle uint64) {
+		cycles = append(cycles, cycle)
+		if v, ok := link.Peek(); ok {
+			committed = append(committed, v)
+			link.Recv()
+		}
+	})
+	k.Run(3)
+	if want := []uint64{0, 1, 2}; len(cycles) != 3 || cycles[0] != want[0] || cycles[2] != want[2] {
+		t.Fatalf("observer cycles = %v, want %v", cycles, want)
+	}
+	for i, v := range committed {
+		if v != i+1 {
+			t.Errorf("observer saw committed value %d at step %d, want %d (Eval write not yet committed?)", v, i, i+1)
+		}
+	}
+}

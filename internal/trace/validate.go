@@ -1,0 +1,31 @@
+package trace
+
+import "fmt"
+
+// ValidateSpan checks one span's well-formedness: a known kind and
+// location namespace, a non-inverted cycle interval, instant kinds pinned
+// to a single cycle, and a message ID present except on control-plane
+// spans (the only kind emitted on behalf of no message). The invariant
+// monitor runs it over every span the tracer commits; a violation means
+// an instrumentation point, not the model, is buggy.
+func ValidateSpan(sp Span) error {
+	if sp.Kind >= numKinds {
+		return fmt.Errorf("trace: span has unknown kind %d", uint8(sp.Kind))
+	}
+	if sp.LocKind >= numLocKinds {
+		return fmt.Errorf("trace: %v span has unknown location namespace %d", sp.Kind, uint8(sp.LocKind))
+	}
+	if sp.End < sp.Start {
+		return fmt.Errorf("trace: %v span at %s %d runs backwards: [%d, %d]",
+			sp.Kind, locPrefixes[sp.LocKind], sp.Loc, sp.Start, sp.End)
+	}
+	if sp.Kind.Instant() && sp.End != sp.Start {
+		return fmt.Errorf("trace: instant %v span at %s %d spans [%d, %d]",
+			sp.Kind, locPrefixes[sp.LocKind], sp.Loc, sp.Start, sp.End)
+	}
+	if sp.Msg == 0 && sp.Kind != KindControl {
+		return fmt.Errorf("trace: %v span at %s %d has no message ID",
+			sp.Kind, locPrefixes[sp.LocKind], sp.Loc)
+	}
+	return nil
+}
