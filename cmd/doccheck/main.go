@@ -10,8 +10,8 @@
 //	doccheck [-root dir] [file.md ...]
 //
 // With no file arguments it checks the default set: README.md, DESIGN.md,
-// OBSERVABILITY.md, EXPERIMENTS.md, ROBUSTNESS.md, ROADMAP.md, and
-// ISSUE.md.
+// OBSERVABILITY.md, EXPERIMENTS.md, ROBUSTNESS.md, ROADMAP.md, ISSUE.md,
+// and SERVICE.md.
 //
 // Checked tokens, all inside backticks:
 //
@@ -27,6 +27,13 @@
 // flag cmd/panicsim declares must appear backticked somewhere in
 // README.md, so adding a flag without documenting it fails CI the same
 // way documenting a removed flag does.
+//
+// The serve plane gets the same treatment in both directions: every
+// route internal/serve registers (the route literals in
+// internal/serve/handlers.go) must appear as "METHOD /path" in
+// SERVICE.md, and every "### `METHOD /path`" endpoint heading in
+// SERVICE.md must name a registered route — so adding, renaming, or
+// deleting an endpoint without updating the API reference fails CI.
 package main
 
 import (
@@ -40,9 +47,11 @@ import (
 )
 
 var (
-	backtickRe = regexp.MustCompile("`([^`]+)`")
-	flagDeclRe = regexp.MustCompile(`flag\.[A-Za-z0-9]+\(\s*"([^"]+)"`)
-	flagWordRe = regexp.MustCompile(`^-[a-z][a-z0-9-]*$`)
+	backtickRe  = regexp.MustCompile("`([^`]+)`")
+	flagDeclRe  = regexp.MustCompile(`flag\.[A-Za-z0-9]+\(\s*"([^"]+)"`)
+	flagWordRe  = regexp.MustCompile(`^-[a-z][a-z0-9-]*$`)
+	routeDeclRe = regexp.MustCompile(`\{method:\s*"([A-Z]+)",\s*pattern:\s*"([^"]+)"`)
+	routeDocRe  = regexp.MustCompile("^###+ `([A-Z]+ /[^`]*)`")
 
 	// goToolFlags are flags of the go tool itself (`go test -race`, ...)
 	// that legitimately appear backticked in the docs but are not declared
@@ -60,7 +69,7 @@ func main() {
 
 	files := flag.Args()
 	if len(files) == 0 {
-		files = []string{"README.md", "DESIGN.md", "OBSERVABILITY.md", "EXPERIMENTS.md", "ROBUSTNESS.md", "ROADMAP.md", "ISSUE.md"}
+		files = []string{"README.md", "DESIGN.md", "OBSERVABILITY.md", "EXPERIMENTS.md", "ROBUSTNESS.md", "ROADMAP.md", "ISSUE.md", "SERVICE.md"}
 	}
 
 	cmdFlags, err := collectFlags(*root)
@@ -111,10 +120,58 @@ func main() {
 			}
 		}
 	}
+	// Route check, both directions: every registered serve route must be
+	// documented in SERVICE.md, and every endpoint heading in SERVICE.md
+	// must name a registered route.
+	if checksFile(files, "SERVICE.md") {
+		bad += checkRoutes(*root)
+	}
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", bad)
 		os.Exit(1)
 	}
+}
+
+// checkRoutes cross-checks the serve plane's route table (the one-line
+// route literals in internal/serve/handlers.go) against SERVICE.md and
+// returns the number of problems found.
+func checkRoutes(root string) int {
+	src, err := os.ReadFile(filepath.Join(root, "internal", "serve", "handlers.go"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		return 1
+	}
+	doc, err := os.ReadFile(filepath.Join(root, "SERVICE.md"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		return 1
+	}
+	declared := make(map[string]bool)
+	for _, m := range routeDeclRe.FindAllStringSubmatch(string(src), -1) {
+		declared[m[1]+" "+m[2]] = true
+	}
+	bad := 0
+	if len(declared) == 0 {
+		fmt.Fprintln(os.Stderr, "doccheck: no route literals found in internal/serve/handlers.go")
+		bad++
+	}
+	for route := range declared {
+		if !strings.Contains(string(doc), route) {
+			fmt.Fprintf(os.Stderr, "SERVICE.md: serve route `%s` is not documented\n", route)
+			bad++
+		}
+	}
+	for i, line := range strings.Split(string(doc), "\n") {
+		m := routeDocRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		if !declared[m[1]] {
+			fmt.Fprintf(os.Stderr, "SERVICE.md:%d: documented route `%s` is not registered in internal/serve/handlers.go\n", i+1, m[1])
+			bad++
+		}
+	}
+	return bad
 }
 
 // checksFile reports whether name is in the checked-file list.

@@ -22,6 +22,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/panic-nic/panic/internal/baseline"
 	"github.com/panic-nic/panic/internal/core"
@@ -47,6 +48,10 @@ var (
 	tenantWeights *string
 	noFlowCache   *bool
 	heapQueue     *bool
+	serveMode     *bool
+	listenAddr    *string
+	serveQuantum  *uint64
+	drainTimeout  *time.Duration
 )
 
 func main() {
@@ -78,9 +83,21 @@ func main() {
 	tenantWeights = flag.String("tenant-weights", "", "comma-separated scheduler weights for tenants 1..N, e.g. 4,1 (enables weighted-LSTF; panic only)")
 	noFlowCache = flag.Bool("no-flowcache", false, "disable the RMT flow cache (bit-identical ablation; panic only)")
 	heapQueue = flag.Bool("heap-queue", false, "use the heap scheduling queue instead of the calendar queue (bit-identical ablation; panic only)")
+	serveMode = flag.Bool("serve", false, "run as a long-lived HTTP control/ingest service instead of a batch run (panic only)")
+	listenAddr = flag.String("listen", "127.0.0.1:8070", "serve mode listen address")
+	serveQuantum = flag.Uint64("serve-quantum", 8192, "serve mode barrier quantum: cycles between reconfiguration points")
+	drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "serve mode wall-clock cap on graceful drain at shutdown")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to `file`")
-	flag.Parse()
+	// `panicsim serve [flags]` is sugar for -serve: strip the subcommand
+	// before parsing, or the flag package would treat everything after it
+	// as positional.
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "serve" {
+		args = args[1:]
+		*serveMode = true
+	}
+	flag.CommandLine.Parse(args)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -115,6 +132,14 @@ func main() {
 	if *tenantsN < 1 {
 		fmt.Fprintf(os.Stderr, "-tenants must be >= 1 (got %d)\n", *tenantsN)
 		os.Exit(2)
+	}
+	if *serveMode {
+		if *arch != "panic" {
+			fmt.Fprintf(os.Stderr, "-serve supports only -arch panic (got %q)\n", *arch)
+			os.Exit(2)
+		}
+		runServe(*freq, *line, *meshK, *width, *pipelines, *warmKeys, *seed)
+		return
 	}
 	var src engine.Source
 	if *tenantsN > 1 {
@@ -152,7 +177,10 @@ func main() {
 	}
 }
 
-func runPanic(cycles uint64, freq, line float64, meshK, width, pipelines int, warmKeys, seed uint64, src engine.Source) {
+// buildPanicConfig assembles the PANIC core.Config from the shared flag
+// set — one body for batch and serve modes, so the two cannot drift. The
+// returned tracer is nil unless -trace was given.
+func buildPanicConfig(freq, line float64, meshK, width, pipelines int, seed uint64) (core.Config, *trace.Tracer) {
 	cfg := core.DefaultConfig()
 	cfg.FreqHz = freq
 	cfg.LineRateGbps = line
@@ -209,6 +237,11 @@ func runPanic(cycles uint64, freq, line float64, meshK, width, pipelines int, wa
 		}
 		cfg.FaultPlan = plan
 	}
+	return cfg, tracer
+}
+
+func runPanic(cycles uint64, freq, line float64, meshK, width, pipelines int, warmKeys, seed uint64, src engine.Source) {
+	cfg, tracer := buildPanicConfig(freq, line, meshK, width, pipelines, seed)
 	nic := core.NewNIC(cfg, []engine.Source{src})
 	defer nic.Close()
 	for k := uint64(0); k < warmKeys; k++ {

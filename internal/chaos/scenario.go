@@ -1,12 +1,3 @@
-// Package chaos is the seeded chaos/soak harness: it composes
-// random-but-deterministic fault plans, tenant mixes, workloads, and
-// ablation knobs (flow cache, queue backing, workers, fast-forward) into
-// short scenarios, runs each with the runtime invariant monitor armed
-// (internal/invariant), and on a violation shrinks the scenario to a
-// minimal reproducer serialized as a replayable text file. The seed is the
-// whole story: Generate(seed, cycles) always builds the same scenario, and
-// a scenario file replays bit-identically, so every failure the nightly
-// soak finds is a complete reproducer.
 package chaos
 
 import (

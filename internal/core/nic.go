@@ -487,19 +487,7 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 		n.Monitor = mon
 	}
 	if cfg.FaultPlan != nil {
-		err := cfg.FaultPlan.Arm(b.Kernel, fault.Hooks{
-			Tile: b.TileByAddr,
-			Mesh: b.Mesh,
-			Observe: func(e fault.Event, cycle uint64) {
-				kind := "fault-injected"
-				if e.Kind == fault.Heal || e.Kind == fault.HealLink {
-					kind = "fault-lifted"
-				}
-				link := e.Kind == fault.LinkDegrade || e.Kind == fault.LinkSever || e.Kind == fault.HealLink
-				n.Events.Append(FailureEvent{Cycle: cycle, Kind: kind, Engine: e.Engine, Link: link, Detail: e.String()})
-			},
-		})
-		if err != nil {
+		if err := cfg.FaultPlan.Arm(b.Kernel, n.faultHooks()); err != nil {
 			panic(fmt.Sprintf("core: arming fault plan: %v", err))
 		}
 	}

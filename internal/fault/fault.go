@@ -176,6 +176,20 @@ func (p *Plan) String() string {
 	return s
 }
 
+// Shifted returns a copy of the plan with every event's At advanced by
+// base cycles. It is the live-injection adapter: a plan written with
+// cycles relative to "now" (cycle 0 = the moment of injection) becomes an
+// absolute-cycle plan that Arm can schedule mid-run. For-durations are
+// relative already and are untouched.
+func (p *Plan) Shifted(base uint64) *Plan {
+	out := &Plan{Events: make([]Event, len(p.Events))}
+	copy(out.Events, p.Events)
+	for i := range out.Events {
+		out.Events[i].At += base
+	}
+	return out
+}
+
 // Validate checks every event.
 func (p *Plan) Validate() error {
 	for i, e := range p.Events {
@@ -199,9 +213,11 @@ type Hooks struct {
 	Observe func(e Event, cycle uint64)
 }
 
-// Arm validates the plan and schedules every event on the kernel. It must
-// be called before the clock starts. Events with a For duration schedule
-// their own heal at At+For.
+// Arm validates the plan and schedules every event on the kernel. Called
+// before the clock starts it accepts any plan; called mid-run (live
+// injection through the serve control plane) every event must lie strictly
+// in the future — use Shifted to rebase a relative plan onto the current
+// cycle. Events with a For duration schedule their own heal at At+For.
 func (p *Plan) Arm(k *sim.Kernel, h Hooks) error {
 	if err := p.Validate(); err != nil {
 		return err
@@ -209,6 +225,9 @@ func (p *Plan) Arm(k *sim.Kernel, h Hooks) error {
 	// Resolve all targets up front so a bad plan fails at arm time, not
 	// mid-simulation.
 	for i, e := range p.Events {
+		if now := k.Now(); now > 0 && e.At <= now {
+			return fmt.Errorf("fault: event %d: at %d is not after current cycle %d", i, e.At, now)
+		}
 		if e.isLink() {
 			if h.Mesh == nil {
 				return fmt.Errorf("fault: event %d: link fault without a mesh hook", i)

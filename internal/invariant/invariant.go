@@ -1,24 +1,3 @@
-// Package invariant implements the runtime invariant monitor: a set of
-// named, read-only checks evaluated at the simulation kernel's
-// end-of-cycle barrier every sampling interval. The checks themselves are
-// domain property audits registered by the NIC assembly (message
-// conservation per tile and tenant, queue and credit bounds, flow-cache
-// coherence, health-monitor legality, trace well-formedness — see
-// internal/core/invariants.go and ROBUSTNESS.md); this package provides
-// the machinery: sampling, violation capture, and kernel attachment.
-//
-// The monitor is opt-in. When it is not attached the simulation carries
-// zero overhead — no observer is registered, no allocation is made — and
-// when it is attached the cost is one integer comparison per stepped
-// cycle plus the checks every sampling interval. Checks run after the
-// Commit phase, so they see exactly the state the next cycle's Eval phase
-// will; they must not mutate anything.
-//
-// Violations do not stop the simulation: deterministic runs must stay
-// bit-identical with the monitor on or off, so the monitor records and
-// the harness (cmd/chaos, tests) decides. FailFast panics instead, for
-// interactive debugging where the first violation's cycle is what
-// matters.
 package invariant
 
 import (

@@ -122,6 +122,22 @@ func (t *Table) Entries() int {
 	return len(t.exact) + len(t.lpm) + len(t.ternary)
 }
 
+// Clear removes every installed entry (the default action stays) and
+// returns how many were removed. A non-empty table bumps the version, so
+// flow caches holding decisions derived from the removed entries
+// invalidate exactly as they do for Add.
+func (t *Table) Clear() int {
+	n := t.Entries()
+	if n == 0 {
+		return 0
+	}
+	t.version++
+	t.exact = make(map[string]*Entry)
+	t.lpm = nil
+	t.ternary = nil
+	return n
+}
+
 // Lookup matches the PHV against the table and returns the winning entry's
 // action, or the default action when nothing matches. The boolean reports
 // whether an installed entry (not the default) hit.

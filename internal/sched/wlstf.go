@@ -133,6 +133,45 @@ func (s *WLSTF) state(id uint16) *wlstfTenant {
 	return t
 }
 
+// SetWeights replaces the weight table — the hot-reload primitive behind
+// the serve control plane's tenant-quota updates. The swap is safe
+// mid-run: each tenant's credit bucket, burst cap, and lifetime ledger
+// (earned/credited/overflow/spent) are untouched, so Audit's conservation
+// equations keep holding across the swap; only the slack scaling and
+// future refill grants change. Tenants absent from the new map fall back
+// to DefaultWeight. Call it between kernel cycles (core.NIC.SetTenantWeights
+// applies it at the serve loop's barrier), never concurrently with Rank.
+func (s *WLSTF) SetWeights(weights map[uint16]uint64) {
+	w2 := make(map[uint16]uint64, len(weights))
+	maxW := s.cfg.DefaultWeight
+	for id, w := range weights {
+		if w == 0 {
+			continue // weight 0 is "unset": the tenant reverts to default
+		}
+		w2[id] = w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	s.cfg.Weights = w2
+	s.maxW = maxW
+	for id, t := range s.tenants {
+		w := w2[id]
+		if w == 0 {
+			w = s.cfg.DefaultWeight
+		}
+		t.weight = w
+	}
+}
+
+// Weight returns the tenant's current effective weight.
+func (s *WLSTF) Weight(id uint16) uint64 {
+	if w := s.cfg.Weights[id]; w != 0 {
+		return w
+	}
+	return s.cfg.DefaultWeight
+}
+
 // Rank implements RankFunc.
 func (s *WLSTF) Rank(msg *packet.Message, slack uint32, now uint64) uint64 {
 	t := s.state(msg.Tenant)

@@ -324,6 +324,18 @@ func (t *Tracer) Commit() {
 // MaxSpans.
 func (t *Tracer) Set() *Set { return &t.set }
 
+// Snapshot returns a copy of the collected spans that stays stable while
+// the simulation keeps running — the on-demand export hook for the serve
+// control plane's trace download. The span slice is copied; the location
+// name table is shared (it is written only during NIC assembly). Call it
+// from the goroutine driving the kernel, between cycles (the serve loop
+// does it at its command barrier), never concurrently with Commit.
+func (t *Tracer) Snapshot() *Set {
+	out := &Set{FreqHz: t.set.FreqHz, Dropped: t.set.Dropped, names: t.set.names}
+	out.Spans = append([]Span(nil), t.set.Spans...)
+	return out
+}
+
 // Buffer is one component's private span staging area. The owning
 // component is the only writer during a cycle; the Tracer drains it at
 // Commit. All methods are safe on a nil *Buffer (tracing disabled), which
