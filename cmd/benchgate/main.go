@@ -2,7 +2,8 @@
 // cmd/benchkernel measurement suite and compares the fresh numbers against
 // the committed baseline (BENCH_kernel.json). The gate fails when any
 // matched measurement's simulated-cycles/s throughput drops more than the
-// tolerance below the baseline, or when a contractually allocation-free
+// tolerance below the baseline, when the rack-scale fleet run's aggregate
+// fleet_msgs_per_s drops likewise, or when a contractually allocation-free
 // hot path starts allocating.
 //
 // Benchmark throughput is hardware-dependent: a baseline committed from
@@ -34,6 +35,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional throughput drop per measurement")
 	cycles := flag.Uint64("cycles", 200_000, "simulated cycles per saturating run")
 	lowCycles := flag.Uint64("lowload-cycles", 1_000_000, "simulated cycles per low-load run")
+	fleetCycles := flag.Uint64("fleet-cycles", 150_000, "simulated cycles per rack-scale fleet run")
 	update := flag.Bool("update", false, "write the fresh measurements over the baseline instead of gating")
 	flag.Parse()
 
@@ -49,6 +51,7 @@ func main() {
 	fresh := benchmeas.Measure(benchmeas.Config{
 		Cycles:        *cycles,
 		LowLoadCycles: *lowCycles,
+		FleetCycles:   *fleetCycles,
 		Log:           os.Stdout,
 	})
 	if *update {
@@ -79,5 +82,5 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchgate: pass (%d measurements within %.0f%% of %s)\n",
-		len(base.Saturating)+len(base.LowLoad)+len(base.ZeroAlloc), 100**tolerance, *baseline)
+		len(base.Saturating)+len(base.LowLoad)+len(base.Fleet)+len(base.ZeroAlloc), 100**tolerance, *baseline)
 }

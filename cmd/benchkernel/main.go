@@ -7,6 +7,8 @@
 //     worker;
 //   - a low-load latency-curve run with idle-cycle fast-forward off and on,
 //     reporting effective simulated cycles/s and the skip ratio;
+//   - a rack-scale fleet run (4 NICs joined by the modeled ToR) at 1 and 4
+//     shards, reporting aggregate fleet msgs/s and shard speedup;
 //   - the zero-alloc hot paths' steady-state allocations per operation.
 //
 // The host's CPU count and GOMAXPROCS are recorded alongside the numbers:
@@ -17,8 +19,9 @@
 //
 // Usage:
 //
-//	benchkernel [-cycles N] [-lowload-cycles N] [-o BENCH_kernel.json]
-//	            [-cpuprofile FILE] [-memprofile FILE] [-ablation]
+//	benchkernel [-cycles N] [-lowload-cycles N] [-fleet-cycles N]
+//	            [-o BENCH_kernel.json] [-cpuprofile FILE] [-memprofile FILE]
+//	            [-ablation] [-fleet-only]
 package main
 
 import (
@@ -38,6 +41,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the measurement runs to `file`")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the runs to `file`")
 	ablation := flag.Bool("ablation", false, "also run the hot-path ablation sweep (flow cache / bucket queue off)")
+	fleetCycles := flag.Uint64("fleet-cycles", 200_000, "simulated cycles per rack-scale fleet run (0 skips the fleet stage)")
+	fleetOnly := flag.Bool("fleet-only", false, "run only the fleet stage (the CI fleet-smoke artifact)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -54,12 +59,24 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	rep := benchmeas.Measure(benchmeas.Config{
-		Cycles:        *cycles,
-		LowLoadCycles: *lowCycles,
-		Ablation:      *ablation,
-		Log:           os.Stdout,
-	})
+	var rep benchmeas.Report
+	if *fleetOnly {
+		rep.NumCPU = runtime.NumCPU()
+		rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+		rep.Note = "fleet stage only (-fleet-only); not a full baseline"
+		rep.Fleet = benchmeas.MeasureFleet(benchmeas.Config{
+			FleetCycles: *fleetCycles,
+			Log:         os.Stdout,
+		})
+	} else {
+		rep = benchmeas.Measure(benchmeas.Config{
+			Cycles:        *cycles,
+			LowLoadCycles: *lowCycles,
+			FleetCycles:   *fleetCycles,
+			Ablation:      *ablation,
+			Log:           os.Stdout,
+		})
+	}
 
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)

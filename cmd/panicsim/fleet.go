@@ -1,0 +1,124 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/panic-nic/panic/internal/fault"
+	"github.com/panic-nic/panic/internal/fleet"
+	"github.com/panic-nic/panic/internal/invariant"
+	"github.com/panic-nic/panic/internal/packet"
+)
+
+// fleetOpts carries the -fleet flag set into runFleet.
+type fleetOpts struct {
+	nics            int
+	torLatency      uint64
+	shards          int
+	cross           float64
+	torGbps         float64
+	fingerprintPath string
+	traceSample     int
+
+	cycles     uint64
+	freq, line float64
+	meshK      int
+	width      int
+	pipelines  int
+	rate       float64
+	getRatio   float64
+	valueBytes uint32
+	keys       uint64
+	seed       uint64
+}
+
+// fleetTenants spreads tenants round-robin across client NICs; the first
+// round(cross*n) of them are homed one NIC over, so their traffic (and
+// the responses) crosses the ToR. Rates are scaled so each NIC's client
+// port carries roughly the -rate offered load.
+func fleetTenants(o fleetOpts, n int) []fleet.TenantSpec {
+	crossCount := int(o.cross*float64(n) + 0.5)
+	perTenant := o.rate * float64(o.nics) / float64(n)
+	specs := make([]fleet.TenantSpec, n)
+	for i := range specs {
+		t := uint16(i + 1)
+		client := i % o.nics
+		home := client
+		if i < crossCount {
+			home = (client + 1) % o.nics
+		}
+		specs[i] = fleet.TenantSpec{
+			Tenant: t, Home: home, Client: client, Class: packet.ClassLatency,
+			RateGbps: perTenant, Keys: o.keys, GetRatio: o.getRatio,
+			ValueBytes: o.valueBytes, Poisson: true,
+		}
+	}
+	return specs
+}
+
+// runFleet simulates the rack: o.nics PANIC NICs joined by the modeled
+// ToR, advancing in epoch-synchronized shards.
+func runFleet(o fleetOpts) {
+	if o.cross < 0 || o.cross > 1 {
+		fmt.Fprintf(os.Stderr, "-fleet-cross must be in [0,1] (got %v)\n", o.cross)
+		os.Exit(2)
+	}
+	if o.torLatency == 0 {
+		fmt.Fprintln(os.Stderr, "-tor-latency must be >= 1")
+		os.Exit(2)
+	}
+	tmpl, _ := buildPanicConfig(o.freq, o.line, o.meshK, o.width, o.pipelines, o.seed)
+	var plans map[int]*fault.Plan
+	if tmpl.FaultPlan != nil {
+		// -faultplan arms NIC 0; the chaos harness drives richer fleet-wide
+		// plans programmatically.
+		plans = map[int]*fault.Plan{0: tmpl.FaultPlan}
+		tmpl.FaultPlan = nil
+	}
+	nT := *tenantsN
+	if nT < o.nics {
+		// Too few tenants to populate the rack: default to two per NIC.
+		nT = 2 * o.nics
+	}
+	cfg := fleet.Config{
+		NICs:       o.nics,
+		TorLatency: o.torLatency,
+		Shards:     o.shards,
+		TorGbps:    o.torGbps,
+		NIC:        tmpl,
+		Tenants:    fleetTenants(o, nT),
+		FaultPlans: plans,
+		Invariants: &invariant.Config{Every: 2048},
+	}
+	if o.traceSample > 0 {
+		cfg.Trace = true
+		cfg.TraceSample = uint64(o.traceSample)
+	}
+
+	f := fleet.New(cfg)
+	defer f.Close()
+	start := time.Now()
+	f.Run(o.cycles)
+	wall := time.Since(start).Seconds()
+
+	fmt.Print(f.Summary())
+	fmt.Printf("tenants: %d (%.0f%% cross-homed)\n", nT, o.cross*100)
+	simSec := float64(o.cycles) / o.freq
+	fmt.Printf("wall: %.2fs (%.1f Mcycles/s aggregate)\n", wall, float64(o.cycles)*float64(o.nics)/wall/1e6)
+	fmt.Printf("fleet msgs/s: %.0f (simulated time %.2f ms)\n", float64(f.Delivered())/simSec, simSec*1e3)
+
+	if o.fingerprintPath != "" {
+		if err := os.WriteFile(o.fingerprintPath, []byte(f.Fingerprint()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "fingerprint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fingerprint written to %s\n", o.fingerprintPath)
+	}
+	if v := f.Violations(); len(v) > 0 {
+		for _, viol := range v {
+			fmt.Fprintf(os.Stderr, "invariant violation: cycle=%d %s: %v\n", viol.Cycle, viol.Check, viol.Err)
+		}
+		os.Exit(1)
+	}
+}

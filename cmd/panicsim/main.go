@@ -87,6 +87,13 @@ func main() {
 	listenAddr = flag.String("listen", "127.0.0.1:8070", "serve mode listen address")
 	serveQuantum = flag.Uint64("serve-quantum", 8192, "serve mode barrier quantum: cycles between reconfiguration points")
 	drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "serve mode wall-clock cap on graceful drain at shutdown")
+	fleetN := flag.Int("fleet", 0, "simulate a rack of N NICs joined by a modeled ToR switch (0 = single NIC; panic only)")
+	torLatency := flag.Uint64("tor-latency", 64, "fleet mode inter-NIC one-way ToR latency in cycles (also the epoch length)")
+	fleetShards := flag.Int("fleet-shards", 1, "fleet mode goroutine shards NICs are spread across (byte-identical results for any value)")
+	fleetCross := flag.Float64("fleet-cross", 0.5, "fleet mode fraction of tenants homed on a different NIC than their clients")
+	torGbps := flag.Float64("tor-gbps", 0, "fleet mode aggregate ToR fabric bandwidth cap in Gbps (0 = unlimited)")
+	fleetFingerprint := flag.String("fleet-fingerprint", "", "fleet mode: write the byte-comparable rack fingerprint to this file")
+	fleetTraceSample := flag.Int("fleet-trace-sample", 0, "fleet mode: embed per-NIC traces in the fingerprint, sampling one message in N (0 = off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to `file`")
 	// `panicsim serve [flags]` is sugar for -serve: strip the subcommand
@@ -139,6 +146,26 @@ func main() {
 			os.Exit(2)
 		}
 		runServe(*freq, *line, *meshK, *width, *pipelines, *warmKeys, *seed)
+		return
+	}
+	if *fleetN > 0 {
+		if *arch != "panic" {
+			fmt.Fprintf(os.Stderr, "-fleet supports only -arch panic (got %q)\n", *arch)
+			os.Exit(2)
+		}
+		if *tracePath != "" {
+			fmt.Fprintln(os.Stderr, "-trace is per-NIC only; in fleet mode use -fleet-trace-sample (traces embed in the fingerprint)")
+			os.Exit(2)
+		}
+		runFleet(fleetOpts{
+			nics: *fleetN, torLatency: *torLatency, shards: *fleetShards,
+			cross: *fleetCross, torGbps: *torGbps,
+			fingerprintPath: *fleetFingerprint, traceSample: *fleetTraceSample,
+			cycles: *cycles, freq: *freq, line: *line,
+			meshK: *meshK, width: *width, pipelines: *pipelines,
+			rate: *rate, getRatio: *getRatio, valueBytes: uint32(*valueBytes),
+			keys: *keys, seed: *seed,
+		})
 		return
 	}
 	var src engine.Source

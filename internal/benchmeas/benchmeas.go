@@ -14,6 +14,7 @@ import (
 
 	"github.com/panic-nic/panic/internal/core"
 	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/fleet"
 	"github.com/panic-nic/panic/internal/packet"
 	"github.com/panic-nic/panic/internal/workload"
 )
@@ -53,6 +54,21 @@ type FFResult struct {
 	Speedup     float64 `json:"speedup_vs_stepping"`
 }
 
+// FleetResult is one rack-scale run: NICs PANIC instances joined by the
+// modeled ToR, advanced in epoch-synchronized shards at saturating load.
+// FleetMsgsPerS is the wall-clock rate of terminal deliveries summed over
+// the whole rack — the fleet-scaling headline the benchgate gates on.
+type FleetResult struct {
+	NICs            int     `json:"nics"`
+	Shards          int     `json:"shards"`
+	TorLatency      uint64  `json:"tor_latency_cycles"`
+	SimCycles       uint64  `json:"sim_cycles"`
+	WallSec         float64 `json:"wall_sec"`
+	CyclesPerS      float64 `json:"sim_cycles_per_sec"`
+	FleetMsgsPerS   float64 `json:"fleet_msgs_per_s"`
+	SpeedupVs1Shard float64 `json:"speedup_vs_1_shard"`
+}
+
 // AllocResult is the steady-state allocation rate of one hot path that is
 // contractually allocation-free.
 type AllocResult struct {
@@ -69,6 +85,7 @@ type Report struct {
 	Ablations     []AblationResult `json:"ablation_single_worker,omitempty"`
 	LowLoad       []FFResult       `json:"low_load_fast_forward"`
 	BestFFSpeedup float64          `json:"best_ff_speedup"`
+	Fleet         []FleetResult    `json:"fleet,omitempty"`
 	ZeroAlloc     []AllocResult    `json:"zero_alloc_paths,omitempty"`
 }
 
@@ -78,6 +95,9 @@ type Config struct {
 	Cycles uint64
 	// LowLoadCycles is the horizon of each fast-forward run.
 	LowLoadCycles uint64
+	// FleetCycles is the horizon of each rack-scale fleet run (0 skips the
+	// fleet stage).
+	FleetCycles uint64
 	// Ablation additionally measures the saturating run with each loaded
 	// hot-path optimization (RMT flow cache, bucketed scheduler queue)
 	// individually disabled, quantifying each one's contribution.
@@ -220,11 +240,80 @@ func Measure(cfg Config) Report {
 			ff, r.CyclesPerS, skipped, r.Speedup)
 	}
 
+	if cfg.FleetCycles > 0 {
+		rep.Fleet = MeasureFleet(cfg)
+	}
+
 	for _, a := range MeasureAllocs() {
 		rep.ZeroAlloc = append(rep.ZeroAlloc, a)
 		cfg.logf("zero-alloc path %s: %.2f allocs/op\n", a.Name, a.AllocsPerOp)
 	}
 	return rep
+}
+
+// buildFleet assembles the canonical rack benchmark: 4 NICs, two tenants
+// per NIC (one local, one homed a NIC over so half the load crosses the
+// ToR), each client port offered ~90% of line rate.
+func buildFleet(shards int) *fleet.Fleet {
+	const nics = 4
+	nicCfg := core.DefaultConfig()
+	var tenants []fleet.TenantSpec
+	for i := 0; i < 2*nics; i++ {
+		client := i % nics
+		home := client
+		if i%2 == 1 {
+			home = (client + 1) % nics
+		}
+		tenants = append(tenants, fleet.TenantSpec{
+			Tenant: uint16(i + 1), Home: home, Client: client,
+			Class: packet.ClassLatency, RateGbps: 45,
+			Keys: 1024, GetRatio: 0.9, ValueBytes: 256,
+		})
+	}
+	return fleet.New(fleet.Config{
+		NICs:       nics,
+		TorLatency: 64,
+		Shards:     shards,
+		NIC:        nicCfg,
+		Tenants:    tenants,
+	})
+}
+
+// MeasureFleet times the canonical 4-NIC rack at 1 shard and 4 shards.
+// The shard axis is the one that scales on real cores: on a multi-core
+// host the 4-shard run should approach 4x the 1-shard aggregate (the
+// fleet-smoke CI gate); on a single core it only measures barrier
+// overhead. Results are byte-identical either way — only wall time moves.
+func MeasureFleet(cfg Config) []FleetResult {
+	var out []FleetResult
+	var base float64
+	for _, shards := range []int{1, 4} {
+		f := buildFleet(shards)
+		f.Run(2_000) // warm-up: fill the pipelines and the ToR queues
+		before := f.Delivered()
+		start := time.Now()
+		f.Run(cfg.FleetCycles)
+		wall := time.Since(start).Seconds()
+		delivered := f.Delivered() - before
+		f.Close()
+		r := FleetResult{
+			NICs:          4,
+			Shards:        shards,
+			TorLatency:    64,
+			SimCycles:     cfg.FleetCycles,
+			WallSec:       wall,
+			CyclesPerS:    float64(cfg.FleetCycles) / wall,
+			FleetMsgsPerS: float64(delivered) / wall,
+		}
+		if shards == 1 {
+			base = r.FleetMsgsPerS
+		}
+		r.SpeedupVs1Shard = r.FleetMsgsPerS / base
+		out = append(out, r)
+		cfg.logf("fleet nics=%d shards=%d: %.0f simcycles/s, %.0f fleet msgs/s (%.2fx vs 1 shard)\n",
+			r.NICs, shards, r.CyclesPerS, r.FleetMsgsPerS, r.SpeedupVs1Shard)
+	}
+	return out
 }
 
 // Load reads a report from disk.
@@ -316,6 +405,30 @@ func Compare(baseline, fresh Report, tolerance float64) (bad, notes []string) {
 		}
 		if !found {
 			bad = append(bad, fmt.Sprintf("low-load fastforward=%v: missing from fresh run", b.FastForward))
+		}
+	}
+
+	for _, b := range baseline.Fleet {
+		if hostMismatch && b.Shards > 1 {
+			// Shard speedup tracks physical cores exactly like worker
+			// speedup; the 1-shard fleet entry stays comparable.
+			continue
+		}
+		found := false
+		for _, f := range fresh.Fleet {
+			if f.NICs != b.NICs || f.Shards != b.Shards {
+				continue
+			}
+			found = true
+			if f.FleetMsgsPerS < b.FleetMsgsPerS*floor {
+				bad = append(bad, fmt.Sprintf(
+					"fleet nics=%d shards=%d: %.0f fleet msgs/s vs baseline %.0f (-%.0f%%, tolerance %.0f%%)",
+					b.NICs, b.Shards, f.FleetMsgsPerS, b.FleetMsgsPerS,
+					100*(1-f.FleetMsgsPerS/b.FleetMsgsPerS), 100*tolerance))
+			}
+		}
+		if !found {
+			bad = append(bad, fmt.Sprintf("fleet nics=%d shards=%d: missing from fresh run", b.NICs, b.Shards))
 		}
 	}
 

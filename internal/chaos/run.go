@@ -5,6 +5,8 @@ import (
 
 	"github.com/panic-nic/panic/internal/core"
 	"github.com/panic-nic/panic/internal/engine"
+	"github.com/panic-nic/panic/internal/fault"
+	"github.com/panic-nic/panic/internal/fleet"
 	"github.com/panic-nic/panic/internal/invariant"
 	"github.com/panic-nic/panic/internal/packet"
 	"github.com/panic-nic/panic/internal/workload"
@@ -34,6 +36,9 @@ func Run(s Scenario) (f *Failure) {
 			f = &Failure{Check: "panic", Err: fmt.Errorf("run panicked: %v", r)}
 		}
 	}()
+	if s.Fleet >= 2 {
+		return runFleet(s)
+	}
 	nic := buildNIC(s)
 	defer nic.Close()
 	nic.Run(s.Cycles)
@@ -44,6 +49,84 @@ func Run(s Scenario) (f *Failure) {
 		return &Failure{Check: nic.Invar.Violations()[0].Check, Err: err}
 	}
 	return nil
+}
+
+// runFleet soaks the scenario as a rack: s.Fleet NICs, every tenant's
+// clients one NIC over from its home so all traffic crosses the ToR, the
+// fault plan armed on NIC 0, and both the per-NIC and the fleet-level
+// (ToR conservation) invariant monitors live. Called under Run's recover.
+func runFleet(s Scenario) *Failure {
+	rack := buildFleet(s)
+	defer rack.Close()
+	rack.Run(s.Cycles)
+	if vs := rack.Violations(); len(vs) > 0 {
+		return &Failure{
+			Check: vs[0].Check,
+			Err:   fmt.Errorf("%d fleet invariant violation(s); first: %v", len(vs), vs[0]),
+		}
+	}
+	return nil
+}
+
+// buildFleet assembles the rack a fleet scenario describes. The per-NIC
+// template reuses the same knobs buildNIC maps, so a fleet scenario is
+// the single-NIC scenario multiplied — plus placement and migration.
+func buildFleet(s Scenario) *fleet.Fleet {
+	if err := s.validate(); err != nil {
+		panic(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = s.Seed
+	cfg.QueueCap = s.QueueCap
+	cfg.Workers = s.Workers
+	cfg.FastForward = s.FastForward
+	cfg.NoFlowCache = s.NoFlowCache
+	cfg.HeapSchedQueue = s.HeapSchedQueue
+	cfg.IPSecReplicas = s.Replicas
+	cfg.Health = core.DefaultHealthConfig()
+	if s.TenantScoped {
+		cfg.Health.TenantDomains = map[packet.Addr][]uint16{core.AddrKVSCache: {1}}
+	}
+	cfg.TenantWeights = make(map[uint16]uint64, s.Tenants)
+	for t := 1; t <= s.Tenants; t++ {
+		cfg.TenantWeights[uint16(t)] = uint64(1 + (t % 3))
+	}
+
+	specs := make([]fleet.TenantSpec, 0, s.Tenants)
+	for t := 1; t <= s.Tenants; t++ {
+		specs = append(specs, fleet.TenantSpec{
+			Tenant: uint16(t),
+			Home:   (t - 1) % s.Fleet,
+			Client: t % s.Fleet,
+			Class:  packet.ClassLatency,
+			// Rack transit is plaintext, so unlike buildNIC no tenant
+			// carries WAN share here.
+			RateGbps: 5, Keys: 64, GetRatio: 0.9,
+			ValueBytes: 256, Count: s.Requests,
+			Seed: s.Seed*1000 + uint64(t),
+		})
+	}
+	fc := fleet.Config{
+		NICs:       s.Fleet,
+		TorLatency: s.TorLatency,
+		Shards:     s.Shards,
+		NIC:        cfg,
+		Tenants:    specs,
+		Invariants: &invariant.Config{},
+	}
+	if s.Plan != nil {
+		fc.FaultPlans = map[int]*fault.Plan{0: s.Plan}
+	}
+	if s.MigrateTenant > 0 {
+		fc.Migrations = []fleet.Migration{{
+			Cycle: s.MigrateCycle, Tenant: uint16(s.MigrateTenant), To: s.MigrateTo,
+		}}
+	}
+	rack := fleet.New(fc)
+	if s.Plant {
+		rack.NICs[0].Program.PlantSkipTenantInvalidate()
+	}
+	return rack
 }
 
 // buildNIC assembles the NIC a scenario describes. Kept separate from Run

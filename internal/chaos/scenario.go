@@ -46,6 +46,23 @@ type Scenario struct {
 	// (rmt.Program.PlantSkipTenantInvalidate) — the harness's self-test:
 	// a chaos run over planted scenarios must catch and shrink it.
 	Plant bool
+	// Fleet is the rack size: 0 (or 1) soaks a single NIC; >= 2 runs the
+	// scenario as a multi-NIC fleet joined by the modeled ToR, with tenant
+	// t homed on NIC (t-1)%Fleet and its clients attached to NIC t%Fleet,
+	// so every tenant's traffic crosses the rack. Generate keeps this 0;
+	// fleet scenarios are written explicitly (tests, replay files).
+	Fleet int
+	// TorLatency is the fleet's inter-NIC one-way latency in cycles (0
+	// means the fleet default).
+	TorLatency uint64
+	// Shards spreads fleet NICs across goroutines; results are identical
+	// for any value.
+	Shards int
+	// MigrateTenant schedules one tenant re-homing at MigrateCycle to NIC
+	// MigrateTo (0 = no migration; fleet mode only).
+	MigrateTenant int
+	MigrateCycle  uint64
+	MigrateTo     int
 	// Plan is the fault schedule.
 	Plan *fault.Plan
 }
@@ -110,6 +127,12 @@ func (s Scenario) String() string {
 	fmt.Fprintf(&b, "heapq %v\n", s.HeapSchedQueue)
 	fmt.Fprintf(&b, "tenantscoped %v\n", s.TenantScoped)
 	fmt.Fprintf(&b, "plant %v\n", s.Plant)
+	fmt.Fprintf(&b, "fleet %d\n", s.Fleet)
+	fmt.Fprintf(&b, "torlatency %d\n", s.TorLatency)
+	fmt.Fprintf(&b, "shards %d\n", s.Shards)
+	fmt.Fprintf(&b, "migratetenant %d\n", s.MigrateTenant)
+	fmt.Fprintf(&b, "migratecycle %d\n", s.MigrateCycle)
+	fmt.Fprintf(&b, "migrateto %d\n", s.MigrateTo)
 	b.WriteString("plan:\n")
 	if s.Plan != nil {
 		b.WriteString(s.Plan.String())
@@ -212,6 +235,18 @@ func (s *Scenario) setField(key, val string) error {
 		err = b(&s.TenantScoped)
 	case "plant":
 		err = b(&s.Plant)
+	case "fleet":
+		err = i(&s.Fleet)
+	case "torlatency":
+		err = u64(&s.TorLatency)
+	case "shards":
+		err = i(&s.Shards)
+	case "migratetenant":
+		err = i(&s.MigrateTenant)
+	case "migratecycle":
+		err = u64(&s.MigrateCycle)
+	case "migrateto":
+		err = i(&s.MigrateTo)
 	default:
 		return fmt.Errorf("unknown key %q", key)
 	}
@@ -235,6 +270,18 @@ func (s Scenario) validate() error {
 		return fmt.Errorf("chaos: replicas %d out of range [1,5]", s.Replicas)
 	case s.Workers < 0:
 		return fmt.Errorf("chaos: negative workers")
+	case s.Fleet < 0 || s.Fleet > 8:
+		return fmt.Errorf("chaos: fleet %d out of range [0,8]", s.Fleet)
+	case s.Shards < 0:
+		return fmt.Errorf("chaos: negative shards")
+	case s.Fleet < 2 && (s.TorLatency != 0 || s.Shards != 0 || s.MigrateTenant != 0):
+		return fmt.Errorf("chaos: fleet knobs (torlatency/shards/migrate*) need fleet >= 2")
+	case s.MigrateTenant < 0 || s.MigrateTenant > s.Tenants:
+		return fmt.Errorf("chaos: migratetenant %d out of range [0,%d]", s.MigrateTenant, s.Tenants)
+	case s.MigrateTenant > 0 && (s.MigrateTo < 0 || s.MigrateTo >= s.Fleet):
+		return fmt.Errorf("chaos: migrateto %d out of range [0,%d)", s.MigrateTo, s.Fleet)
+	case s.MigrateTenant == 0 && (s.MigrateCycle != 0 || s.MigrateTo != 0):
+		return fmt.Errorf("chaos: migratecycle/migrateto set without migratetenant")
 	}
 	return nil
 }

@@ -105,7 +105,7 @@ func TestTenantIsolationCrossKernelDeterminism(t *testing.T) {
 	}
 	fp := func(c detCase) string {
 		nic := isoRun(c, true)
-		return fingerprint(nic) + "\ntenants:\n" + nic.TenantReport()
+		return nic.Fingerprint() + "\ntenants:\n" + nic.TenantReport()
 	}
 	want := fp(detCases[0])
 	for _, c := range detCases[1:] {

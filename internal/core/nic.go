@@ -117,6 +117,15 @@ type Config struct {
 	// simulation stream is bit-identical with the monitor on or off; nil
 	// (the default) registers nothing and costs nothing.
 	Invariants *invariant.Config
+	// RackTap, when non-nil, inspects every frame reaching wire egress
+	// before it is counted as a local delivery; returning true consumes
+	// the message. The fleet layer uses it to pick rack-destined frames
+	// (IP dst in 172.0.0.0/8, another NIC's subnet) off the wire and walk
+	// them through the ToR model. The tap runs inside the MACs' staged
+	// sinks during the sequential Commit phase, so it needs no locking
+	// and fires in deterministic (port, delivery) order. Nil costs
+	// nothing.
+	RackTap func(m *packet.Message, now uint64) bool
 	// Workers is the kernel's Eval worker-pool size: 0 or 1 runs the
 	// classic sequential loop; N > 1 shards the Eval phase across N
 	// goroutines. The simulation result is bit-identical either way.
@@ -308,7 +317,15 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 		if p < len(sources) {
 			src = sources[p]
 		}
-		wireSink := engine.NewStagedSink(wrapSink(n.WireLat, sinkWire))
+		// The rack tap wraps outside the traced sink: a frame consumed by
+		// the fleet's ToR path is in flight in the rack, not delivered
+		// here, so it emits no local Deliver span and never reaches the
+		// wire collector.
+		var wireTarget engine.Sink = wrapSink(n.WireLat, sinkWire)
+		if cfg.RackTap != nil {
+			wireTarget = tapSink{tap: cfg.RackTap, inner: wireTarget}
+		}
+		wireSink := engine.NewStagedSink(wireTarget)
 		mac := engine.NewEthernetMAC(engine.MACConfig{
 			Port: p, LineRateGbps: cfg.LineRateGbps, FreqHz: cfg.FreqHz,
 		}, src, wireSink)
@@ -532,6 +549,21 @@ func (s tracedSink) Deliver(m *packet.Message, now uint64) {
 			Start: now, End: now, B: uint64(m.WireLen()),
 			Tenant: m.Tenant,
 		})
+	}
+	s.inner.Deliver(m, now)
+}
+
+// tapSink gives a Config.RackTap first refusal on wire deliveries. Like
+// tracedSink it runs in the sequential Commit phase.
+type tapSink struct {
+	tap   func(*packet.Message, uint64) bool
+	inner engine.Sink
+}
+
+// Deliver implements engine.Sink.
+func (s tapSink) Deliver(m *packet.Message, now uint64) {
+	if s.tap(m, now) {
+		return
 	}
 	s.inner.Deliver(m, now)
 }

@@ -40,6 +40,21 @@ type ProgramConfig struct {
 	// touching any other tenant's. Tenants absent from the list fall back
 	// to the shared classify entries.
 	Tenants []uint16
+	// RackForward turns the NIC into a rack switch port (the fleet layer's
+	// program): traffic whose IP destination lies in the inter-NIC rack
+	// subnet (172.N.0.0/16 addresses NIC N) is chained straight to the
+	// RackUplinkPort instead of being served locally, except for the NIC's
+	// own subnet (RackLocalNIC), which is routed to RackClientPort and
+	// classified normally. The fleet's egress tap picks rack-destined
+	// frames off the uplink wire and walks them through the ToR model.
+	RackForward bool
+	// RackLocalNIC is this NIC's rack subnet index (172.RackLocalNIC/16).
+	RackLocalNIC int
+	// RackUplinkPort is the Ethernet port facing the ToR.
+	RackUplinkPort int
+	// RackClientPort is the port local rack clients (172.RackLocalNIC.x.y)
+	// are reached through.
+	RackClientPort int
 }
 
 // DefaultProgramConfig returns the canonical operating point.
@@ -144,6 +159,24 @@ func BuildProgram(cfg ProgramConfig) *rmt.Program {
 			rmt.OpSet{Field: rmt.FieldMetaScratch0, Value: uint64(AddrEthBase) + uint64(cfg.WANPort)},
 			rmt.OpSet{Field: rmt.FieldMetaScratch2, Value: 1}),
 	})
+	if cfg.RackForward {
+		// 172.0.0.0/8 is the rack: anything for another NIC's subnet goes
+		// out the uplink (scratch2 = 2 marks rack transit). The NIC's own
+		// /16 is more specific and overrides: local rack clients are
+		// reached through the client port and classified as ordinary LAN
+		// traffic (scratch2 stays 0).
+		txroute.Add(rmt.Entry{
+			Values: []uint64{uint64(172) << 24}, PrefixLen: 8,
+			Action: rmt.NewAction("rack-uplink",
+				rmt.OpSet{Field: rmt.FieldMetaScratch0, Value: uint64(AddrEthBase) + uint64(cfg.RackUplinkPort)},
+				rmt.OpSet{Field: rmt.FieldMetaScratch2, Value: 2}),
+		})
+		txroute.Add(rmt.Entry{
+			Values: []uint64{uint64(172)<<24 | uint64(cfg.RackLocalNIC)<<16}, PrefixLen: 16,
+			Action: rmt.NewAction("rack-local",
+				rmt.OpSet{Field: rmt.FieldMetaScratch0, Value: uint64(AddrEthBase) + uint64(cfg.RackClientPort)}),
+		})
+	}
 
 	slackFrom := func(ops ...rmt.Op) rmt.Action { return rmt.Action{Ops: ops} }
 	hop := func(e packet.Addr) rmt.Op {
@@ -181,6 +214,12 @@ func BuildProgram(cfg ProgramConfig) *rmt.Program {
 		Values: []uint64{0, uint64(packet.KVSSet), 0, 0}, Masks: []uint64{0, exact, 0, 0}, Priority: 90,
 		Action: slackFrom(hop(AddrKVSCache), hop(AddrDMA)),
 	})
+	if cfg.RackForward {
+		classify.Add(rmt.Entry{ // rack transit: straight to the uplink toward the ToR
+			Values: []uint64{0, 0, 2, 0}, Masks: []uint64{0, 0, exact, 0}, Priority: 98,
+			Action: slackFrom(hopFromField),
+		})
+	}
 	for _, op := range []packet.KVSOp{packet.KVSGetResp, packet.KVSSetResp} {
 		classify.Add(rmt.Entry{ // WAN response: encrypt, then egress
 			Values: []uint64{0, uint64(op), 1, 0}, Masks: []uint64{0, exact, exact, 0}, Priority: 85,
@@ -207,8 +246,16 @@ func BuildProgram(cfg ProgramConfig) *rmt.Program {
 				limited[t] = true
 			}
 		}
-		tenantchain := rmt.NewTable("tenantchain", rmt.MatchTernary,
-			[]rmt.FieldID{rmt.FieldMetaTenant, rmt.FieldKVSOp, rmt.FieldIPProto}, 0, rmt.Action{})
+		// Under RackForward the match key widens with scratch2 == 0 (not
+		// rack transit): a request passing through on its way to another
+		// NIC must keep the uplink chain classify installed, not be
+		// rebuilt into this NIC's serving chain. PHV meta is fresh per
+		// pass, so decrypted WAN requests still re-classify correctly.
+		fields := []rmt.FieldID{rmt.FieldMetaTenant, rmt.FieldKVSOp, rmt.FieldIPProto}
+		if cfg.RackForward {
+			fields = append(fields, rmt.FieldMetaScratch2)
+		}
+		tenantchain := rmt.NewTable("tenantchain", rmt.MatchTernary, fields, 0, rmt.Action{})
 		for _, tenant := range cfg.Tenants {
 			for _, op := range []packet.KVSOp{packet.KVSGet, packet.KVSSet} {
 				ops := []rmt.Op{rmt.OpClearChain{}}
@@ -216,9 +263,15 @@ func BuildProgram(cfg ProgramConfig) *rmt.Program {
 					ops = append(ops, hop(AddrRateLim))
 				}
 				ops = append(ops, hop(AddrKVSCache), hop(AddrDMA))
+				values := []uint64{uint64(tenant), uint64(op), packet.ProtoUDP}
+				masks := []uint64{exact, exact, exact}
+				if cfg.RackForward {
+					values = append(values, 0)
+					masks = append(masks, exact)
+				}
 				tenantchain.Add(rmt.Entry{
-					Values:   []uint64{uint64(tenant), uint64(op), packet.ProtoUDP},
-					Masks:    []uint64{exact, exact, exact},
+					Values:   values,
+					Masks:    masks,
 					Priority: 50,
 					Action:   rmt.NewAction(fmt.Sprintf("tenant%d-%v", tenant, op), ops...),
 				})

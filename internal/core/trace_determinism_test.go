@@ -40,7 +40,7 @@ func traceRun(c detCase, horizon uint64, sample uint64) (string, string) {
 	if err := cfg.Tracer.Set().WriteChrome(&sb); err != nil {
 		panic(err)
 	}
-	return sb.String(), fingerprint(nic)
+	return sb.String(), nic.Fingerprint()
 }
 
 // TestTraceDeterminism is the observability layer's acceptance test: the

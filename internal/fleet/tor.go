@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"sort"
+
+	"github.com/panic-nic/panic/internal/packet"
+)
+
+// uplink is the deterministic arrival source feeding one NIC's
+// ToR-facing Ethernet port. The exchange barrier pushes messages with
+// their absolute arrival cycles (egress cycle + ToR latency); the MAC
+// polls them out in order, paced by its own line-rate token bucket.
+//
+// Concurrency mirrors serve.IngestSource: Poll and NextArrival run inside
+// kernel cycles on the shard evaluating the port's MAC; push runs on the
+// fleet goroutine strictly between epochs, when every shard is parked at
+// the barrier. No two ever overlap, so the type needs no locks — and the
+// arrival cycles pushed at a barrier are all in the future (the lookahead
+// invariant), so reporting "exhausted" to fast-forward stays safe.
+type uplink struct {
+	msgs    []*packet.Message
+	due     []uint64
+	head    int
+	emitted uint64
+}
+
+// Poll implements engine.Source.
+func (u *uplink) Poll(now uint64) *packet.Message {
+	if u.head >= len(u.msgs) || u.due[u.head] > now {
+		return nil
+	}
+	m := u.msgs[u.head]
+	u.msgs[u.head] = nil
+	u.head++
+	u.emitted++
+	return m
+}
+
+// NextArrival implements engine.ArrivalSource.
+func (u *uplink) NextArrival(now uint64) (uint64, bool) {
+	if u.head >= len(u.msgs) {
+		return 0, false
+	}
+	at := u.due[u.head]
+	if at < now {
+		at = now
+	}
+	return at, true
+}
+
+// pending is the queued-not-yet-polled count (the "in flight at the ToR"
+// term of the conservation equation).
+func (u *uplink) pending() uint64 { return uint64(len(u.msgs) - u.head) }
+
+// push appends an arrival. Calls at one barrier must come pre-sorted by
+// cycle; across barriers monotonicity is automatic (every new arrival is
+// at least one full ToR latency past the epoch that emitted it).
+func (u *uplink) push(m *packet.Message, at uint64) {
+	u.msgs = append(u.msgs, m)
+	u.due = append(u.due, at)
+}
+
+// compact reclaims the consumed prefix once it dominates the slice.
+func (u *uplink) compact() {
+	if u.head < 4096 || u.head*2 < len(u.msgs) {
+		return
+	}
+	n := copy(u.msgs, u.msgs[u.head:])
+	copy(u.due, u.due[u.head:])
+	u.msgs = u.msgs[:n]
+	u.due = u.due[:n]
+	u.head = 0
+}
+
+// TorStats is the ToR cost model's conservation ledger.
+type TorStats struct {
+	// Forwarded counts frames picked off NIC wires by the rack taps.
+	Forwarded uint64
+	// Injected counts frames accepted into a destination uplink queue.
+	Injected uint64
+	// Dropped counts frames shed by the fabric bandwidth budget.
+	Dropped uint64
+	// Emitted counts frames the destination MACs have polled out.
+	Emitted uint64
+	// Pending counts frames sitting in uplink queues (in flight).
+	Pending uint64
+}
+
+// tor models the top-of-rack switch joining the fleet: a constant
+// store-and-forward latency plus an optional aggregate bandwidth budget
+// per epoch. It only runs at barriers, in canonical order, so it is
+// deterministic for any shard count.
+type tor struct {
+	latency   uint64
+	budgetFn  func(epochCycles uint64) float64 // nil = unlimited, else bits per epoch
+	forwarded uint64
+	injected  uint64
+	dropped   uint64
+
+	batch []torArrival // scratch, reused across barriers
+}
+
+type torArrival struct {
+	m   *packet.Message
+	dst int
+	at  uint64
+}
+
+// exchange drains the per-NIC egress buffers into the uplinks: arrival =
+// egress cycle + latency, batch stable-sorted by arrival per destination
+// (ties keep canonical source order: NIC 0..N-1, each buffer in append
+// order). epochCycles sizes the bandwidth budget for this window.
+func (t *tor) exchange(egress [][]*packet.Message, uplinks []*uplink, epochCycles uint64) {
+	t.batch = t.batch[:0]
+	var budget float64
+	limited := t.budgetFn != nil
+	if limited {
+		budget = t.budgetFn(epochCycles)
+	}
+	for src := range egress {
+		buf := egress[src]
+		for i, m := range buf {
+			t.forwarded++
+			if limited {
+				bits := float64((m.WireLen() + packet.WireOverheadBytes) * 8)
+				if bits > budget {
+					t.dropped++
+					buf[i] = nil
+					continue
+				}
+				budget -= bits
+			}
+			t.batch = append(t.batch, torArrival{m: m, dst: rackDstNIC(m), at: m.Done + t.latency})
+			buf[i] = nil
+		}
+		egress[src] = buf[:0]
+	}
+	sort.SliceStable(t.batch, func(i, j int) bool { return t.batch[i].at < t.batch[j].at })
+	for _, a := range t.batch {
+		// Reset the per-NIC leg state: the destination MAC restamps Port,
+		// Inject, and a fresh locally-unique TraceID on arrival.
+		a.m.TraceID = 0
+		a.m.Port = -1
+		uplinks[a.dst].push(a.m, a.at)
+		t.injected++
+	}
+	for _, u := range uplinks {
+		u.compact()
+	}
+}
+
+// stats sums the ledger across the switch and the uplink queues.
+func (t *tor) stats(uplinks []*uplink) TorStats {
+	s := TorStats{Forwarded: t.forwarded, Injected: t.injected, Dropped: t.dropped}
+	for _, u := range uplinks {
+		s.Emitted += u.emitted
+		s.Pending += u.pending()
+	}
+	return s
+}
+
+// rackDstNIC extracts the destination NIC index from a rack-addressed
+// frame (172.N.x.y). Callers guarantee the frame is rack-addressed (the
+// tap already parsed it).
+func rackDstNIC(m *packet.Message) int {
+	if ip, ok := m.Pkt.Layer(packet.LayerTypeIPv4).(*packet.IPv4); ok && ip.Dst[0] == 172 {
+		return int(ip.Dst[1])
+	}
+	return 0
+}

@@ -24,8 +24,23 @@ func (s *Set) WriteChrome(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	tids := s.assignTracks()
 
-	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"tool\":\"panicsim\",\"freqHz\":%q,\"spans\":\"%d\",\"droppedSpans\":\"%d\"},\"traceEvents\":[\n",
-		formatFloat(s.FreqHz), len(s.Spans), s.Dropped)
+	// The fleet NIC id becomes the Chrome process: pid = NIC+1 keeps
+	// standalone exports (NIC 0) byte-compatible while letting per-NIC
+	// fleet exports merge into one multi-process Perfetto view.
+	pid := s.NIC + 1
+	procName := "panicsim"
+	if s.NIC > 0 {
+		procName = fmt.Sprintf("panicsim nic%d", s.NIC)
+	}
+	// The nic key appears only for fleet NICs (>0), so standalone exports
+	// stay byte-identical to the pre-fleet format; ReadChrome treats an
+	// absent key as NIC 0.
+	nicData := ""
+	if s.NIC > 0 {
+		nicData = fmt.Sprintf(",\"nic\":\"%d\"", s.NIC)
+	}
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"tool\":\"panicsim\",\"freqHz\":%q,\"spans\":\"%d\",\"droppedSpans\":\"%d\"%s},\"traceEvents\":[\n",
+		formatFloat(s.FreqHz), len(s.Spans), s.Dropped, nicData)
 	first := true
 	sep := func() {
 		if !first {
@@ -35,7 +50,7 @@ func (s *Set) WriteChrome(w io.Writer) error {
 	}
 
 	sep()
-	bw.WriteString(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"panicsim"}}`)
+	fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`, pid, quote(procName))
 	// Track metadata, in tid order. lk/loc in the args let ReadChrome
 	// rebuild the location table.
 	keys := make([]locKey, 0, len(tids))
@@ -45,11 +60,11 @@ func (s *Set) WriteChrome(w io.Writer) error {
 	sort.Slice(keys, func(i, j int) bool { return tids[keys[i]] < tids[keys[j]] })
 	for _, k := range keys {
 		sep()
-		fmt.Fprintf(bw, `{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s,"lk":%d,"loc":%d}}`,
-			tids[k], quote(s.LocName(k.kind, k.id)), k.kind, k.id)
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s,"lk":%d,"loc":%d}}`,
+			pid, tids[k], quote(s.LocName(k.kind, k.id)), k.kind, k.id)
 		sep()
-		fmt.Fprintf(bw, `{"ph":"M","pid":1,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
-			tids[k], tids[k])
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
+			pid, tids[k], tids[k])
 	}
 
 	usPerCycle := 1e6 / s.FreqHz
@@ -60,12 +75,12 @@ func (s *Set) WriteChrome(w io.Writer) error {
 		args := fmt.Sprintf(`{"msg":%d,"lk":%d,"loc":%d,"s":%d,"e":%d,"a":%d,"b":%d,"t":%d}`,
 			sp.Msg, sp.LocKind, sp.Loc, sp.Start, sp.End, sp.A, sp.B, sp.Tenant)
 		if sp.Kind.Instant() {
-			fmt.Fprintf(bw, `{"ph":"i","pid":1,"tid":%d,"ts":%s,"s":"t","name":%q,"args":%s}`,
-				tid, formatFloat(ts), sp.Kind.String(), args)
+			fmt.Fprintf(bw, `{"ph":"i","pid":%d,"tid":%d,"ts":%s,"s":"t","name":%q,"args":%s}`,
+				pid, tid, formatFloat(ts), sp.Kind.String(), args)
 		} else {
 			dur := float64(sp.Dur()) * usPerCycle
-			fmt.Fprintf(bw, `{"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s,"name":%q,"args":%s}`,
-				tid, formatFloat(ts), formatFloat(dur), sp.Kind.String(), args)
+			fmt.Fprintf(bw, `{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%q,"args":%s}`,
+				pid, tid, formatFloat(ts), formatFloat(dur), sp.Kind.String(), args)
 		}
 	}
 	bw.WriteString("\n]}\n")
@@ -153,6 +168,11 @@ func ReadChrome(r io.Reader) (*Set, error) {
 	if v, ok := f.OtherData["droppedSpans"]; ok {
 		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
 			s.Dropped = n
+		}
+	}
+	if v, ok := f.OtherData["nic"]; ok {
+		if n, err := strconv.Atoi(v); err == nil {
+			s.NIC = n
 		}
 	}
 	for _, ev := range f.TraceEvents {

@@ -250,6 +250,11 @@ type Options struct {
 	// Set.Dropped instead of stored (no silent truncation: exports and
 	// summaries surface the count). 0 means 2^21 (~118 MB of spans).
 	MaxSpans int
+	// NIC tags the span stream with a NIC identifier for multi-NIC fleet
+	// runs: Chrome exports use it as the process id (pid = NIC+1) and
+	// process name, so traces from several NICs load side by side in one
+	// Perfetto view. Standalone runs leave it 0 (pid 1, unchanged output).
+	NIC int
 }
 
 // Tracer owns the master span stream and hands out per-component buffers.
@@ -272,7 +277,7 @@ func New(o Options) *Tracer {
 		o.MaxSpans = 1 << 21
 	}
 	return &Tracer{
-		set:    Set{FreqHz: o.FreqHz, names: make(map[locKey]string)},
+		set:    Set{FreqHz: o.FreqHz, NIC: o.NIC, names: make(map[locKey]string)},
 		sample: o.Sample,
 		max:    o.MaxSpans,
 	}
@@ -331,7 +336,7 @@ func (t *Tracer) Set() *Set { return &t.set }
 // from the goroutine driving the kernel, between cycles (the serve loop
 // does it at its command barrier), never concurrently with Commit.
 func (t *Tracer) Snapshot() *Set {
-	out := &Set{FreqHz: t.set.FreqHz, Dropped: t.set.Dropped, names: t.set.names}
+	out := &Set{FreqHz: t.set.FreqHz, Dropped: t.set.Dropped, NIC: t.set.NIC, names: t.set.names}
 	out.Spans = append([]Span(nil), t.set.Spans...)
 	return out
 }
@@ -364,6 +369,9 @@ type Set struct {
 	Spans []Span
 	// Dropped counts spans discarded after MaxSpans filled.
 	Dropped uint64
+	// NIC is the fleet NIC identifier the stream was recorded on (see
+	// Options.NIC); 0 for standalone runs.
+	NIC int
 
 	names map[locKey]string
 }

@@ -125,6 +125,49 @@ func TestChromeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestChromeNICDimension checks the fleet's NIC-id span dimension: a
+// tracer tagged NIC 2 exports pid 3 with a per-NIC process name, the id
+// survives the read-back losslessly, and a standalone (NIC 0) tracer's
+// export stays byte-free of any nic marker so single-NIC traces are
+// unchanged.
+func TestChromeNICDimension(t *testing.T) {
+	tr := New(Options{FreqHz: 500e6, NIC: 2})
+	emit(tr)
+	want := tr.Set()
+	var sb strings.Builder
+	if err := want.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"pid":3`) || !strings.Contains(out, "panicsim nic2") {
+		t.Errorf("NIC 2 export missing pid 3 / process name:\n%.400s", out)
+	}
+	got, err := ReadChrome(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NIC != 2 {
+		t.Errorf("read-back NIC = %d, want 2", got.NIC)
+	}
+	var sb2 strings.Builder
+	if err := got.WriteChrome(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("NIC-tagged write -> read -> write is not byte-identical")
+	}
+
+	tr0 := New(Options{FreqHz: 500e6})
+	emit(tr0)
+	var sb0 strings.Builder
+	if err := tr0.Set().WriteChrome(&sb0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb0.String(), `"nic"`) || strings.Contains(sb0.String(), "panicsim nic") {
+		t.Error("standalone export carries a nic marker; single-NIC trace format must not change")
+	}
+}
+
 func TestLocNameFallback(t *testing.T) {
 	s := &Set{}
 	if got := s.LocName(LocEngine, 34); got != "engine34" {
