@@ -4,7 +4,13 @@
 //
 //   - a worker sweep under a saturating two-tenant workload (parallel Eval),
 //     reporting simulated cycles/s, delivered msgs/s, and speedup vs one
-//     worker;
+//     worker (skippable with -skip-worker-sweep; auto-skipped on a
+//     single-CPU host, where parallel Eval only measures synchronization
+//     overhead);
+//   - a saturated kernel-mode pair: the same single-worker workload under
+//     the ticked oracle loop and the event-driven engine, back to back, so
+//     the recorded speedup_vs_ticked isolates the event engine from host
+//     speed;
 //   - a low-load latency-curve run with idle-cycle fast-forward off and on,
 //     reporting effective simulated cycles/s and the skip ratio;
 //   - a rack-scale fleet run (4 NICs joined by the modeled ToR) at 1 and 4
@@ -21,7 +27,7 @@
 //
 //	benchkernel [-cycles N] [-lowload-cycles N] [-fleet-cycles N]
 //	            [-o BENCH_kernel.json] [-cpuprofile FILE] [-memprofile FILE]
-//	            [-ablation] [-fleet-only]
+//	            [-ablation] [-fleet-only] [-skip-worker-sweep]
 package main
 
 import (
@@ -43,6 +49,7 @@ func main() {
 	ablation := flag.Bool("ablation", false, "also run the hot-path ablation sweep (flow cache / bucket queue off)")
 	fleetCycles := flag.Uint64("fleet-cycles", 200_000, "simulated cycles per rack-scale fleet run (0 skips the fleet stage)")
 	fleetOnly := flag.Bool("fleet-only", false, "run only the fleet stage (the CI fleet-smoke artifact)")
+	skipSweep := flag.Bool("skip-worker-sweep", false, "measure only the single-worker saturating entry (auto-enabled on a single-CPU host)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -70,11 +77,12 @@ func main() {
 		})
 	} else {
 		rep = benchmeas.Measure(benchmeas.Config{
-			Cycles:        *cycles,
-			LowLoadCycles: *lowCycles,
-			FleetCycles:   *fleetCycles,
-			Ablation:      *ablation,
-			Log:           os.Stdout,
+			Cycles:          *cycles,
+			LowLoadCycles:   *lowCycles,
+			FleetCycles:     *fleetCycles,
+			Ablation:        *ablation,
+			SkipWorkerSweep: *skipSweep,
+			Log:             os.Stdout,
 		})
 	}
 

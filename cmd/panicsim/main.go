@@ -48,6 +48,7 @@ var (
 	tenantWeights *string
 	noFlowCache   *bool
 	heapQueue     *bool
+	noEventEngine *bool
 	serveMode     *bool
 	listenAddr    *string
 	serveQuantum  *uint64
@@ -83,6 +84,7 @@ func main() {
 	tenantWeights = flag.String("tenant-weights", "", "comma-separated scheduler weights for tenants 1..N, e.g. 4,1 (enables weighted-LSTF; panic only)")
 	noFlowCache = flag.Bool("no-flowcache", false, "disable the RMT flow cache (bit-identical ablation; panic only)")
 	heapQueue = flag.Bool("heap-queue", false, "use the heap scheduling queue instead of the calendar queue (bit-identical ablation; panic only)")
+	noEventEngine = flag.Bool("no-event-engine", false, "run the ticked oracle kernel loop instead of the event-driven one (bit-identical ablation; panic only)")
 	serveMode = flag.Bool("serve", false, "run as a long-lived HTTP control/ingest service instead of a batch run (panic only)")
 	listenAddr = flag.String("listen", "127.0.0.1:8070", "serve mode listen address")
 	serveQuantum = flag.Uint64("serve-quantum", 8192, "serve mode barrier quantum: cycles between reconfiguration points")
@@ -225,6 +227,7 @@ func buildPanicConfig(freq, line float64, meshK, width, pipelines int, seed uint
 	cfg.FastForward = *fastForward
 	cfg.NoFlowCache = *noFlowCache
 	cfg.HeapSchedQueue = *heapQueue
+	cfg.NoEventEngine = *noEventEngine
 	if *tenantsN > 1 {
 		for i := 0; i < *tenantsN; i++ {
 			cfg.Tenants = append(cfg.Tenants, uint16(i+1))

@@ -13,6 +13,10 @@ func sampleReport() Report {
 			{Workers: 1, CyclesPerS: 50_000, MsgsPerS: 4000, Speedup: 1},
 			{Workers: 8, CyclesPerS: 40_000, MsgsPerS: 3200, Speedup: 0.8},
 		},
+		EventMode: []EventModeResult{
+			{Mode: "ticked", CyclesPerS: 50_000, MsgsPerS: 4000, SpeedupVsTicked: 1},
+			{Mode: "event", CyclesPerS: 100_000, MsgsPerS: 8000, SpeedupVsTicked: 2},
+		},
 		LowLoad: []FFResult{
 			{FastForward: false, CyclesPerS: 60_000},
 			{FastForward: true, CyclesPerS: 900_000, Speedup: 15},
@@ -70,6 +74,45 @@ func TestCompareFlagsThroughputRegression(t *testing.T) {
 	}
 	if !strings.Contains(bad[0], "workers=8") || !strings.Contains(bad[1], "fastforward=true") {
 		t.Errorf("violations = %v", bad)
+	}
+}
+
+func TestCompareGatesSaturatedEventMode(t *testing.T) {
+	base := sampleReport()
+	fresh := sampleReport()
+	fresh.EventMode[1].MsgsPerS = 5000 // -37.5% vs the event baseline's 8000
+	bad, _ := Compare(base, fresh, 0.25)
+	if len(bad) != 1 || !strings.Contains(bad[0], "saturated event kernel") {
+		t.Fatalf("violations = %v, want one saturated-event regression", bad)
+	}
+	// A dropped mode entry cannot pass the gate either.
+	fresh = sampleReport()
+	fresh.EventMode = fresh.EventMode[:1]
+	bad, _ = Compare(base, fresh, 0.25)
+	if len(bad) != 1 || !strings.Contains(bad[0], "missing") {
+		t.Fatalf("violations = %v, want one missing-event-mode line", bad)
+	}
+}
+
+func TestCompareHonorsSkippedWorkerSweep(t *testing.T) {
+	base := sampleReport()
+	fresh := sampleReport()
+	// Same host, but the fresh run skipped the sweep (-skip-worker-sweep or
+	// a single-CPU box): the absent multi-worker entries are legitimate.
+	fresh.WorkerSweepSkipped = true
+	fresh.Saturating = fresh.Saturating[:1]
+	bad, notes := Compare(base, fresh, 0.25)
+	if len(bad) != 0 {
+		t.Errorf("violations = %v, want none for a recorded sweep skip", bad)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "skipped the multi-worker sweep") {
+		t.Errorf("notes = %v, want one sweep-skip note", notes)
+	}
+	// The single-worker entry stays gated.
+	fresh.Saturating[0].CyclesPerS = 10_000
+	bad, _ = Compare(base, fresh, 0.25)
+	if len(bad) != 1 || !strings.Contains(bad[0], "workers=1") {
+		t.Errorf("violations = %v, want one workers=1 regression", bad)
 	}
 }
 

@@ -8,7 +8,7 @@ import (
 )
 
 // BenchmarkInvariantOverhead measures the monitor's cost on the
-// saturating workload: off, the default 1-in-1024-cycle sampling, and an
+// saturating workload: off, the default 1-in-2048-cycle sampling, and an
 // aggressive 1-in-64. ROBUSTNESS.md's overhead table quotes this
 // benchmark's msgs/s column; the acceptance bound (<= 5% at the default
 // interval) is enforced by TestInvariantOverheadBound.
@@ -18,7 +18,7 @@ func BenchmarkInvariantOverhead(b *testing.B) {
 		inv  *invariant.Config
 	}{
 		{"off", nil},
-		{"every-1024", &invariant.Config{Every: 1024}},
+		{"every-2048", &invariant.Config{Every: 2048}},
 		{"every-64", &invariant.Config{Every: 64}},
 	}
 	for _, c := range cases {

@@ -60,6 +60,35 @@ func BenchmarkKernelThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelSaturatedMode pits the event-driven kernel against the
+// ticked oracle on the identical workers-1 saturating assembly. The pair
+// is measured in one process on one host, so the msgs/s ratio between the
+// two sub-benchmarks is the event engine's speedup — the number the
+// saturated_event_mode stage in BENCH_kernel.json records and benchgate
+// guards.
+func BenchmarkKernelSaturatedMode(b *testing.B) {
+	for _, mode := range []string{"ticked", "event"} {
+		b.Run(mode, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Workers = 1
+			cfg.NoEventEngine = mode == "ticked"
+			nic := NewNIC(cfg, benchSources(0.9, nil))
+			defer nic.Close()
+			nic.Run(2_000) // warm caches and fill the pipeline
+			before := nic.WireLat.Count + nic.HostLat.Count
+			b.ResetTimer()
+			nic.Run(uint64(b.N))
+			b.StopTimer()
+			delivered := nic.WireLat.Count + nic.HostLat.Count - before
+			sec := b.Elapsed().Seconds()
+			if sec > 0 {
+				b.ReportMetric(float64(b.N)/sec, "simcycles/s")
+				b.ReportMetric(float64(delivered)/sec, "msgs/s")
+			}
+		})
+	}
+}
+
 // BenchmarkKernelThroughputPooled is the workers-1 saturating run with the
 // message pool wired from wire egress back to the bulk generator — the
 // -benchmem comparison point for the allocation diet.

@@ -144,6 +144,12 @@ func (b *Builder) PlaceTile(addr packet.Addr, x, y int, eng engine.Engine, opts 
 	cfg.Trace = b.traceBuf(addr)
 	t := engine.NewTile(cfg, eng, b.Mesh, b.Routes, b.rng.Fork())
 	b.Kernel.Register(t)
+	// Event-engine wiring, valid in both kernel modes: the mesh pokes the
+	// tile about deliveries and injection credits, and the tile may sleep
+	// between its self-scheduled wake cycles.
+	poke := b.Kernel.PokerFor(t)
+	b.Mesh.SetNodeWaker(node, poke)
+	t.EnableEventSleep(poke, b.Kernel.Clock())
 	b.Tiles = append(b.Tiles, t)
 	return t
 }
@@ -159,6 +165,8 @@ func (b *Builder) PlaceRMT(addr packet.Addr, x, y int, pipe *rmt.Pipeline, opts 
 	cfg.Trace = b.traceBuf(addr)
 	t := engine.NewRMTTile(cfg, pipe, b.Mesh, b.Routes)
 	b.Kernel.Register(t)
+	b.Mesh.SetNodeWaker(node, b.Kernel.PokerFor(t))
+	t.EnableEventSleep()
 	b.RMTs = append(b.RMTs, t)
 	return t
 }

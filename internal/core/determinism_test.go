@@ -11,25 +11,40 @@ import (
 
 // detCase is one kernel execution mode under test. The hot-path ablation
 // knobs (flow cache, calendar queue) ride the same matrix: disabling them
-// must not move a single statistic, in any kernel mode.
+// must not move a single statistic, in any kernel mode. The third axis is
+// the kernel loop itself: `ticked` runs the every-Ticker-every-cycle
+// oracle instead of the event-driven loaded path, and the two must be
+// byte-identical in every combination — a missed wakeup in the event
+// engine shows up here as a fingerprint divergence.
 type detCase struct {
 	name        string
 	workers     int
 	fastForward bool
 	noFlowCache bool
 	heapQueue   bool
+	ticked      bool
 }
 
 var detCases = []detCase{
-	{name: "sequential"},
-	{name: "workers2", workers: 2},
-	{name: "workers8", workers: 8},
-	{name: "sequential+ff", fastForward: true},
-	{name: "workers8+ff", workers: 8, fastForward: true},
-	{name: "sequential+nocache", noFlowCache: true},
-	{name: "workers8+nocache", workers: 8, noFlowCache: true},
-	{name: "sequential+heapq", heapQueue: true},
-	{name: "workers8+ff+nocache+heapq", workers: 8, fastForward: true, noFlowCache: true, heapQueue: true},
+	// The reference: sequential ticked oracle. Everything below must
+	// reproduce its fingerprint byte for byte.
+	{name: "ticked-sequential", ticked: true},
+	// Ticked oracle across the worker/fast-forward axis.
+	{name: "ticked-workers2", ticked: true, workers: 2},
+	{name: "ticked-workers8", ticked: true, workers: 8},
+	{name: "ticked-sequential+ff", ticked: true, fastForward: true},
+	{name: "ticked-workers8+ff", ticked: true, workers: 8, fastForward: true},
+	{name: "ticked-workers8+ff+nocache+heapq", ticked: true, workers: 8, fastForward: true, noFlowCache: true, heapQueue: true},
+	// Event engine (the default) across the same axes.
+	{name: "event-sequential"},
+	{name: "event-workers2", workers: 2},
+	{name: "event-workers8", workers: 8},
+	{name: "event-sequential+ff", fastForward: true},
+	{name: "event-workers8+ff", workers: 8, fastForward: true},
+	{name: "event-sequential+nocache", noFlowCache: true},
+	{name: "event-workers8+nocache", workers: 8, noFlowCache: true},
+	{name: "event-sequential+heapq", heapQueue: true},
+	{name: "event-workers8+ff+nocache+heapq", workers: 8, fastForward: true, noFlowCache: true, heapQueue: true},
 }
 
 // detRun builds a NIC in the given mode over a seeded two-port traffic mix
@@ -41,6 +56,7 @@ func detRun(c detCase, horizon uint64) string {
 	cfg.FastForward = c.fastForward
 	cfg.NoFlowCache = c.noFlowCache
 	cfg.HeapSchedQueue = c.heapQueue
+	cfg.NoEventEngine = c.ticked
 	cfg.IPSecReplicas = 2
 	cfg.Health = DefaultHealthConfig()
 	cfg.FaultPlan = (&fault.Plan{}).
@@ -65,10 +81,11 @@ func detRun(c detCase, horizon uint64) string {
 	return nic.Fingerprint()
 }
 
-// TestCrossKernelDeterminism is the PR's core acceptance test: the same
-// seeded workload and fault plan must produce byte-identical statistics,
-// event logs, and final cycle counts under the sequential kernel, parallel
-// kernels, and fast-forwarding kernels.
+// TestCrossKernelDeterminism is the core acceptance test: the same seeded
+// workload and fault plan must produce byte-identical statistics, event
+// logs, and final cycle counts under the sequential kernel, parallel
+// kernels, fast-forwarding kernels, and — the newest axis — the
+// event-driven loop against the ticked oracle.
 func TestCrossKernelDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-mode NIC runs are slow")
@@ -78,7 +95,7 @@ func TestCrossKernelDeterminism(t *testing.T) {
 	for _, c := range detCases[1:] {
 		got := detRun(c, horizon)
 		if got != want {
-			t.Errorf("mode %s diverged from sequential:\n%s", c.name, diffLines(want, got))
+			t.Errorf("mode %s diverged from the ticked oracle:\n%s", c.name, diffLines(want, got))
 		}
 	}
 }

@@ -133,6 +133,12 @@ type Config struct {
 	// FastForward lets the kernel jump the clock over provably idle cycles
 	// (every component quiescent, no event due). Off by default.
 	FastForward bool
+	// NoEventEngine disables the kernel's event-driven loaded path and
+	// ticks every component every cycle (the oracle loop). The simulation
+	// result is bit-identical either way — event mode only skips ticks that
+	// provably change nothing and defers bulk counters it can reconstruct —
+	// so this is an ablation/escape hatch, not a semantic knob.
+	NoEventEngine bool
 }
 
 // DefaultConfig returns the canonical PANIC operating point: a two-port
@@ -245,6 +251,7 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 	b := NewBuilder(cfg.FreqHz, cfg.Mesh, cfg.Seed)
 	b.Kernel.SetWorkers(cfg.Workers)
 	b.Kernel.SetFastForward(cfg.FastForward)
+	b.Kernel.SetEventDriven(!cfg.NoEventEngine)
 	b.Tracer = cfg.Tracer
 	b.Mesh.AttachTracer(cfg.Tracer)
 	n.Builder = b
@@ -393,8 +400,13 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 	if cfg.CompactPlacement {
 		txY = 2
 	}
-	b.PlaceTile(AddrTxDMA, w-1, txY, n.TxDMA, common,
+	txTile := b.PlaceTile(AddrTxDMA, w-1, txY, n.TxDMA, common,
 		func(c *engine.TileConfig) { c.DefaultSpread = spread })
+	// The RX-DMA staged sinks feed the KVS host's TX queue, which the
+	// TX-DMA tile polls: each flush pokes that tile so a sleeping TX side
+	// sees the new response work (the flush happens at Commit, after the
+	// tile's wake schedule for the cycle was already declared).
+	dmaSink.SetWaker(b.Kernel.PokerFor(txTile))
 
 	// Interior: the offload engines.
 	n.IPSec = engine.NewIPSecEngine(cfg.IPSec)
@@ -463,6 +475,7 @@ func NewNIC(cfg Config, sources []engine.Source) *NIC {
 	}
 	for i := 1; i < cfg.DMAReplicas; i++ {
 		altSink := engine.NewStagedSink(wrapSink(hostSink, sinkHost))
+		altSink.SetWaker(b.Kernel.PokerFor(txTile))
 		alt := engine.NewDMAEngine(engine.DMAConfig{
 			PCIeGbps: cfg.PCIeGbps, FreqHz: cfg.FreqHz,
 			BaseLatencyCycles: cfg.DMALatency, JitterCycles: cfg.DMAJitter,

@@ -14,7 +14,7 @@ import (
 // Occupancy returns how many messages the tile currently holds: queued,
 // in service, staged for emission, or delay-pending.
 func (t *Tile) Occupancy() int {
-	n := t.queue.Len() + len(t.outbox) + len(t.pending)
+	n := t.queue.Len() + t.outLen() + len(t.pending)
 	if t.cur != nil {
 		n++
 	}
@@ -81,7 +81,7 @@ func (t *Tile) AuditConservation() error {
 // Occupancy returns how many messages the RMT tile currently holds:
 // queued, inside pipeline stages, or staged for emission.
 func (t *RMTTile) Occupancy() int {
-	return t.queue.Len() + t.pipe.Occupancy() + len(t.outbox)
+	return t.queue.Len() + t.pipe.Occupancy() + t.outLen()
 }
 
 // AuditConservation checks the RMT tile's custody ledger: every message

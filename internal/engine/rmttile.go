@@ -7,6 +7,7 @@ import (
 	"github.com/panic-nic/panic/internal/packet"
 	"github.com/panic-nic/panic/internal/rmt"
 	"github.com/panic-nic/panic/internal/sched"
+	"github.com/panic-nic/panic/internal/sim"
 	"github.com/panic-nic/panic/internal/trace"
 )
 
@@ -23,8 +24,20 @@ type RMTTile struct {
 	queue  *sched.Queue
 	rank   sched.RankFunc
 
-	outbox []resolvedOut
-	stats  RMTStats
+	// outbox drains from outHead with amortized compaction, mirroring
+	// Tile's scheme (a standing backlog must not pay a per-cycle copy).
+	outbox  []resolvedOut
+	outHead int
+	stats   RMTStats
+
+	// Event-driven sleep state, mirroring Tile's: the pipeline advances
+	// every cycle it holds messages, so the only sleeps are full idleness
+	// and an outbox frozen by fabric backpressure (whose per-cycle stall
+	// accrual is captured and applied by SyncTo).
+	eventOK       bool
+	sleeping      bool
+	sleepStall    bool
+	syncedThrough uint64
 }
 
 // RMTStats are an RMT tile's counters.
@@ -97,7 +110,21 @@ func (t *RMTTile) QueueLen() int { return t.queue.Len() }
 // Idle reports whether the tile has no work in flight.
 func (t *RMTTile) Idle() bool {
 	processed, _, _ := t.pipe.Stats()
-	return t.queue.Len() == 0 && len(t.outbox) == 0 && t.stats.Accepted <= processed
+	return t.queue.Len() == 0 && t.outLen() == 0 && t.stats.Accepted <= processed
+}
+
+// outLen returns the number of undelivered outbox entries.
+func (t *RMTTile) outLen() int { return len(t.outbox) - t.outHead }
+
+// compactOutbox reclaims the drained prefix (see Tile.compactOutbox).
+func (t *RMTTile) compactOutbox() {
+	if t.outHead == len(t.outbox) {
+		t.outbox = t.outbox[:0]
+		t.outHead = 0
+	} else if t.outHead >= 64 {
+		t.outbox = t.outbox[:copy(t.outbox, t.outbox[t.outHead:])]
+		t.outHead = 0
+	}
 }
 
 // NextWork implements sim.Quiescer: the RMT tile cannot predict gaps (the
@@ -111,11 +138,66 @@ func (t *RMTTile) NextWork(now uint64) (uint64, bool) {
 	return now, false
 }
 
+// EnableEventSleep lets EndCycle return real sleep wakes; the builder
+// calls it only when the fabric pokes the tile about arrivals.
+func (t *RMTTile) EnableEventSleep() { t.eventOK = true }
+
+// EndCycle implements sim.EventAware.
+func (t *RMTTile) EndCycle(cycle uint64) uint64 {
+	if t.eventOK {
+		if w := t.nextWake(cycle); w > cycle+1 {
+			t.sleeping = true
+			t.sleepStall = t.outLen() > 0
+			t.syncedThrough = cycle + 1
+			return w
+		}
+	}
+	return cycle + 1
+}
+
+// nextWake: a blocked outbox freezes the whole pipeline, so the tile can
+// sleep until the fabric credit pokes it, deferring one stall per cycle;
+// anything else in flight advances every cycle.
+func (t *RMTTile) nextWake(cycle uint64) uint64 {
+	if t.outLen() > 0 {
+		if t.fab.CanInject(t.cfg.Node, t.outbox[t.outHead].dst) {
+			return cycle + 1
+		}
+	} else if !t.Idle() {
+		return cycle + 1
+	}
+	if t.fab.HasEjectable(t.cfg.Node) {
+		return cycle + 1
+	}
+	return sim.WakeNever
+}
+
+// SyncTo implements sim.EventAware: deferred stall cycles are applied
+// through the given cycle.
+func (t *RMTTile) SyncTo(cycle uint64) {
+	if !t.sleeping || cycle+1 <= t.syncedThrough {
+		return
+	}
+	if t.sleepStall {
+		t.stats.StallCycles += cycle + 1 - t.syncedThrough
+	}
+	t.syncedThrough = cycle + 1
+}
+
+// wakeSync ends a sleep at the start of a live tick.
+func (t *RMTTile) wakeSync(cycle uint64) {
+	t.SyncTo(cycle - 1)
+	t.sleeping = false
+}
+
 // Tick implements sim.Ticker.
 func (t *RMTTile) Tick(cycle uint64) {
+	if t.sleeping {
+		t.wakeSync(cycle)
+	}
 	// 1. Drain the outbox; a blocked outbox freezes the pipeline below.
-	sent := 0
-	for _, o := range t.outbox {
+	for t.outHead < len(t.outbox) {
+		o := t.outbox[t.outHead]
 		if !t.fab.CanInject(t.cfg.Node, o.dst) {
 			break
 		}
@@ -129,13 +211,14 @@ func (t *RMTTile) Tick(cycle uint64) {
 				Tenant: o.msg.Tenant,
 			})
 		}
+		t.outbox[t.outHead] = resolvedOut{}
+		t.outHead++
 		t.stats.Emitted++
-		sent++
 	}
-	t.outbox = t.outbox[:copy(t.outbox, t.outbox[sent:])]
+	t.compactOutbox()
 
 	// 2. Advance the pipeline unless backpressured.
-	if len(t.outbox) == 0 {
+	if t.outLen() == 0 {
 		if res, ok := t.pipe.Tick(); ok {
 			t.emitRMT(res, cycle)
 			t.route(res.Msg)

@@ -1,7 +1,10 @@
 package engine
 
 import (
+	"sync/atomic"
+
 	"github.com/panic-nic/panic/internal/packet"
+	"github.com/panic-nic/panic/internal/sim"
 )
 
 // StagedSink decouples a producing tile from a shared Sink so tiles can
@@ -21,6 +24,11 @@ import (
 type StagedSink struct {
 	target Sink
 	buf    []stagedDelivery
+	// dirty points at ownDirty until the kernel redirects it into its
+	// contiguous flag arena (sim.DirtyRedirector).
+	dirty    *atomic.Bool
+	ownDirty atomic.Bool
+	wake     sim.Poker
 }
 
 type stagedDelivery struct {
@@ -31,20 +39,44 @@ type stagedDelivery struct {
 // NewStagedSink wraps target. The caller must register the result with the
 // kernel (it implements sim.Committer) adjacent to its producing tile.
 func NewStagedSink(target Sink) *StagedSink {
-	return &StagedSink{target: target, buf: make([]stagedDelivery, 0, 8)}
+	s := &StagedSink{target: target, buf: make([]stagedDelivery, 0, 8)}
+	s.dirty = &s.ownDirty
+	return s
 }
+
+// SetWaker wires the poker of the tile whose engine the wrapped target
+// feeds. Flushing a delivery at Commit mutates that engine's input after
+// its EndCycle already ran, so without the poke a sleeping consumer would
+// miss the work; Commit fires it whenever anything flushed.
+func (s *StagedSink) SetWaker(p sim.Poker) { s.wake = p }
 
 // Deliver implements Sink: the delivery is buffered until Commit.
 func (s *StagedSink) Deliver(msg *packet.Message, now uint64) {
 	s.buf = append(s.buf, stagedDelivery{msg: msg, now: now})
+	if !s.dirty.Load() {
+		s.dirty.Store(true)
+	}
 }
 
 // Commit implements sim.Committer: buffered deliveries reach the target in
 // arrival order.
 func (s *StagedSink) Commit() {
+	if len(s.buf) == 0 {
+		return
+	}
+	s.wake.Poke()
 	for i := range s.buf {
 		s.target.Deliver(s.buf[i].msg, s.buf[i].now)
 		s.buf[i].msg = nil
 	}
 	s.buf = s.buf[:0]
+}
+
+// DirtyFlag implements sim.DirtyCommitter.
+func (s *StagedSink) DirtyFlag() *atomic.Bool { return s.dirty }
+
+// RedirectDirty implements sim.DirtyRedirector.
+func (s *StagedSink) RedirectDirty(p *atomic.Bool) {
+	p.Store(s.dirty.Load())
+	s.dirty = p
 }

@@ -147,8 +147,14 @@ type Tile struct {
 	curStart uint64
 
 	// Send state: resolved messages awaiting fabric space, plus delayed
-	// emissions ordered by due cycle.
+	// emissions ordered by due cycle. The outbox drains from outHead
+	// instead of compacting every tick: under backpressure the backlog can
+	// run to hundreds of entries, and re-copying it each cycle (plus the
+	// pointer-slice write barrier, even for a zero-length copy) was ~24%
+	// of the saturated hot path. Sent slots are zeroed for the GC and
+	// reclaimed in bulk.
 	outbox     []resolvedOut
+	outHead    int
 	pending    []delayedOut
 	spreadNext int
 
@@ -164,6 +170,22 @@ type Tile struct {
 	fault       FaultState
 	dropSeen    uint64
 	corruptSeen uint64
+
+	// Event-driven sleep state (see EndCycle). eventOK is set by the
+	// builder only when the fabric pokes the tile about arrivals; wake and
+	// clk let control-plane mutators (SetFault, Reset) force a tick and
+	// stamp traces while the tile sleeps. While sleeping, the captured
+	// sleepBusy/sleepStall rates plus the syncedThrough watermark defer the
+	// per-cycle busy/stall accrual the ticked oracle would have made; the
+	// flags are snapshots, so a mutation after the sleep decision cannot
+	// corrupt the accounting for cycles that elapsed before it.
+	eventOK       bool
+	wake          sim.Poker
+	clk           *sim.Clock
+	sleeping      bool
+	sleepBusy     bool
+	sleepStall    bool
+	syncedThrough uint64
 }
 
 type resolvedOut struct {
@@ -259,7 +281,23 @@ func (t *Tile) Busy() bool { return t.cur != nil }
 
 // Idle reports whether the tile has no work in flight (for drain checks).
 func (t *Tile) Idle() bool {
-	return t.cur == nil && t.queue.Len() == 0 && len(t.outbox) == 0 && len(t.pending) == 0
+	return t.cur == nil && t.queue.Len() == 0 && t.outLen() == 0 && len(t.pending) == 0
+}
+
+// outLen returns the number of undelivered outbox entries.
+func (t *Tile) outLen() int { return len(t.outbox) - t.outHead }
+
+// compactOutbox reclaims the drained prefix: free when the outbox empties,
+// and amortized-O(1) per message otherwise (each entry moves at most once
+// per 64 sends), so a standing backlog never pays a per-cycle copy.
+func (t *Tile) compactOutbox() {
+	if t.outHead == len(t.outbox) {
+		t.outbox = t.outbox[:0]
+		t.outHead = 0
+	} else if t.outHead >= 64 {
+		t.outbox = t.outbox[:copy(t.outbox, t.outbox[t.outHead:])]
+		t.outHead = 0
+	}
 }
 
 // NextWork implements sim.Quiescer. The tile accounts only for its own
@@ -273,7 +311,7 @@ func (t *Tile) Idle() bool {
 // messages impose no work. Its outbox and delay list still drain, though,
 // and those keep their usual rules.
 func (t *Tile) NextWork(now uint64) (uint64, bool) {
-	if len(t.outbox) > 0 {
+	if t.outLen() > 0 {
 		return now, false
 	}
 	if !t.fault.Wedged && (t.cur != nil || t.queue.Len() > 0) {
@@ -311,8 +349,110 @@ func (t *Tile) NextWork(now uint64) (uint64, bool) {
 	return next, false
 }
 
+// EnableEventSleep lets EndCycle return real sleep wakes. The builder
+// calls it only when the fabric can poke the tile about arrivals (a mesh
+// with a node waker wired); on other fabrics the tile conservatively wakes
+// every cycle and event mode degrades to the ticked schedule for it. The
+// poker wakes the tile after control-plane mutations; the clock stamps
+// trace spans emitted while the tile sleeps.
+func (t *Tile) EnableEventSleep(wake sim.Poker, clk *sim.Clock) {
+	t.eventOK = true
+	t.wake = wake
+	t.clk = clk
+}
+
+// EndCycle implements sim.EventAware: after each ticked cycle the tile
+// declares the next cycle it must run. Sleeping is sound because every
+// state change below is self-scheduled (service completion, delayed
+// emissions, engine arrivals) or arrives with a poke (fabric deliveries
+// and credits via the mesh node waker, control-plane mutations via the
+// tile's own waker); the per-cycle busy/stall counters a sleeping tile
+// would have accrued are captured as rates and applied by SyncTo.
+func (t *Tile) EndCycle(cycle uint64) uint64 {
+	if t.eventOK {
+		if w := t.nextWake(cycle); w > cycle+1 {
+			t.sleeping = true
+			t.sleepBusy = t.cur != nil && !t.fault.Wedged
+			t.sleepStall = t.outLen() > 0
+			t.syncedThrough = cycle + 1
+			return w
+		}
+	}
+	return cycle + 1
+}
+
+// nextWake computes the earliest cycle at which a tick could change
+// anything, mirroring NextWork's rules but with the event engine's extra
+// powers: a blocked outbox or a mid-service engine no longer pins the tile
+// awake, because stalls and busy cycles accrue in bulk and the completion
+// cycle is known.
+func (t *Tile) nextWake(cycle uint64) uint64 {
+	wake := uint64(sim.WakeNever)
+	if t.outLen() > 0 && t.fab.CanInject(t.cfg.Node, t.outbox[t.outHead].dst) {
+		return cycle + 1
+	}
+	// A blocked outbox sleeps: stalls accrue via SyncTo and the freeing
+	// fabric credit pokes the tile.
+	if !t.fault.Wedged {
+		if t.cur != nil {
+			if w := cycle + t.busyLeft; w > cycle { // overflow → never
+				wake = w
+			}
+		} else if t.queue.Len() > 0 {
+			return cycle + 1
+		}
+	}
+	for _, d := range t.pending {
+		if d.due < wake {
+			wake = d.due
+		}
+	}
+	if !t.fault.Wedged {
+		if ir, ok := t.eng.(IdleReporter); ok {
+			if n, idle := ir.NextWork(cycle + 1); !idle && n < wake {
+				wake = n
+			}
+		} else if _, ok := t.eng.(Generator); ok {
+			// An opaque generator may produce any cycle: never sleep.
+			return cycle + 1
+		}
+	}
+	if t.fab.HasEjectable(t.cfg.Node) {
+		return cycle + 1
+	}
+	return wake
+}
+
+// SyncTo implements sim.EventAware: it applies the bulk per-cycle counters
+// a sleeping tile deferred, through the given cycle, using the rates
+// captured at the sleep decision.
+func (t *Tile) SyncTo(cycle uint64) {
+	if !t.sleeping || cycle+1 <= t.syncedThrough {
+		return
+	}
+	n := cycle + 1 - t.syncedThrough
+	if t.sleepBusy {
+		t.stats.BusyCycles += n
+		t.busyLeft -= n
+	}
+	if t.sleepStall {
+		t.stats.StallCycles += n
+	}
+	t.syncedThrough = cycle + 1
+}
+
+// wakeSync ends a sleep at the start of a live tick: deferred accounting
+// is brought current through cycle-1; the tick itself covers cycle.
+func (t *Tile) wakeSync(cycle uint64) {
+	t.SyncTo(cycle - 1)
+	t.sleeping = false
+}
+
 // Tick implements sim.Ticker.
 func (t *Tile) Tick(cycle uint64) {
+	if t.sleeping {
+		t.wakeSync(cycle)
+	}
 	t.ctx.Now = cycle
 
 	// 1. Spontaneous generation (ingress MACs). A wedged tile generates
@@ -345,8 +485,8 @@ func (t *Tile) Tick(cycle uint64) {
 	t.pending = kept
 
 	// 3. Drain the outbox into the fabric.
-	sent := 0
-	for _, o := range t.outbox {
+	for t.outHead < len(t.outbox) {
+		o := t.outbox[t.outHead]
 		if !t.fab.CanInject(t.cfg.Node, o.dst) {
 			t.stats.StallCycles++
 			break
@@ -361,10 +501,11 @@ func (t *Tile) Tick(cycle uint64) {
 				Tenant: o.msg.Tenant,
 			})
 		}
+		t.outbox[t.outHead] = resolvedOut{}
+		t.outHead++
 		t.stats.Emitted++
-		sent++
 	}
-	t.outbox = t.outbox[:copy(t.outbox, t.outbox[sent:])]
+	t.compactOutbox()
 
 	// 4. Advance service. A wedged engine freezes mid-service: the
 	// in-flight message is held and no progress counter moves — the

@@ -60,6 +60,13 @@ func (t *Tile) SetFault(f FaultState) {
 		panic(fmt.Sprintf("engine: tile %q tenant-scoped drop without a drop period", t.eng.Name()))
 	}
 	t.fault = f
+	// A sleeping tile must re-evaluate its schedule under the new fault
+	// state (wedging freezes service; lifting it resumes). Deferred
+	// counters stay correct without a sync here: the accrual rates were
+	// captured at the sleep decision, so the cycles that elapsed before
+	// this call are charged under the old state when the poked tick's
+	// catch-up runs.
+	t.wake.Poke()
 }
 
 // FaultState returns the tile's current fault condition.
@@ -99,17 +106,27 @@ func (t *Tile) Reset(drainTo packet.Addr) int {
 		n++
 	}
 	t.stats.Drained += uint64(n)
+	// The drained outbox needs a tick to start flowing; on a sleeping tile
+	// the poke provides it (the pre-Reset sleep cycles are charged under
+	// the rates captured when the sleep began, see SetFault).
+	t.wake.Poke()
 	return n
 }
 
 // traceDrained marks a message evicted by a control-plane drain. Reset
-// runs from the serial phase, so the cycle is the tile's last Tick time.
+// runs from the serial phase, so on a tile ticking every cycle ctx.Now is
+// the current cycle; a sleeping tile's ctx.Now is stale, so the kernel
+// clock (wired with event sleep) supplies the stamp the oracle would use.
 func (t *Tile) traceDrained(msg *packet.Message) {
+	now := t.ctx.Now
+	if t.sleeping && t.clk != nil {
+		now = t.clk.Now()
+	}
 	if t.cfg.Trace.Want(msg.TraceID) {
 		t.cfg.Trace.Emit(trace.Span{
 			Msg: msg.TraceID, Kind: trace.KindDrop,
 			LocKind: trace.LocEngine, Loc: uint32(t.cfg.Addr),
-			Start: t.ctx.Now, End: t.ctx.Now, A: trace.DropDrained,
+			Start: now, End: now, A: trace.DropDrained,
 			Tenant: msg.Tenant,
 		})
 	}

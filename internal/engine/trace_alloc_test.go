@@ -31,6 +31,7 @@ func (f *loopFabric) TryEject(noc.NodeID) (*packet.Message, bool) {
 	f.msg = nil
 	return m, m != nil
 }
+func (f *loopFabric) HasEjectable(noc.NodeID) bool { return f.msg != nil }
 func (f *loopFabric) FlitsFor(*packet.Message) int { return 1 }
 
 // echoEngine bounces every message back to its own tile through a reused

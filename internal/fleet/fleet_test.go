@@ -77,7 +77,8 @@ func TestFleetCrossTraffic(t *testing.T) {
 // TestFleetDeterminismMatrix is the tentpole acceptance test: the same
 // rack — migrations, a fault plan, and tracing armed — must produce a
 // byte-identical fleet fingerprint for every shard count and every
-// per-NIC kernel mode.
+// per-NIC kernel mode, including the event-driven loop against the
+// ticked oracle.
 func TestFleetDeterminismMatrix(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-NIC matrix runs are slow")
@@ -85,10 +86,11 @@ func TestFleetDeterminismMatrix(t *testing.T) {
 	const nics = 4
 	const horizon = 40_000
 
-	run := func(shards, workers int, ff bool) string {
+	run := func(shards, workers int, ff, ticked bool) string {
 		cfg := rackConfig(nics, shards)
 		cfg.NIC.Workers = workers
 		cfg.NIC.FastForward = ff
+		cfg.NIC.NoEventEngine = ticked
 		cfg.Trace = true
 		cfg.TraceSample = 64
 		cfg.Migrations = []Migration{
@@ -104,7 +106,9 @@ func TestFleetDeterminismMatrix(t *testing.T) {
 		return f.Fingerprint()
 	}
 
-	want := run(1, 0, false)
+	// The reference is the fully sequential 1-shard rack on the ticked
+	// oracle; every event-engine combination must reproduce it exactly.
+	want := run(1, 0, false, true)
 	if !strings.Contains(want, "migrate tenant=1") || !strings.Contains(want, "migrate tenant=5") {
 		t.Fatalf("oplog missing migrations:\n%.400s", want)
 	}
@@ -113,18 +117,22 @@ func TestFleetDeterminismMatrix(t *testing.T) {
 		shards  int
 		workers int
 		ff      bool
+		ticked  bool
 	}{
-		{"shards2", 2, 0, false},
-		{"shards4", 4, 0, false},
-		{"shards1+workers2", 1, 2, false},
-		{"shards4+workers2", 4, 2, false},
-		{"shards2+ff", 2, 0, true},
-		{"shards4+workers2+ff", 4, 2, true},
+		{"event-shards1", 1, 0, false, false},
+		{"event-shards2", 2, 0, false, false},
+		{"event-shards4", 4, 0, false, false},
+		{"ticked-shards4", 4, 0, false, true},
+		{"event-shards1+workers2", 1, 2, false, false},
+		{"event-shards4+workers2", 4, 2, false, false},
+		{"event-shards2+ff", 2, 0, true, false},
+		{"ticked-shards2+ff", 2, 0, true, true},
+		{"event-shards4+workers2+ff", 4, 2, true, false},
 	}
 	for _, c := range cases {
-		got := run(c.shards, c.workers, c.ff)
+		got := run(c.shards, c.workers, c.ff, c.ticked)
 		if got != want {
-			t.Errorf("%s diverged from the sequential 1-shard run:\n%s", c.name, firstDiff(want, got))
+			t.Errorf("%s diverged from the sequential ticked 1-shard run:\n%s", c.name, firstDiff(want, got))
 		}
 	}
 }

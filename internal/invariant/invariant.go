@@ -8,9 +8,12 @@ import (
 
 // DefaultEvery is the default sampling interval in cycles. Checks walk
 // every tile and queue, so the interval trades detection latency against
-// overhead; 1024 keeps the monitor under a few percent of the hot path's
-// cycle cost on the canonical assembly.
-const DefaultEvery = 1024
+// overhead; 2048 keeps the monitor under a few percent of the hot path's
+// cycle cost on the canonical assembly now that the saturated loop itself
+// is event-driven (a faster base cycle makes the same fixed-cost pass
+// relatively more expensive, so the interval doubled when the event
+// engine landed).
+const DefaultEvery = 2048
 
 // maxViolations bounds how many violations are retained verbatim; beyond
 // it only the count grows. A buggy invariant firing every interval must
@@ -19,11 +22,13 @@ const maxViolations = 16
 
 // Config parameterizes a Monitor.
 type Config struct {
-	// Every is the sampling interval in cycles (0 = DefaultEvery). The
-	// monitor checks at the first stepped cycle at least Every cycles
-	// after the previous check, so fast-forward jumps — during which no
-	// state can change — defer a due check to the next stepped cycle
-	// rather than losing it.
+	// Every is the sampling interval in cycles (0 = DefaultEvery). An
+	// attached monitor registers its schedule with the kernel, which
+	// steps the due cycle even when fast-forward or the event engine's
+	// bulk advance would otherwise jump over it — passes land on exact
+	// interval multiples in every kernel mode. (A kernel stepped outside
+	// its Run loop still defers a due check to the next stepped cycle
+	// rather than losing it.)
 	Every uint64
 	// FailFast panics on the first violation instead of recording it.
 	FailFast bool
@@ -56,6 +61,7 @@ type Monitor struct {
 	checks      []Check
 	lastChecked uint64
 	ran         uint64 // check passes executed
+	k           *sim.Kernel
 
 	violations []Violation
 	total      uint64 // violations seen, including those beyond the cap
@@ -75,20 +81,37 @@ func (m *Monitor) AddCheck(name string, fn func(cycle uint64) error) {
 	m.checks = append(m.checks, Check{Name: name, Fn: fn})
 }
 
-// Attach hooks the monitor into the kernel's end-of-cycle barrier.
+// Attach hooks the monitor into the kernel's end-of-cycle barrier. The
+// kernel is retained so a due pass can first pull the event engine's
+// deferred bulk counters current (sim.Kernel.SyncAllAt) — checks then see
+// exactly the state the ticked oracle would show at the same cycle. The
+// monitor also registers its sampling schedule (sim.Kernel.ObserverDue),
+// which clamps fast-forward jumps in both kernel modes so a due pass
+// lands on exactly the interval cycle instead of the first stepped cycle
+// after a jump — pass cycles are therefore identical under the ticked
+// oracle, the event engine, and any fast-forward setting.
 func (m *Monitor) Attach(k *sim.Kernel) {
+	m.k = k
 	k.ObserveCycleEnd(m.observe)
+	k.ObserverDue(func(uint64) uint64 { return m.lastChecked + m.every })
 }
 
 // observe is the per-cycle hook: cheap rejection until a check is due.
 func (m *Monitor) observe(cycle uint64) {
-	// Interval arithmetic, not modulo: fast-forward may skip the exact
-	// multiple, and the first stepped cycle after the gap is equivalent
-	// (skipped cycles run no phases, so no state changed in between).
+	// Interval arithmetic, not modulo: the ObserverDue clamp keeps due
+	// passes on stepped cycles, but a kernel stepped directly (no Run
+	// loop, so no clamp) may still jump past the exact multiple; the
+	// first stepped cycle after the gap is equivalent (skipped cycles run
+	// no phases, so no state changed in between — sleeping components'
+	// deferred counters are reconciled by the sync below before any check
+	// reads them).
 	if cycle-m.lastChecked < m.every && cycle != 0 {
 		return
 	}
 	m.lastChecked = cycle
+	if m.k != nil {
+		m.k.SyncAllAt(cycle)
+	}
 	m.RunNow(cycle)
 }
 

@@ -47,14 +47,17 @@ func TestSamplingCadence(t *testing.T) {
 	}
 }
 
-// TestFastForwardDefersCheck checks the interval arithmetic under
-// fast-forward: a jump over the exact sampling multiple must not lose the
-// pass — it runs at the first stepped cycle after the gap.
-func TestFastForwardDefersCheck(t *testing.T) {
+// TestFastForwardStepsDueCheck checks the sampling schedule under
+// fast-forward: the monitor's ObserverDue registration clamps idle jumps
+// so a due pass lands on exactly the interval cycle — the kernel steps
+// cycle 64 (a provably idle cycle, so nothing else happens in it) instead
+// of jumping from 5 straight to 97 and deferring the pass.
+func TestFastForwardStepsDueCheck(t *testing.T) {
 	k := sim.NewKernel(sim.Frequency(500e6))
 	k.SetFastForward(true)
 	// Event-only load on a quiescent component: the kernel jumps between
-	// events, stepping only the cycles they claim.
+	// events, stepping only the cycles they claim — plus, now, the cycles
+	// the monitor's schedule claims.
 	k.Register(idle{})
 	for _, at := range []uint64{0, 5, 97, 130} {
 		k.At(at, func() {})
@@ -67,10 +70,7 @@ func TestFastForwardDefersCheck(t *testing.T) {
 	})
 	m.Attach(k)
 	k.Run(200)
-	// Cycle 64 is skipped (no event); the check lands on the next stepped
-	// cycle, 97, and the one after that at >= 97+64 -> 161... which is
-	// also skipped, so it would land on the next stepped cycle if any.
-	want := []uint64{0, 97}
+	want := []uint64{0, 64, 128, 192}
 	if fmt.Sprint(cycles) != fmt.Sprint(want) {
 		t.Fatalf("check cycles = %v, want %v", cycles, want)
 	}

@@ -119,6 +119,11 @@ func (c *Crossbar) TryEject(node NodeID) (*packet.Message, bool) {
 	return q.Pop(), true
 }
 
+// HasEjectable implements Fabric.
+func (c *Crossbar) HasEjectable(node NodeID) bool {
+	return c.ejectQ[node].CanPop()
+}
+
 // Stats returns a copy of the accumulated statistics.
 func (c *Crossbar) Stats() Stats {
 	s := c.stats

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/panic-nic/panic/internal/packet"
 	"github.com/panic-nic/panic/internal/sim"
@@ -67,6 +68,18 @@ type Mesh struct {
 	// statsReset records that ResetStats zeroed the delivered counters,
 	// which disarms the delivered-vs-ejected audit (occIn/occOut survive).
 	statsReset bool
+
+	// Event-mode state (see sim.EventAware). eventOn mirrors the kernel's
+	// mode each cycle; selfPoke raises the mesh's kernel-level wake flag
+	// when a tile or control plane touches mesh state from outside a mesh
+	// tick; tileWake[node] wakes the local tile when the mesh hands it an
+	// arrival or returns an injection credit; tickAll forces every router
+	// live for one cycle (the kernel's wake-all contract).
+	k        *sim.Kernel
+	eventOn  bool
+	selfPoke sim.Poker
+	tileWake []sim.Poker
+	tickAll  bool
 }
 
 // injEntry is a message waiting at a local injection port.
@@ -116,6 +129,28 @@ type router struct {
 	// buffer per router keeps span emission single-writer under the
 	// parallel kernel's one-shard-per-router partitioning.
 	tb *trace.Buffer
+
+	// Event-mode liveness. A router whose tick moves no flit changes no
+	// state at all (round-robin pointers, holders, assembly, and counters
+	// only mutate on a send), so it can sleep until one of its inputs,
+	// credits, or faults changes — each such edge pokes it. active means
+	// the last tick moved a flit (stay awake); poked is the level-
+	// triggered external wake, consumed into live by Mesh.Begin
+	// (sequentially, so shard timing cannot affect liveness); faultWake is
+	// the next cycle a PassEveryN-limited output with a waiting candidate
+	// opens (0 = none): fault windows open by the clock, not by a poke.
+	active    bool
+	live      bool
+	poked     atomic.Bool
+	faultWake uint64
+}
+
+// poke marks the router live for the next cycle (or the current one if
+// called from a start-of-cycle event, before Begin samples the flags).
+func (r *router) poke() {
+	if !r.poked.Load() {
+		r.poked.Store(true)
+	}
 }
 
 // headState is one input lane's cached head flit for the current tick.
@@ -286,9 +321,14 @@ func NewMesh(cfg MeshConfig) *Mesh {
 	return m
 }
 
-// RegisterWith attaches the mesh and its staged state to a kernel.
+// RegisterWith attaches the mesh and its staged state to a kernel. The mesh
+// keeps the kernel handle so each cycle's Begin can mirror the kernel's
+// event mode, and wires its own kernel-level poker for wakes originating
+// outside mesh ticks (Inject, TryEject, SetLinkFault).
 func (m *Mesh) RegisterWith(k *sim.Kernel) {
 	k.Register(m)
+	m.k = k
+	m.selfPoke = k.PokerFor(m)
 	for _, r := range m.routers {
 		for p := portNorth; p < numPorts; p++ {
 			for _, f := range r.in[p] {
@@ -299,6 +339,24 @@ func (m *Mesh) RegisterWith(k *sim.Kernel) {
 			k.Register(r.inj.lanes[v].q)
 		}
 		k.Register(r.ejectQ)
+	}
+}
+
+// SetNodeWaker wires the poker that wakes the tile attached at node when
+// the mesh ejects a message to it or returns an injection credit. Unwired
+// nodes keep the zero no-op Poker, which is only safe for tiles that never
+// sleep; the builder wires every placed tile.
+func (m *Mesh) SetNodeWaker(node NodeID, p sim.Poker) {
+	if m.tileWake == nil {
+		m.tileWake = make([]sim.Poker, len(m.routers))
+	}
+	m.tileWake[node] = p
+}
+
+// wakeTile pokes the tile attached at the given node, if wired.
+func (m *Mesh) wakeTile(node NodeID) {
+	if m.tileWake != nil {
+		m.tileWake[node].Poke()
 	}
 }
 
@@ -356,6 +414,9 @@ func (m *Mesh) Inject(src, dst NodeID, msg *packet.Message) {
 	r.inj.lanes[r.inj.vcFor(dst)].q.Push(injEntry{msg: msg, dst: dst, flits: m.FlitsFor(msg), enqued: m.now})
 	r.stats.injected++
 	r.stats.occIn++
+	// The staged entry commits at end of cycle; the router must look then.
+	r.poke()
+	m.selfPoke.Poke()
 }
 
 // TryEject implements Fabric.
@@ -365,7 +426,16 @@ func (m *Mesh) TryEject(node NodeID) (*packet.Message, bool) {
 		return nil, false
 	}
 	r.stats.occOut++
+	// The freed eject slot may unblock a head flit the router reserved
+	// against; the credit lands at commit, so the router looks next cycle.
+	r.poke()
+	m.selfPoke.Poke()
 	return r.ejectQ.Pop(), true
+}
+
+// HasEjectable implements Fabric.
+func (m *Mesh) HasEjectable(node NodeID) bool {
+	return m.routers[node].ejectQ.CanPop()
 }
 
 // portToward returns the output port on from's router facing the adjacent
@@ -385,6 +455,9 @@ func (m *Mesh) portToward(from, to NodeID) int {
 // the directional link from -> to. The nodes must be adjacent.
 func (m *Mesh) SetLinkFault(from, to NodeID, f LinkFault) {
 	m.routers[from].linkFault[m.portToward(from, to)] = f
+	// Lifting a fault can unblock a sleeping router's waiting candidate.
+	m.routers[from].poke()
+	m.selfPoke.Poke()
 }
 
 // LinkFaultBetween returns the installed fault on the directional link
@@ -416,12 +489,43 @@ func (m *Mesh) ResetStats() {
 
 // Begin implements sim.Preparer: the cycle number is published before Eval
 // so routers and injecting tiles read a stable value however the Eval
-// phase is ordered or sharded.
-func (m *Mesh) Begin(cycle uint64) { m.now = cycle }
+// phase is ordered or sharded. Under an event-driven kernel Begin also
+// fixes each router's liveness for the cycle — pokes are consumed here,
+// sequentially, so the set of routers that tick can never depend on Eval
+// shard timing. A poke landing later in this cycle keeps the mesh awake
+// (EndCycle sees the flag) and is consumed by the next Begin.
+func (m *Mesh) Begin(cycle uint64) {
+	m.now = cycle
+	m.eventOn = m.k != nil && m.k.EventDriven()
+	if !m.eventOn {
+		return
+	}
+	tickAll := m.tickAll
+	m.tickAll = false
+	for _, r := range m.routers {
+		live := tickAll || r.active || (r.faultWake != 0 && cycle >= r.faultWake)
+		if r.poked.Load() {
+			r.poked.Store(false)
+			live = true
+		}
+		r.live = live
+	}
+}
+
+// WakeAll implements sim.BulkWaker: the next Begin marks every router live.
+func (m *Mesh) WakeAll() { m.tickAll = true }
 
 // Tick implements sim.Ticker: one cycle of every router.
 func (m *Mesh) Tick(cycle uint64) {
 	m.now = cycle
+	if m.eventOn {
+		for _, r := range m.routers {
+			if r.live {
+				r.tick()
+			}
+		}
+		return
+	}
 	for _, r := range m.routers {
 		r.tick()
 	}
@@ -433,7 +537,41 @@ func (m *Mesh) ParallelShards() int { return len(m.routers) }
 // TickShard implements sim.Parallelizable. Routers only read committed
 // state from their neighbors' queues and stage writes into them, so shards
 // are order-independent (the package contract for Tickers).
-func (m *Mesh) TickShard(cycle uint64, shard int) { m.routers[shard].tick() }
+func (m *Mesh) TickShard(cycle uint64, shard int) {
+	r := m.routers[shard]
+	if m.eventOn && !r.live {
+		return
+	}
+	r.tick()
+}
+
+// EndCycle implements sim.EventAware. The mesh must tick next cycle while
+// any router is active or has a pending poke; otherwise the earliest
+// fault-window opening (if any) bounds the sleep, and with none the mesh
+// sleeps until poked. Nothing is deferred while asleep — an inactive,
+// unpoked router's tick would change no state — so SyncTo is a no-op.
+func (m *Mesh) EndCycle(cycle uint64) uint64 {
+	wake := uint64(sim.WakeNever)
+	for _, r := range m.routers {
+		if r.active || r.poked.Load() {
+			return cycle + 1
+		}
+		// A parked eject queue keeps the mesh awake even though no router
+		// moves: the waiting tile cannot see the arrival in its own
+		// NextWork, so the mesh must be the component that pins the cycle
+		// live, exactly as NextWork does for the ticked loop's skip.
+		if r.ejectQ.Len() > 0 {
+			return cycle + 1
+		}
+		if r.faultWake != 0 && r.faultWake < wake {
+			wake = r.faultWake
+		}
+	}
+	return wake
+}
+
+// SyncTo implements sim.EventAware; see EndCycle.
+func (m *Mesh) SyncTo(cycle uint64) {}
 
 // NextWork implements sim.Quiescer: an empty mesh — every injected message
 // handed to the local tile, nothing buffered anywhere — has no work until
@@ -463,10 +601,20 @@ func (r *router) peekIn(p, vc int) (Flit, bool) {
 
 func (r *router) popIn(p, vc int) {
 	if p == portLocal {
+		if !r.inj.lanes[vc].valid {
+			// This pop drains the lane's message queue, returning an
+			// injection credit to the local tile at commit.
+			r.m.wakeTile(r.id)
+		}
 		r.inj.pop(vc)
 		return
 	}
 	r.in[p][vc].Pop()
+	// The freed buffer slot is an upstream credit at commit: the neighbor
+	// feeding this port may have a flit waiting on it.
+	if nb := r.neighbor[p]; nb != nil {
+		nb.poke()
+	}
 }
 
 // route returns the output port for a flit under XY dimension-order
@@ -528,6 +676,7 @@ func (r *router) deliver(o int, f Flit) {
 			msg := a.msg
 			a.msg = nil
 			r.ejectQ.Push(msg)
+			r.m.wakeTile(r.id) // arrival visible to the tile at commit
 			r.stats.delivered++
 			r.stats.totalLatency += r.m.now - a.enqued
 			if r.tb.Want(msg.TraceID) {
@@ -553,52 +702,133 @@ func (r *router) deliver(o int, f Flit) {
 		})
 	}
 	r.neighbor[o].in[oppositePort[o]][f.VC].Push(f)
+	r.neighbor[o].poke() // the flit is the neighbor's input next cycle
 	r.stats.flitHops++
 }
 
-// hasInput reports whether any input lane (injector or buffered port) holds
-// a committed flit this cycle. A router with no input flits provably does
-// nothing in tick: holders only forward input flits, assembly only advances
-// on arrivals, and no statistics change — so the whole evaluation can be
-// skipped (the loaded-path skip-scan; most routers are off every flow's XY
-// path in any given cycle).
-func (r *router) hasInput() bool {
-	for v := range r.inj.lanes {
-		l := &r.inj.lanes[v]
-		if l.valid || l.q.CanPop() {
-			return true
+// laneReady reports whether input lane (p, vc) holds a committed flit (for
+// the injector: a mid-serialization message or a queued one).
+func (r *router) laneReady(p, vc int) bool {
+	if p == portLocal {
+		l := &r.inj.lanes[vc]
+		return l.valid || l.q.CanPop()
+	}
+	return r.in[p][vc].CanPop()
+}
+
+// holderOf returns the output port whose VC-v wormhole is owned by input
+// port p, or -1. A body flit is only ever forwarded by its holder, so this
+// is the fast-path route lookup.
+func (r *router) holderOf(p, v int) int {
+	for o := 0; o < numPorts; o++ {
+		if r.holder[o][v] == p {
+			return o
 		}
 	}
-	for p := portNorth; p < numPorts; p++ {
-		for _, f := range r.in[p] {
-			if f.CanPop() {
-				return true
+	return -1
+}
+
+// streamOne forwards the cached head flit of input lane (p, v) through
+// output o, exactly as the general arbitration below would when that lane
+// is the only live input competing for o: the wormhole already owns the
+// output, so the only questions left are the link fault gate and
+// downstream acceptance. It reports whether the flit moved.
+func (r *router) streamOne(o, p, v int) bool {
+	if o != portLocal && r.linkFault[o].blocks(r.m.now) {
+		if n := uint64(r.linkFault[o].PassEveryN); n >= 2 {
+			next := r.m.now + n - r.m.now%n
+			if r.faultWake == 0 || next < r.faultWake {
+				r.faultWake = next
 			}
 		}
+		return false
 	}
-	return false
+	f := r.heads[p][v].f
+	if !r.canAccept(o, f) {
+		return false
+	}
+	r.popIn(p, v)
+	r.deliver(o, f)
+	if f.Tail {
+		r.holder[o][v] = -1
+	}
+	r.rrVC[o] = (v + 1) % r.m.vcs
+	return true
 }
 
 func (r *router) tick() {
-	if !r.hasInput() {
-		return
-	}
-	for p := range r.consumed {
-		r.consumed[p] = false
-	}
+	r.faultWake = 0
 	vcs := r.m.vcs
 	// Cache every input lane's head flit once: output arbitration below
 	// would otherwise re-peek each input once per output port. consumed[p]
 	// guards the cache after a pop (one pop per input port per cycle).
-	// While filling, build a conservative per-output candidate mask (a
-	// head flit routed to o, or an active wormhole with flits waiting) so
-	// arbitration skips outputs nothing can use this cycle.
-	var cand [numPorts]bool
+	// The same pass counts live lanes, so an idle router is proven idle
+	// (and a lone mid-wormhole lane spotted) without a separate scan.
+	inputs := 0
+	headSeen := false
+	var livePort [numPorts]int8
 	for p := 0; p < numPorts; p++ {
 		for v := 0; v < vcs; v++ {
 			h := &r.heads[p][v]
+			// Test emptiness before peeking: most lanes are empty in any
+			// given cycle, and the occupancy test is two integer loads
+			// where a peek copies out a whole flit.
+			if !r.laneReady(p, v) {
+				h.ok = false
+				continue
+			}
 			h.f, h.ok = r.peekIn(p, v)
-			if h.ok && h.f.Head {
+			headSeen = headSeen || h.f.Head
+			if inputs < numPorts {
+				livePort[inputs] = int8(p)
+			}
+			inputs++
+		}
+	}
+	if inputs == 0 {
+		r.active = false
+		return
+	}
+	// Streaming fast path: every live lane is mid-wormhole (no head flit
+	// needs allocating), and each wormhole owns a distinct output — then
+	// arbitration degenerates to "move each flit if its output accepts it",
+	// with no cross-lane interaction to order. Under saturation nearly
+	// every hop qualifies (a 256-byte frame is 32 flits, 31 of them body).
+	// Restricted to single-VC meshes so a lane is identified by its port.
+	if !headSeen && vcs == 1 && inputs <= numPorts {
+		var outOf [numPorts]int8
+		var used [numPorts]bool
+		ok := true
+		for i := 0; i < inputs; i++ {
+			o := r.holderOf(int(livePort[i]), 0)
+			if o < 0 || used[o] {
+				ok = false
+				break
+			}
+			used[o] = true
+			outOf[i] = int8(o)
+		}
+		if ok {
+			moved := false
+			for i := 0; i < inputs; i++ {
+				if r.streamOne(int(outOf[i]), int(livePort[i]), 0) {
+					moved = true
+				}
+			}
+			r.active = moved
+			return
+		}
+	}
+	for p := range r.consumed {
+		r.consumed[p] = false
+	}
+	// Build a conservative per-output candidate mask (a head flit routed
+	// to o, or an active wormhole with flits waiting) so arbitration skips
+	// outputs nothing can use this cycle.
+	var cand [numPorts]bool
+	for p := 0; p < numPorts; p++ {
+		for v := 0; v < vcs; v++ {
+			if h := &r.heads[p][v]; h.ok && h.f.Head {
 				cand[r.nextPort[h.f.Dst]] = true
 			}
 		}
@@ -614,11 +844,22 @@ func (r *router) tick() {
 			}
 		}
 	}
+	moved := false
 	for o := 0; o < numPorts; o++ {
 		if !cand[o] {
 			continue
 		}
 		if o != portLocal && r.linkFault[o].blocks(r.m.now) {
+			// A candidate is waiting on a fault-gated output. PassEveryN
+			// windows open by the clock, with no poke to ride, so record
+			// the next opening as a timed wake; a severed link only
+			// reopens via SetLinkFault, which pokes.
+			if n := uint64(r.linkFault[o].PassEveryN); n >= 2 {
+				next := r.m.now + n - r.m.now%n
+				if r.faultWake == 0 || next < r.faultWake {
+					r.faultWake = next
+				}
+			}
 			continue
 		}
 		// One flit per output per cycle; VCs take turns (round-robin),
@@ -665,5 +906,14 @@ func (r *router) tick() {
 				break
 			}
 		}
+		if sent {
+			moved = true
+		}
 	}
+	// A tick that moved nothing changed nothing (the no-op proof behind
+	// the idle early-return applies to a fully blocked router too:
+	// round-robin state, holders, assembly, and stats only mutate on a
+	// send), so the router sleeps until an input, credit, or fault edge
+	// pokes it.
+	r.active = moved
 }

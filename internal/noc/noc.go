@@ -73,6 +73,10 @@ type Fabric interface {
 	// TryEject removes and returns the next message delivered to the
 	// node, if any.
 	TryEject(node NodeID) (*packet.Message, bool)
+	// HasEjectable reports whether TryEject would currently succeed,
+	// without consuming the message. Event-aware tiles use it to decide
+	// whether a pending arrival forces them to stay awake.
+	HasEjectable(node NodeID) bool
 	// FlitsFor returns the number of flits a message occupies.
 	FlitsFor(msg *packet.Message) int
 }

@@ -138,8 +138,20 @@ func (p *Packet) String() string {
 }
 
 // Serialize rebuilds Buf from Layers. Call it after mutating any layer.
+// The buffer is sized up front from the declared header lengths, so the
+// marshal appends never reallocate (packet construction is on the
+// generator hot path).
 func (p *Packet) Serialize() {
-	b := p.Buf[:0]
+	n := 0
+	for _, l := range p.Layers {
+		n += l.HeaderLen()
+	}
+	b := p.Buf
+	if cap(b) < n {
+		b = make([]byte, 0, n)
+	} else {
+		b = b[:0]
+	}
 	for _, l := range p.Layers {
 		b = l.Marshal(b)
 	}

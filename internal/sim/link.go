@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Reg is a single-producer single-consumer staged register: a value written
 // during Eval becomes readable only after Commit, modeling a flow-controlled
@@ -15,6 +18,23 @@ import "fmt"
 type Reg[T any] struct {
 	cur, next     T
 	curOK, nextOK bool
+	// dirty points at ownDirty until the kernel redirects it into its
+	// contiguous flag arena (see DirtyRedirector); nil on a zero register
+	// until the first mark.
+	dirty    *atomic.Bool
+	ownDirty atomic.Bool
+}
+
+// mark raises the dirty flag, resolving the zero register's unset pointer.
+func (r *Reg[T]) mark() {
+	d := r.dirty
+	if d == nil {
+		d = &r.ownDirty
+		r.dirty = d
+	}
+	if !d.Load() {
+		d.Store(true)
+	}
 }
 
 // CanSend reports whether the register can accept a write this cycle.
@@ -28,6 +48,7 @@ func (r *Reg[T]) Send(v T) {
 	}
 	r.next = v
 	r.nextOK = true
+	r.mark()
 }
 
 // CanRecv reports whether a committed value is available.
@@ -45,6 +66,7 @@ func (r *Reg[T]) Recv() T {
 	var zero T
 	v := r.cur
 	r.cur = zero
+	r.mark()
 	return v
 }
 
@@ -59,6 +81,24 @@ func (r *Reg[T]) Commit() {
 	}
 }
 
+// DirtyFlag implements DirtyCommitter: the flag is raised by Send and Recv
+// (a staged write may need moving; a consumed slot may unblock one) and
+// cleared by the kernel after Commit. A clean register's Commit is a
+// provable no-op: with no send or receive since the last commit, either
+// nothing is staged or the committed slot is still occupied.
+func (r *Reg[T]) DirtyFlag() *atomic.Bool {
+	if r.dirty == nil {
+		r.dirty = &r.ownDirty
+	}
+	return r.dirty
+}
+
+// RedirectDirty implements DirtyRedirector.
+func (r *Reg[T]) RedirectDirty(p *atomic.Bool) {
+	p.Store(r.DirtyFlag().Load())
+	r.dirty = p
+}
+
 // FIFO is a single-producer single-consumer staged bounded queue: pushes
 // become visible and pops take effect only at Commit, so within a cycle the
 // producer and consumer may run in either order.
@@ -67,11 +107,21 @@ func (r *Reg[T]) Commit() {
 // committed entries plus same-cycle pushes but does not observe same-cycle
 // pops (credits return one cycle later). A capacity of at least 2 therefore
 // sustains one value per cycle.
+//
+// Storage is a fixed ring: Commit advances the head pointer instead of
+// shifting the backing array, so steady-state operation moves no memory —
+// queue churn is the simulator's hottest path.
 type FIFO[T any] struct {
-	buf     []T
-	staged  []T
+	buf     []T // ring of len cap; [head, head+n) committed, then staged
+	head    int // index of the oldest committed entry
+	n       int // committed entries (staged pops not yet reclaimed)
+	staged  int // pushes staged this cycle, stored after the committed run
 	nPopped int
 	cap     int
+	// dirty points at ownDirty until the kernel redirects it into its
+	// contiguous flag arena (see DirtyRedirector).
+	dirty    *atomic.Bool
+	ownDirty atomic.Bool
 }
 
 // NewFIFO returns a FIFO with the given capacity. Capacity must be positive.
@@ -79,41 +129,63 @@ func NewFIFO[T any](capacity int) *FIFO[T] {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("sim: NewFIFO capacity %d", capacity))
 	}
-	// Pre-size both buffers to capacity so steady-state operation never
-	// grows them: queue churn is the simulator's hottest allocation site.
-	return &FIFO[T]{
-		buf:    make([]T, 0, capacity),
-		staged: make([]T, 0, capacity),
-		cap:    capacity,
+	f := &FIFO[T]{buf: make([]T, capacity), cap: capacity}
+	f.dirty = &f.ownDirty
+	return f
+}
+
+// idx maps a logical offset from head to a ring index. Offsets never exceed
+// cap (CanPush bounds occupancy), so one conditional subtraction suffices.
+func (f *FIFO[T]) idx(off int) int {
+	i := f.head + off
+	if i >= f.cap {
+		i -= f.cap
 	}
+	return i
 }
 
 // Cap returns the FIFO capacity.
 func (f *FIFO[T]) Cap() int { return f.cap }
 
 // Len returns the number of committed entries not yet popped this cycle.
-func (f *FIFO[T]) Len() int { return len(f.buf) - f.nPopped }
+func (f *FIFO[T]) Len() int { return f.n - f.nPopped }
 
 // CanPush reports whether a push this cycle is within capacity.
-func (f *FIFO[T]) CanPush() bool { return len(f.buf)+len(f.staged) < f.cap }
+func (f *FIFO[T]) CanPush() bool { return f.n+f.staged < f.cap }
 
 // Pending returns the conservative occupancy: committed entries plus
 // same-cycle pushes, NOT observing same-cycle pops (credits return one
 // cycle later, like CanPush). Use it — never Len — for capacity decisions
 // made during Eval by a component other than the consumer, so the answer
 // does not depend on whether the consumer ticked first.
-func (f *FIFO[T]) Pending() int { return len(f.buf) + len(f.staged) }
+func (f *FIFO[T]) Pending() int { return f.n + f.staged }
 
 // Push stages a value for commit. Panics when full; use CanPush.
 func (f *FIFO[T]) Push(v T) {
 	if !f.CanPush() {
 		panic("sim: FIFO.Push on full FIFO (writer ignored CanPush)")
 	}
-	f.staged = append(f.staged, v)
+	f.buf[f.idx(f.n+f.staged)] = v
+	f.staged++
+	if !f.dirty.Load() {
+		f.dirty.Store(true)
+	}
+}
+
+// DirtyFlag implements DirtyCommitter: any Push or Pop since the last
+// commit raises the flag (set from Eval shards, hence atomic); the kernel
+// clears it after calling Commit. A clean FIFO's Commit is a provable
+// no-op: nothing staged, nothing popped.
+func (f *FIFO[T]) DirtyFlag() *atomic.Bool { return f.dirty }
+
+// RedirectDirty implements DirtyRedirector.
+func (f *FIFO[T]) RedirectDirty(p *atomic.Bool) {
+	p.Store(f.dirty.Load())
+	f.dirty = p
 }
 
 // CanPop reports whether a committed value is available this cycle.
-func (f *FIFO[T]) CanPop() bool { return f.nPopped < len(f.buf) }
+func (f *FIFO[T]) CanPop() bool { return f.nPopped < f.n }
 
 // Peek returns the oldest unconsumed committed value without consuming it.
 func (f *FIFO[T]) Peek() (T, bool) {
@@ -121,7 +193,7 @@ func (f *FIFO[T]) Peek() (T, bool) {
 		var zero T
 		return zero, false
 	}
-	return f.buf[f.nPopped], true
+	return f.buf[f.idx(f.nPopped)], true
 }
 
 // Pop consumes and returns the oldest committed value. The removal is staged
@@ -130,8 +202,11 @@ func (f *FIFO[T]) Pop() T {
 	if !f.CanPop() {
 		panic("sim: FIFO.Pop on empty FIFO")
 	}
-	v := f.buf[f.nPopped]
+	v := f.buf[f.idx(f.nPopped)]
 	f.nPopped++
+	if !f.dirty.Load() {
+		f.dirty.Store(true)
+	}
 	return v
 }
 
@@ -139,17 +214,18 @@ func (f *FIFO[T]) Pop() T {
 // become visible.
 func (f *FIFO[T]) Commit() {
 	if f.nPopped > 0 {
-		// Shift rather than reslice so the backing array does not grow
-		// without bound over long simulations.
-		copy(f.buf, f.buf[f.nPopped:])
-		f.buf = f.buf[:len(f.buf)-f.nPopped]
+		// Zero the reclaimed slots so popped pointers don't pin garbage.
+		var zero T
+		for i := 0; i < f.nPopped; i++ {
+			f.buf[f.idx(i)] = zero
+		}
+		f.head = f.idx(f.nPopped)
+		f.n -= f.nPopped
 		f.nPopped = 0
 	}
-	if len(f.staged) > 0 {
-		f.buf = append(f.buf, f.staged...)
-		f.staged = f.staged[:0]
-		if len(f.buf) > f.cap {
-			panic("sim: FIFO over capacity after commit")
-		}
+	f.n += f.staged
+	f.staged = 0
+	if f.n > f.cap {
+		panic("sim: FIFO over capacity after commit")
 	}
 }

@@ -3,11 +3,14 @@ package sim
 import "sync"
 
 // workUnit is one schedulable piece of the Eval phase: a whole Ticker, or
-// one shard of a Parallelizable component.
+// one shard of a Parallelizable component. idx is the ticker's index in
+// the kernel's liveness arrays (all shards of one component share it), so
+// the event-driven loop can skip sleeping components inside a chunk.
 type workUnit struct {
 	t     Ticker
 	p     Parallelizable // nil for plain tickers
 	shard int
+	idx   int
 }
 
 func (u workUnit) run(cycle uint64) {
@@ -29,10 +32,29 @@ func (u workUnit) run(cycle uint64) {
 // identically on every run instead of flickering. Chunk 0 runs on the
 // calling goroutine, saving one handoff.
 type workerPool struct {
+	k      *Kernel // liveness arrays; written only between ticks
 	chunks [][]workUnit
 	start  []chan uint64
 	quit   chan struct{}
 	wg     sync.WaitGroup
+}
+
+// runChunk executes one worker's units, honoring event-mode liveness. The
+// kernel's eventDriven flag and liveNow slice are only written while the
+// pool is quiescent (liveness is sampled before the tick barrier opens).
+func (p *workerPool) runChunk(w int, cycle uint64) {
+	if p.k.eventDriven {
+		live := p.k.liveNow
+		for _, u := range p.chunks[w] {
+			if live[u.idx] {
+				u.run(cycle)
+			}
+		}
+		return
+	}
+	for _, u := range p.chunks[w] {
+		u.run(cycle)
+	}
 }
 
 // rebuildPool (re)creates the worker pool from the current ticker set.
@@ -43,18 +65,18 @@ func (k *Kernel) rebuildPool() {
 	}
 	k.poolStale = false
 	var units []workUnit
-	for _, t := range k.tickers {
+	for i, t := range k.tickers {
 		if p, ok := t.(Parallelizable); ok {
 			n := p.ParallelShards()
 			if n < 1 {
 				n = 1
 			}
 			for s := 0; s < n; s++ {
-				units = append(units, workUnit{t: t, p: p, shard: s})
+				units = append(units, workUnit{t: t, p: p, shard: s, idx: i})
 			}
 			continue
 		}
-		units = append(units, workUnit{t: t})
+		units = append(units, workUnit{t: t, idx: i})
 	}
 	nw := k.workers
 	if nw > len(units) {
@@ -63,7 +85,7 @@ func (k *Kernel) rebuildPool() {
 	if nw < 1 {
 		nw = 1
 	}
-	p := &workerPool{quit: make(chan struct{})}
+	p := &workerPool{k: k, quit: make(chan struct{})}
 	for w := 0; w < nw; w++ {
 		lo, hi := w*len(units)/nw, (w+1)*len(units)/nw
 		p.chunks = append(p.chunks, units[lo:hi])
@@ -81,9 +103,7 @@ func (p *workerPool) worker(w int, start <-chan uint64) {
 	for {
 		select {
 		case cycle := <-start:
-			for _, u := range p.chunks[w] {
-				u.run(cycle)
-			}
+			p.runChunk(w, cycle)
 			p.wg.Done()
 		case <-p.quit:
 			return
@@ -97,9 +117,7 @@ func (p *workerPool) tick(cycle uint64) {
 	for w := 1; w < len(p.chunks); w++ {
 		p.start[w] <- cycle
 	}
-	for _, u := range p.chunks[0] {
-		u.run(cycle)
-	}
+	p.runChunk(0, cycle)
 	p.wg.Wait()
 }
 

@@ -41,6 +41,9 @@ func (k *Kernel) skipIdle(end uint64) {
 	}
 	now := k.clock.cycle
 	target := end
+	if !k.clampObserverDue(now, &target) {
+		return // a sampling observer is due this cycle
+	}
 	if ec, ok := k.events.nextCycle(); ok {
 		if ec <= now {
 			return // an event is due this cycle

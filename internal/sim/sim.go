@@ -39,6 +39,8 @@ package sim
 import (
 	"fmt"
 	"math"
+	"reflect"
+	"sync/atomic"
 )
 
 // Ticker is a synchronous component evaluated once per cycle.
@@ -98,6 +100,11 @@ type KernelConfig struct {
 	// registered component has work. It only ever engages when every
 	// registered Ticker implements Quiescer; otherwise it is inert.
 	FastForward bool
+	// EventDriven selects the event-driven loop: each cycle only ticks
+	// components whose declared wake cycle has arrived or that were poked,
+	// instead of every registered Ticker. Byte-identical to the ticked
+	// loop; see EventAware.
+	EventDriven bool
 	// EventCap pre-sizes the event heap (an allocation hint; 0 is fine).
 	EventCap int
 }
@@ -122,10 +129,36 @@ type Kernel struct {
 	fastForward bool
 	skipped     uint64
 
+	// commitFlags parallels committers: non-nil entries are DirtyCommitter
+	// flags letting the Commit phase skip provably clean committers. Active
+	// in both kernel modes. DirtyRedirector flags live in dirtySlots, the
+	// kernel-owned contiguous arena, so the per-cycle scan stays in a few
+	// cache lines.
+	commitFlags []*atomic.Bool
+	dirtySlots  dirtyArena
+
+	// Event-driven mode state; the four slices parallel tickers.
+	eventDriven bool
+	wakeAt      []uint64       // next cycle each ticker must run (0 = now)
+	aware       []EventAware   // nil for tickers without deferred sync
+	pokes       []*atomic.Bool // level-triggered external wake requests
+	liveNow     []bool         // sampled once per cycle before Eval
+	tickerIdx   map[any]int    // component -> index, for PokerFor
+	// wakeAllNext forces every ticker live for one cycle. Raised on entry
+	// to Run/RunUntil and when event mode switches on, it makes state
+	// mutated from outside the kernel (between runs, from tests, by fleet
+	// control planes) safe without pokes: the first cycle of any run
+	// re-derives every wake schedule from committed state.
+	wakeAllNext bool
+
 	// observers run at the very end of every stepped cycle — after all
 	// committers, before the clock advances — so they see exactly the state
 	// the next cycle's Eval phase will. An empty list costs nothing.
 	observers []func(cycle uint64)
+	// obsDue holds observer schedules (see ObserverDue): fast-forward jumps
+	// clamp to the earliest due cycle so sampled observer passes land on
+	// deterministic cycles in every kernel mode.
+	obsDue []func(now uint64) uint64
 }
 
 // NewKernel returns a sequential kernel whose clock runs at the given
@@ -136,9 +169,10 @@ func NewKernel(freq Frequency) *Kernel {
 
 // NewKernelWithConfig returns a kernel with the given configuration.
 func NewKernelWithConfig(cfg KernelConfig) *Kernel {
-	k := &Kernel{clock: Clock{freq: cfg.Freq}}
+	k := &Kernel{clock: Clock{freq: cfg.Freq}, tickerIdx: make(map[any]int)}
 	k.SetWorkers(cfg.Workers)
 	k.fastForward = cfg.FastForward
+	k.SetEventDriven(cfg.EventDriven)
 	if cfg.EventCap > 0 {
 		k.events.h = make(eventHeap, 0, cfg.EventCap)
 	}
@@ -193,8 +227,11 @@ func (k *Kernel) Shutdown() {
 }
 
 // register adds one component to the given ticker slice (returned updated)
-// and the committer/preparer/quiescer lists.
-func (k *Kernel) register(c any, tickers []Ticker) []Ticker {
+// and the committer/preparer/quiescer lists. Parallel (non-serial) tickers
+// additionally get event-mode bookkeeping: a wake slot, a poke flag, and an
+// index for PokerFor. wakeAt starts at 0 so a fresh component always runs
+// on its first cycle and declares its own schedule.
+func (k *Kernel) register(c any, tickers []Ticker, serial bool) []Ticker {
 	ok := false
 	if t, isT := c.(Ticker); isT {
 		tickers = append(tickers, t)
@@ -204,6 +241,18 @@ func (k *Kernel) register(c any, tickers []Ticker) []Ticker {
 		} else {
 			k.nonQuiescers++
 		}
+		if !serial {
+			// Function-typed tickers (TickFunc) are not hashable and cannot
+			// be poked; every pokeable component is a pointer.
+			if reflect.TypeOf(c).Comparable() {
+				k.tickerIdx[c] = len(k.wakeAt)
+			}
+			k.wakeAt = append(k.wakeAt, 0)
+			a, _ := c.(EventAware)
+			k.aware = append(k.aware, a)
+			k.pokes = append(k.pokes, new(atomic.Bool))
+			k.liveNow = append(k.liveNow, false)
+		}
 	}
 	if p, isP := c.(Preparer); isP {
 		k.preparers = append(k.preparers, p)
@@ -211,6 +260,17 @@ func (k *Kernel) register(c any, tickers []Ticker) []Ticker {
 	}
 	if cm, isC := c.(Committer); isC {
 		k.committers = append(k.committers, cm)
+		var flag *atomic.Bool
+		if dr, isR := c.(DirtyRedirector); isR {
+			flag = k.dirtySlots.alloc()
+			dr.RedirectDirty(flag)
+		} else if dc, isD := c.(DirtyCommitter); isD {
+			flag = dc.DirtyFlag()
+		}
+		if flag != nil {
+			flag.Store(true) // commit once before the first skip
+		}
+		k.commitFlags = append(k.commitFlags, flag)
 		ok = true
 	}
 	if !ok {
@@ -225,17 +285,18 @@ func (k *Kernel) register(c any, tickers []Ticker) []Ticker {
 // silently ignoring a component is a model bug.
 func (k *Kernel) Register(components ...any) {
 	for _, c := range components {
-		k.tickers = k.register(c, k.tickers)
+		k.tickers = k.register(c, k.tickers, false)
 	}
 }
 
 // RegisterSerial adds components whose Tick must not run concurrently with
 // other Tickers: they run after the Eval phase, one by one, in registration
 // order. Use it for control-plane components that read or mutate state
-// owned by many tiles (steering tables, cross-tile health probes).
+// owned by many tiles (steering tables, cross-tile health probes). Serial
+// tickers are never skipped by the event-driven loop.
 func (k *Kernel) RegisterSerial(components ...any) {
 	for _, c := range components {
-		k.serial = k.register(c, k.serial)
+		k.serial = k.register(c, k.serial, true)
 	}
 }
 
@@ -252,6 +313,37 @@ func (k *Kernel) RegisterSerial(components ...any) {
 // cycle, so no state can have changed since the last stepped one).
 func (k *Kernel) ObserveCycleEnd(fn func(cycle uint64)) {
 	k.observers = append(k.observers, fn)
+}
+
+// ObserverDue registers a schedule for a sampling observer: fn returns the
+// next cycle at which the observer needs the kernel to actually step (e.g.
+// an invariant monitor's lastChecked + interval). Both fast-forward skips
+// — the ticked oracle's global-idle jump and the event engine's bulk
+// advance — clamp their jump target so that cycle is stepped rather than
+// skipped. A due pass therefore lands on exactly the same cycle in every
+// kernel mode instead of on whatever post-jump cycle happens to step
+// next. Stepping a cycle inside a proven-idle window runs no component
+// work (that is what the skip proved), so the clamp cannot perturb
+// simulation state, only where the observer fires. A return value <= now
+// means "due this very cycle" and vetoes the jump entirely.
+func (k *Kernel) ObserverDue(fn func(now uint64) uint64) {
+	k.obsDue = append(k.obsDue, fn)
+}
+
+// clampObserverDue narrows a fast-forward jump target to the earliest
+// observer-due cycle. It reports false when an observer is due at the
+// current cycle, which vetoes the jump.
+func (k *Kernel) clampObserverDue(now uint64, target *uint64) bool {
+	for _, fn := range k.obsDue {
+		c := fn(now)
+		if c <= now {
+			return false
+		}
+		if c < *target {
+			*target = c
+		}
+	}
+	return true
 }
 
 // At schedules fn to run at the start of the given absolute cycle, before
@@ -275,12 +367,20 @@ func (k *Kernel) After(d uint64, fn func()) {
 // Stop makes Run and RunUntil return at the end of the current cycle.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// Step advances the simulation by exactly one cycle.
+// Step advances the simulation by exactly one cycle. In event-driven mode
+// the Eval phase only runs tickers whose wake cycle has arrived or that
+// were poked (liveness is sampled sequentially after start-of-cycle events,
+// so an event callback's poke takes effect the same cycle); serial tickers,
+// Begin, and observers always run, and the Commit phase skips committers
+// whose dirty flag proves them clean in either mode.
 func (k *Kernel) Step() {
 	k.clock.started = true
 	cycle := k.clock.cycle
 	for k.events.ready(cycle) {
 		k.events.pop().fn()
+	}
+	if k.eventDriven {
+		k.sampleLiveness(cycle)
 	}
 	for _, p := range k.preparers {
 		p.Begin(cycle)
@@ -290,6 +390,12 @@ func (k *Kernel) Step() {
 			k.rebuildPool()
 		}
 		k.pool.tick(cycle)
+	} else if k.eventDriven {
+		for i, t := range k.tickers {
+			if k.liveNow[i] {
+				t.Tick(cycle)
+			}
+		}
 	} else {
 		for _, t := range k.tickers {
 			t.Tick(cycle)
@@ -298,8 +404,19 @@ func (k *Kernel) Step() {
 	for _, t := range k.serial {
 		t.Tick(cycle)
 	}
-	for _, c := range k.committers {
+	for i, c := range k.committers {
+		if f := k.commitFlags[i]; f != nil {
+			if !f.Load() {
+				continue
+			}
+			c.Commit()
+			f.Store(false)
+			continue
+		}
 		c.Commit()
+	}
+	if k.eventDriven {
+		k.endCycle(cycle)
 	}
 	for _, o := range k.observers {
 		o(cycle)
@@ -311,23 +428,35 @@ func (k *Kernel) Step() {
 // fast-forward enabled, provably idle cycles inside the window are skipped
 // (they still count toward n: the clock lands exactly where sequential
 // stepping would).
+//
+// In event-driven mode the first cycle of every Run ticks all components
+// (state mutated between runs needs no pokes) and deferred statistics are
+// brought current before returning, so callers observe oracle-exact state.
 func (k *Kernel) Run(n uint64) {
 	k.stopped = false
+	k.wakeAllNext = k.eventDriven
 	end := k.clock.cycle + n
 	for k.clock.cycle < end && !k.stopped {
 		if k.fastForward {
-			k.skipIdle(end)
+			if k.eventDriven {
+				k.skipIdleEvent(end)
+			} else {
+				k.skipIdle(end)
+			}
 			if k.clock.cycle >= end {
-				return
+				break
 			}
 		}
 		k.Step()
 	}
+	k.syncAll()
 }
 
 // RunUntil advances the simulation until the predicate returns true at the
 // start of a cycle, until Stop is called, or until maxCycles have elapsed.
-// It reports whether the predicate was satisfied.
+// It reports whether the predicate was satisfied. Deferred event-mode
+// statistics are synchronized before every predicate evaluation, so
+// predicates over component state read oracle-exact values.
 //
 // With fast-forward enabled the predicate is evaluated only at cycles the
 // kernel actually steps; skipped cycles cannot change any component state,
@@ -336,19 +465,26 @@ func (k *Kernel) Run(n uint64) {
 // stepping.
 func (k *Kernel) RunUntil(pred func() bool, maxCycles uint64) bool {
 	k.stopped = false
+	k.wakeAllNext = k.eventDriven
 	end := k.clock.cycle + maxCycles
 	for k.clock.cycle < end && !k.stopped {
+		k.syncAll()
 		if pred() {
 			return true
 		}
 		if k.fastForward {
-			k.skipIdle(end)
+			if k.eventDriven {
+				k.skipIdleEvent(end)
+			} else {
+				k.skipIdle(end)
+			}
 			if k.clock.cycle >= end {
 				break
 			}
 		}
 		k.Step()
 	}
+	k.syncAll()
 	return pred()
 }
 
